@@ -1,0 +1,184 @@
+// Command facebench regenerates the tables and figures of the FaCE paper's
+// evaluation (Section 5) against the simulated device stack.
+//
+// Usage:
+//
+//	facebench [flags] <experiment>
+//
+// Experiments:
+//
+//	table1    device price/performance characteristics
+//	table3    flash cache hit ratio and write reduction vs cache size
+//	table4    flash device utilization and I/O throughput vs cache size
+//	fig4      transaction throughput vs cache size (MLC and SLC SSDs)
+//	table5    equal-cost DRAM vs flash increments
+//	fig5      throughput vs number of RAID-0 disks
+//	table6    restart time after a crash vs checkpoint interval
+//	fig6      post-restart throughput timeline
+//	ablations design-choice ablations (sync policy, group size, segment size)
+//	all       every experiment above, in order
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/reprolab/face/internal/bench"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("facebench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		warehouses = fs.Int("warehouses", 0, "TPC-C warehouses (0 = default scale)")
+		quick      = fs.Bool("quick", false, "use the small test scale instead of the default scale")
+		warmup     = fs.Int("warmup", 0, "warm-up transactions per configuration (0 = default)")
+		measure    = fs.Int("measure", 0, "measured transactions per configuration (0 = default)")
+		verbose    = fs.Bool("v", false, "print one progress line per completed run")
+		seed       = fs.Int64("seed", 0, "workload random seed (0 = default)")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: facebench [flags] <table1|table3|table4|fig4|table5|fig5|table6|fig6|ablations|all>\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return 2
+	}
+	what := strings.ToLower(fs.Arg(0))
+
+	opts := bench.DefaultOptions()
+	if *quick {
+		opts = bench.QuickOptions()
+	}
+	if *warehouses > 0 {
+		opts.Warehouses = *warehouses
+	}
+	if *warmup > 0 {
+		opts.WarmupTx = *warmup
+	}
+	if *measure > 0 {
+		opts.MeasureTx = *measure
+	}
+	if *seed != 0 {
+		opts.Seed = *seed
+	}
+	if *verbose {
+		opts.Progress = stderr
+	}
+
+	// Table 1 needs no database.
+	if what == "table1" {
+		fmt.Fprintln(stdout, bench.FormatTable1(bench.Table1DeviceCharacteristics()))
+		return 0
+	}
+
+	start := time.Now()
+	golden, err := bench.BuildGolden(opts)
+	if err != nil {
+		fmt.Fprintf(stderr, "facebench: %v\n", err)
+		return 1
+	}
+	if *verbose {
+		fmt.Fprintf(stderr, "golden database built in %v\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	experiments := []string{what}
+	if what == "all" {
+		experiments = []string{"table1", "table3", "table4", "fig4", "table5", "fig5", "table6", "fig6", "ablations"}
+	}
+	for _, exp := range experiments {
+		if err := runExperiment(golden, exp, stdout); err != nil {
+			fmt.Fprintf(stderr, "facebench %s: %v\n", exp, err)
+			return 1
+		}
+	}
+	if *verbose {
+		fmt.Fprintf(stderr, "total wall-clock time: %v\n", time.Since(start).Round(time.Millisecond))
+	}
+	return 0
+}
+
+func runExperiment(g *bench.Golden, what string, out io.Writer) error {
+	switch what {
+	case "table1":
+		fmt.Fprintln(out, bench.FormatTable1(bench.Table1DeviceCharacteristics()))
+	case "table3", "table4", "table3+4":
+		sweep, err := g.CacheSweep(nil, nil)
+		if err != nil {
+			return err
+		}
+		if what != "table4" {
+			fmt.Fprintln(out, bench.FormatTable3(sweep))
+		}
+		if what != "table3" {
+			fmt.Fprintln(out, bench.FormatTable4(sweep))
+		}
+	case "fig4":
+		for _, ssd := range []struct{ name string }{{"mlc"}, {"slc"}} {
+			profile := g.Options().MLCProfile
+			if ssd.name == "slc" {
+				profile = g.Options().SLCProfile
+			}
+			fig, err := g.Figure4Throughput(profile)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(out, bench.FormatFigure4(fig))
+		}
+	case "table5":
+		rows, err := g.Table5DRAMvsFlash(5)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, bench.FormatTable5(rows))
+	case "fig5":
+		fig, err := g.Figure5DiskScaling(0)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, bench.FormatFigure5(fig))
+	case "table6":
+		rows, err := g.Table6RecoveryTime(0)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, bench.FormatTable6(rows))
+	case "fig6":
+		fig, err := g.Figure6PostRestartThroughput(0)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, bench.FormatFigure6(fig))
+	case "ablations":
+		sync, err := g.AblationSyncPolicy(0)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, bench.FormatResults("Ablation: write-back vs write-through (Section 3.2)", sync))
+		groups, err := g.AblationGroupSize(0, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, bench.FormatResults("Ablation: replacement group size (Section 3.3)", groups))
+		segs, err := g.AblationSegmentSize(0, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, bench.FormatResults("Ablation: metadata segment size (Section 4.1)", segs))
+	default:
+		return fmt.Errorf("unknown experiment %q", what)
+	}
+	return nil
+}

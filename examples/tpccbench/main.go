@@ -1,0 +1,49 @@
+// tpccbench: load a small TPC-C database and compare the transaction
+// throughput of the LC baseline against FaCE+GSC at the same flash cache
+// size — the core comparison of the paper's Figure 4.
+//
+// Run with:
+//
+//	go run ./examples/tpccbench
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/reprolab/face/internal/bench"
+	"github.com/reprolab/face/internal/engine"
+)
+
+func main() {
+	opts := bench.QuickOptions()
+	opts.Warehouses = 1
+	opts.Progress = os.Stderr
+
+	golden, err := bench.BuildGolden(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("TPC-C database: %d warehouses, %d pages (%.1f MB)\n\n",
+		opts.Warehouses, golden.DBPages(), float64(golden.DBPages())*4096/1e6)
+
+	var results []bench.Result
+	for _, spec := range []bench.RunSpec{
+		{Policy: engine.PolicyNone, Label: "HDD-only"},
+		{Policy: engine.PolicyLC, CacheFraction: 0.15, Label: "LC (LRU write-back)"},
+		{Policy: engine.PolicyFaCE, CacheFraction: 0.15, Label: "FaCE (mvFIFO)"},
+		{Policy: engine.PolicyFaCEGSC, CacheFraction: 0.15, Label: "FaCE+GSC"},
+		{Policy: engine.PolicyNone, DataOnFlash: true, Label: "SSD-only"},
+	} {
+		res, err := golden.Run(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		results = append(results, res)
+	}
+
+	fmt.Println(bench.FormatResults("TPC-C throughput, flash cache = 15% of the database", results))
+	fmt.Println("Expected shape (paper, Section 5.3): FaCE+GSC > FaCE > LC, every flash")
+	fmt.Println("cache beats HDD-only, and FaCE+GSC with a small cache beats SSD-only.")
+}

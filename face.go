@@ -1,0 +1,117 @@
+// Package face is a Go reproduction of "Flash-Based Extended Cache for
+// Higher Throughput and Faster Recovery" (Kang, Lee, Moon — VLDB 2012).
+//
+// It implements flash memory used as an extension of the DRAM buffer pool
+// of a transactional storage engine: pages are cached in flash on exit
+// from the DRAM buffer, the flash cache is managed by the paper's
+// multi-version FIFO replacement with Group Replacement and Group Second
+// Chance, its metadata directory is kept persistent in flash, and restart
+// recovery reads the pages it needs from the flash cache instead of the
+// disk array.
+//
+// The package is a thin facade over the implementation packages:
+//
+//   - internal/device:   calibrated simulated block devices (Table 1)
+//   - internal/buffer:   DRAM buffer pool with dirty/fdirty flags
+//   - internal/face:     the flash cache managers (FaCE, GR, GSC, LC, WT)
+//   - internal/wal:      write-ahead log
+//   - internal/engine:   the transactional engine tying them together
+//   - internal/heap, internal/btree: record layer used by the workload
+//   - internal/tpcc:     scaled TPC-C workload generator
+//   - internal/bench:    harness that regenerates every paper table/figure
+//
+// The types exported here are aliases of the engine, device and bench
+// types, so the facade can be used without importing internal packages:
+//
+//	db, err := face.Open(face.Config{
+//	    DataDev:     face.NewDiskArray("data", 8, 1<<16),
+//	    LogDev:      face.NewDisk("log", 1<<16),
+//	    FlashDev:    face.NewSSD("flash", 8192),
+//	    BufferPages: 256,
+//	    Policy:      face.PolicyFaCEGSC,
+//	    FlashFrames: 4096,
+//	})
+package face
+
+import (
+	"github.com/reprolab/face/internal/bench"
+	"github.com/reprolab/face/internal/device"
+	"github.com/reprolab/face/internal/engine"
+	"github.com/reprolab/face/internal/page"
+)
+
+// Core engine types.
+type (
+	// DB is a transactional page store with an optional flash cache
+	// extension.
+	DB = engine.DB
+	// Tx is a transaction.
+	Tx = engine.Tx
+	// Config describes a database instance.
+	Config = engine.Config
+	// CachePolicy selects the flash cache scheme.
+	CachePolicy = engine.CachePolicy
+	// RecoveryReport describes a completed restart.
+	RecoveryReport = engine.RecoveryReport
+
+	// PageID identifies a database page.
+	PageID = page.ID
+	// PageBuf is a raw 4 KiB page image.
+	PageBuf = page.Buf
+
+	// DeviceProfile describes a simulated storage device.
+	DeviceProfile = device.Profile
+
+	// BenchOptions scales the paper-reproduction experiments.
+	BenchOptions = bench.Options
+	// Golden is a pre-loaded TPC-C database image used by the experiments.
+	Golden = bench.Golden
+)
+
+// Cache policies (see the paper's Table 2 and Section 3).
+const (
+	PolicyNone         = engine.PolicyNone
+	PolicyFaCE         = engine.PolicyFaCE
+	PolicyFaCEGR       = engine.PolicyFaCEGR
+	PolicyFaCEGSC      = engine.PolicyFaCEGSC
+	PolicyLC           = engine.PolicyLC
+	PolicyWriteThrough = engine.PolicyWriteThrough
+)
+
+// PageSize is the database page size in bytes (4 KiB).
+const PageSize = page.Size
+
+// Open creates or reopens a database on the given devices.
+func Open(cfg Config) (*DB, error) { return engine.Open(cfg) }
+
+// NewDisk creates a simulated enterprise 15k-RPM disk drive with the given
+// capacity in 4 KiB blocks.
+func NewDisk(name string, blocks int64) *device.Device {
+	return device.New(name, device.ProfileCheetah15K, blocks)
+}
+
+// NewDiskArray creates a simulated RAID-0 array of n 15k-RPM disk drives.
+func NewDiskArray(name string, n int, blocks int64) *device.Array {
+	return device.NewArray(name, device.ProfileCheetah15K, n, blocks)
+}
+
+// NewSSD creates a simulated MLC flash SSD (Samsung 470) with the given
+// capacity in 4 KiB blocks.
+func NewSSD(name string, blocks int64) *device.Device {
+	return device.New(name, device.ProfileSamsung470, blocks)
+}
+
+// NewSLCSSD creates a simulated SLC flash SSD (Intel X25-E).
+func NewSLCSSD(name string, blocks int64) *device.Device {
+	return device.New(name, device.ProfileIntelX25E, blocks)
+}
+
+// DefaultBenchOptions returns the experiment scale used by the facebench
+// command.
+func DefaultBenchOptions() BenchOptions { return bench.DefaultOptions() }
+
+// QuickBenchOptions returns a small experiment scale for tests.
+func QuickBenchOptions() BenchOptions { return bench.QuickOptions() }
+
+// BuildGolden loads the TPC-C database image used by the experiments.
+func BuildGolden(opts BenchOptions) (*Golden, error) { return bench.BuildGolden(opts) }

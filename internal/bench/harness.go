@@ -1,0 +1,442 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/reprolab/face/internal/device"
+	"github.com/reprolab/face/internal/engine"
+	"github.com/reprolab/face/internal/face"
+	"github.com/reprolab/face/internal/metrics"
+	"github.com/reprolab/face/internal/tpcc"
+)
+
+// Golden is a freshly loaded, fully checkpointed TPC-C database image that
+// experiment configurations clone from.
+type Golden struct {
+	opts    Options
+	content [][]byte
+	catalog *tpcc.Database
+	dbPages int64
+}
+
+// BuildGolden loads the TPC-C database once at the option scale.
+func BuildGolden(opts Options) (*Golden, error) {
+	opts.normalize()
+	cfg := tpcc.DefaultConfig(opts.Warehouses)
+	cfg.Seed = opts.Seed
+
+	// Generous capacity: the loader engine uses plain devices whose blocks
+	// materialise lazily, so oversizing costs nothing.
+	capacity := int64(opts.Warehouses)*6000 + 20000
+	dataDev := device.New("golden-data", device.ProfileCheetah15K, capacity)
+	logDev := device.New("golden-log", device.ProfileCheetah15K, 1<<18)
+
+	eng, err := engine.Open(engine.Config{
+		DataDev:     dataDev,
+		LogDev:      logDev,
+		BufferPages: 4096,
+		Policy:      engine.PolicyNone,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("bench: opening loader engine: %w", err)
+	}
+	catalog, err := tpcc.Load(eng, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("bench: loading golden database: %w", err)
+	}
+	if err := eng.Close(); err != nil {
+		return nil, fmt.Errorf("bench: closing loader engine: %w", err)
+	}
+	g := &Golden{
+		opts:    opts,
+		content: dataDev.SnapshotContent(),
+		catalog: catalog,
+		dbPages: eng.NumPages(),
+	}
+	g.progress("golden database loaded: %d warehouses, %d pages (%.1f MB)",
+		opts.Warehouses, g.dbPages, float64(g.dbPages)*4096/1e6)
+	return g, nil
+}
+
+// Options returns the options the golden image was built with.
+func (g *Golden) Options() Options { return g.opts }
+
+// DBPages returns the number of pages in the loaded database.
+func (g *Golden) DBPages() int64 { return g.dbPages }
+
+func (g *Golden) progress(format string, args ...interface{}) {
+	if g.opts.Progress != nil {
+		fmt.Fprintf(g.opts.Progress, format+"\n", args...)
+	}
+}
+
+// RunSpec describes one experiment configuration.
+type RunSpec struct {
+	// Label names the configuration in reports (defaults to the policy).
+	Label string
+	// Policy selects the cache scheme (PolicyNone for HDD-only/SSD-only).
+	Policy engine.CachePolicy
+	// CacheFraction sizes the flash cache as a fraction of the database.
+	CacheFraction float64
+	// FlashProfile is the flash cache device model (default MLCProfile).
+	FlashProfile device.Profile
+	// DiskCount is the RAID-0 size of the data volume (default
+	// Options.DefaultDisks).
+	DiskCount int
+	// DataOnFlash stores the whole database on a flash SSD (the paper's
+	// SSD-only configuration); no flash cache is used.
+	DataOnFlash bool
+	// BufferPages overrides the DRAM buffer size (0 = derive from
+	// Options.BufferFraction).
+	BufferPages int
+	// CheckpointEvery enables periodic checkpoints.
+	CheckpointEvery time.Duration
+	// GroupSize overrides Options.GroupSize (0 = default).
+	GroupSize int
+	// SegmentEntries overrides Options.SegmentEntries (0 = default).
+	SegmentEntries int
+	// WarmupTx/MeasureTx override the option values when non-zero.
+	WarmupTx  int
+	MeasureTx int
+	// Seed offsets the workload random stream.
+	Seed int64
+}
+
+func (s RunSpec) label() string {
+	if s.Label != "" {
+		return s.Label
+	}
+	switch {
+	case s.DataOnFlash:
+		return "SSD-only"
+	case !s.Policy.UsesFlash():
+		return "HDD-only"
+	default:
+		return s.Policy.String()
+	}
+}
+
+// Result is the measurement of one configuration over its measurement
+// window.
+type Result struct {
+	Label         string
+	Policy        engine.CachePolicy
+	CacheFraction float64
+	CacheFrames   int
+	BufferPages   int
+	DiskCount     int
+
+	Elapsed     time.Duration
+	NewOrders   int64
+	TotalTx     int64
+	TpmC        float64
+	TotalTpm    float64
+	DRAMHitRate float64
+
+	FlashHitRate     float64
+	WriteReduction   float64
+	FlashUtilization float64
+	FlashIOPS        float64
+	DataUtilization  float64
+
+	FlashReads  int64
+	FlashWrites int64
+	DiskReads   int64
+	DiskWrites  int64
+	Checkpoints int64
+}
+
+// runEnv is a fully constructed experiment instance.
+type runEnv struct {
+	spec     RunSpec
+	eng      *engine.DB
+	driver   *tpcc.Driver
+	dataDev  device.Dev
+	logDev   *device.Device
+	flashDev *device.Device
+	frames   int
+	bufPages int
+}
+
+// build constructs devices, engine and driver for a spec, cloning the
+// golden image.
+func (g *Golden) build(spec RunSpec, recoverMode bool, reuse *runEnv) (*runEnv, error) {
+	opts := g.opts
+	if spec.DiskCount <= 0 {
+		spec.DiskCount = opts.DefaultDisks
+	}
+	if spec.FlashProfile.Name == "" {
+		spec.FlashProfile = opts.MLCProfile
+	}
+	groupSize := spec.GroupSize
+	if groupSize <= 0 {
+		groupSize = opts.GroupSize
+	}
+	segEntries := spec.SegmentEntries
+	if segEntries <= 0 {
+		segEntries = opts.SegmentEntries
+	}
+
+	var env *runEnv
+	if reuse != nil {
+		// Reuse devices across a crash: contents must survive.
+		env = reuse
+	} else {
+		env = &runEnv{spec: spec}
+		// Data device: RAID-0 of disks, or a single SSD for SSD-only.
+		if spec.DataOnFlash {
+			d := device.New("data-ssd", spec.FlashProfile, int64(len(g.content))+8192)
+			d.LoadLogical(g.content)
+			env.dataDev = d
+		} else {
+			a := device.NewArray("data", device.ProfileCheetah15K, spec.DiskCount, int64(len(g.content))+8192)
+			a.LoadLogical(g.content)
+			env.dataDev = a
+		}
+		env.logDev = device.New("log", device.ProfileCheetah15K, 1<<18)
+
+		env.bufPages = spec.BufferPages
+		if env.bufPages <= 0 {
+			env.bufPages = int(float64(g.dbPages) * opts.BufferFraction)
+		}
+		if env.bufPages < opts.MinBufferPages {
+			env.bufPages = opts.MinBufferPages
+		}
+
+		if spec.Policy.UsesFlash() {
+			env.frames = int(float64(g.dbPages) * spec.CacheFraction)
+			if env.frames < groupSize*2 {
+				env.frames = groupSize * 2
+			}
+			lay := int64(env.frames) + int64(env.frames/segEntries+4)*int64(segEntries*24/device.BlockSize+1) + 16
+			env.flashDev = device.New("flash", spec.FlashProfile, lay+int64(env.frames))
+		}
+	}
+
+	cfg := engine.Config{
+		DataDev:         env.dataDev,
+		LogDev:          env.logDev,
+		FlashDev:        env.flashDev,
+		BufferPages:     env.bufPages,
+		Policy:          spec.Policy,
+		FlashFrames:     env.frames,
+		GroupSize:       groupSize,
+		SegmentEntries:  segEntries,
+		CheckpointEvery: spec.CheckpointEvery,
+		Recover:         recoverMode,
+	}
+	if !spec.Policy.UsesFlash() {
+		cfg.FlashDev = nil
+		cfg.FlashFrames = 0
+	}
+	eng, err := engine.Open(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("bench: opening %s: %w", spec.label(), err)
+	}
+	env.eng = eng
+	env.driver = tpcc.NewDriver(eng, g.catalog.Clone(), opts.Seed+spec.Seed+7)
+	return env, nil
+}
+
+// Run executes one configuration: clone, warm up, measure.
+func (g *Golden) Run(spec RunSpec) (Result, error) {
+	env, err := g.build(spec, false, nil)
+	if err != nil {
+		return Result{}, err
+	}
+	warmup := spec.WarmupTx
+	if warmup == 0 {
+		warmup = g.opts.WarmupTx
+	}
+	measure := spec.MeasureTx
+	if measure == 0 {
+		measure = g.opts.MeasureTx
+	}
+	if err := env.driver.RunMany(warmup); err != nil {
+		return Result{}, fmt.Errorf("bench: warm-up of %s: %w", spec.label(), err)
+	}
+	before := env.eng.Snapshot()
+	beforeCounts := env.driver.Counts()
+	if err := env.driver.RunMany(measure); err != nil {
+		return Result{}, fmt.Errorf("bench: measurement of %s: %w", spec.label(), err)
+	}
+	after := env.eng.Snapshot()
+	afterCounts := env.driver.Counts()
+
+	res := g.summarize(env, spec, before, after, beforeCounts, afterCounts)
+	g.progress("%-12s cache=%4.0f%%  tpmC=%8.0f  flash-hit=%5.1f%%  wr-red=%5.1f%%  util=%5.1f%%",
+		res.Label, res.CacheFraction*100, res.TpmC, res.FlashHitRate*100, res.WriteReduction*100, res.FlashUtilization*100)
+	return res, nil
+}
+
+func (g *Golden) summarize(env *runEnv, spec RunSpec, before, after engine.Snapshot, bc, ac tpcc.Counts) Result {
+	elapsed := after.Elapsed - before.Elapsed
+	newOrders := ac.NewOrders() - bc.NewOrders()
+	totalTx := ac.Total() - bc.Total()
+
+	res := Result{
+		Label:         spec.label(),
+		Policy:        spec.Policy,
+		CacheFraction: spec.CacheFraction,
+		CacheFrames:   env.frames,
+		BufferPages:   env.bufPages,
+		DiskCount:     spec.DiskCount,
+		Elapsed:       elapsed,
+		NewOrders:     newOrders,
+		TotalTx:       totalTx,
+		TpmC:          metrics.PerMinute(newOrders, elapsed),
+		TotalTpm:      metrics.PerMinute(totalTx, elapsed),
+		Checkpoints:   after.Checkpoints - before.Checkpoints,
+	}
+	poolDelta := after.Pool.Hits + after.Pool.Misses - before.Pool.Hits - before.Pool.Misses
+	if poolDelta > 0 {
+		res.DRAMHitRate = float64(after.Pool.Hits-before.Pool.Hits) / float64(poolDelta)
+	}
+	dataDelta := after.Data.Sub(before.Data)
+	res.DiskReads = dataDelta.Reads()
+	res.DiskWrites = dataDelta.Writes()
+	res.DataUtilization = metrics.Utilization(dataDelta.Busy/time.Duration(env.dataDev.Parallelism()), elapsed)
+
+	if spec.Policy.UsesFlash() {
+		cacheDelta := cacheStatsDelta(before.Cache, after.Cache)
+		res.FlashHitRate = cacheDelta.HitRate()
+		res.WriteReduction = cacheDelta.WriteReduction()
+		flashDelta := after.Flash.Sub(before.Flash)
+		res.FlashReads = flashDelta.Reads()
+		res.FlashWrites = flashDelta.Writes()
+		res.FlashUtilization = metrics.Utilization(flashDelta.Busy, elapsed)
+		res.FlashIOPS = metrics.IOPS(flashDelta.Ops(), elapsed)
+	}
+	return res
+}
+
+func cacheStatsDelta(before, after face.Stats) face.Stats {
+	return face.Stats{
+		Lookups:         after.Lookups - before.Lookups,
+		Hits:            after.Hits - before.Hits,
+		StageIns:        after.StageIns - before.StageIns,
+		DirtyStageIns:   after.DirtyStageIns - before.DirtyStageIns,
+		CleanStageIns:   after.CleanStageIns - before.CleanStageIns,
+		FlashPageWrites: after.FlashPageWrites - before.FlashPageWrites,
+		FlashPageReads:  after.FlashPageReads - before.FlashPageReads,
+		DiskPageWrites:  after.DiskPageWrites - before.DiskPageWrites,
+		Invalidations:   after.Invalidations - before.Invalidations,
+		SecondChances:   after.SecondChances - before.SecondChances,
+		Pulled:          after.Pulled - before.Pulled,
+		MetadataFlushes: after.MetadataFlushes - before.MetadataFlushes,
+	}
+}
+
+// RecoveryRun measures restart after a crash for Table 6 and Figure 6.
+type RecoveryRun struct {
+	Label               string
+	CheckpointInterval  time.Duration
+	RestartTime         time.Duration
+	MetadataRestoreTime time.Duration
+	FlashReads          int64
+	DiskReads           int64
+	RedoApplied         int
+	// RecordsReplayed is the number of log records restart scanned; it
+	// measures how much lost work the crash left behind, which differs
+	// between configurations because a faster system loses more work per
+	// wall-clock checkpoint interval.
+	RecordsReplayed int
+	// Timeline is the post-restart throughput (transactions per minute per
+	// bucket), used by Figure 6.  Timeline[i] covers simulated time
+	// [i*BucketWidth, (i+1)*BucketWidth) measured from the crash.
+	Timeline    []float64
+	BucketWidth time.Duration
+}
+
+// RunRecovery runs the workload with periodic checkpoints, crashes the
+// engine halfway through a checkpoint interval, restarts it and (when
+// buckets > 0) keeps running to record the post-restart throughput
+// timeline.
+func (g *Golden) RunRecovery(spec RunSpec, buckets int, bucketWidth time.Duration) (RecoveryRun, error) {
+	if spec.CheckpointEvery <= 0 {
+		spec.CheckpointEvery = g.opts.CheckpointIntervals[0]
+	}
+	env, err := g.build(spec, false, nil)
+	if err != nil {
+		return RecoveryRun{}, err
+	}
+	warmup := spec.WarmupTx
+	if warmup == 0 {
+		warmup = g.opts.WarmupTx
+	}
+	if err := env.driver.RunMany(warmup); err != nil {
+		return RecoveryRun{}, fmt.Errorf("bench: recovery warm-up of %s: %w", spec.label(), err)
+	}
+
+	// Run until at least two checkpoints completed, then crash in the
+	// middle of the next interval.
+	var lastCkptAt time.Duration
+	lastCkptCount := env.eng.Checkpoints()
+	// Safety bound: if the configured interval is so long that two
+	// checkpoints never complete, crash anyway after a generous number of
+	// transactions.
+	maxTx := 30000
+	for i := 0; i < maxTx; i++ {
+		if _, err := env.driver.RunOne(); err != nil {
+			return RecoveryRun{}, err
+		}
+		now := env.eng.Elapsed()
+		if c := env.eng.Checkpoints(); c != lastCkptCount {
+			lastCkptCount = c
+			lastCkptAt = now
+		}
+		if lastCkptCount >= 2 && now-lastCkptAt >= spec.CheckpointEvery/2 {
+			break
+		}
+	}
+	env.eng.Crash()
+
+	// Restart on the same devices.
+	env2, err := g.build(spec, true, env)
+	if err != nil {
+		return RecoveryRun{}, err
+	}
+	rep := env2.eng.RecoveryReport()
+	if rep == nil {
+		return RecoveryRun{}, fmt.Errorf("bench: %s: restart produced no recovery report", spec.label())
+	}
+	run := RecoveryRun{
+		Label:               spec.label(),
+		CheckpointInterval:  spec.CheckpointEvery,
+		RestartTime:         rep.TotalTime,
+		MetadataRestoreTime: rep.MetadataRestoreTime,
+		FlashReads:          rep.FlashReads,
+		DiskReads:           rep.DiskReads,
+		RedoApplied:         rep.RedoApplied,
+		RecordsReplayed:     rep.RecordsScanned,
+		BucketWidth:         bucketWidth,
+	}
+
+	if buckets > 0 {
+		run.Timeline = make([]float64, buckets)
+		counts := make([]int64, buckets)
+		base := env2.eng.Snapshot()
+		horizon := time.Duration(buckets) * bucketWidth
+		prevNewOrders := env2.driver.Counts().NewOrders()
+		for {
+			if _, err := env2.driver.RunOne(); err != nil {
+				return RecoveryRun{}, err
+			}
+			now := rep.TotalTime + (env2.eng.Snapshot().Elapsed - base.Elapsed)
+			if now >= horizon {
+				break
+			}
+			cur := env2.driver.Counts().NewOrders()
+			bucket := int(now / bucketWidth)
+			counts[bucket] += cur - prevNewOrders
+			prevNewOrders = cur
+		}
+		for i := range counts {
+			run.Timeline[i] = metrics.PerMinute(counts[i], bucketWidth)
+		}
+	}
+	g.progress("%-12s interval=%-6v restart=%v (metadata %v, flash reads %d, disk reads %d)",
+		run.Label, run.CheckpointInterval, run.RestartTime, run.MetadataRestoreTime, run.FlashReads, run.DiskReads)
+	return run, nil
+}

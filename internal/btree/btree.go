@@ -1,0 +1,566 @@
+// Package btree implements a disk-resident B+tree mapping uint64 keys to
+// record ids.  It provides the primary-key indexes of the TPC-C tables.
+//
+// Node pages live in the database like any other page: all access goes
+// through engine transactions, so index traffic competes for the DRAM
+// buffer and the flash cache exactly as table traffic does — the hot inner
+// nodes are precisely the kind of warm pages the paper's flash cache keeps
+// close.
+//
+// The root page id never changes: when the root splits, its content moves
+// to two freshly allocated children and the root becomes their parent.
+// Deletes are lazy (no rebalancing), which is all the TPC-C Delivery
+// transaction needs.
+package btree
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"github.com/reprolab/face/internal/engine"
+	"github.com/reprolab/face/internal/page"
+)
+
+// Errors returned by the tree.
+var (
+	ErrDuplicate = errors.New("btree: duplicate key")
+	ErrNotFound  = errors.New("btree: key not found")
+)
+
+// Node layout (within the page payload):
+//
+//	leaf:     [count u16][next u64] then count * (key u64, rid 10 bytes)
+//	internal: [count u16] then (count+1) * child u64 interleaved with
+//	          count * key u64:  child0 key0 child1 key1 ... childN
+//
+// Keys in an internal node separate children: child i holds keys < key i,
+// child i+1 holds keys >= key i.
+const (
+	leafHeader     = 2 + 8
+	leafEntrySize  = 8 + 10
+	innerHeader    = 2
+	innerEntrySize = 8 + 8 // key + child (plus one extra child pointer)
+
+	// MaxLeafEntries and MaxInnerEntries are exported for tests and for
+	// sizing databases.
+	MaxLeafEntries  = (page.PayloadSize - leafHeader) / leafEntrySize
+	MaxInnerEntries = (page.PayloadSize - innerHeader - 8) / innerEntrySize
+)
+
+// Tree is a B+tree handle.  The root page id is fixed for the lifetime of
+// the tree.
+type Tree struct {
+	name string
+	root page.ID
+}
+
+// Create allocates an empty tree (a single empty leaf serving as root).
+func Create(tx *engine.Tx, name string) (*Tree, error) {
+	root, err := tx.Alloc(page.TypeBTreeLeaf)
+	if err != nil {
+		return nil, fmt.Errorf("btree: creating %s: %w", name, err)
+	}
+	err = tx.Modify(root, func(buf page.Buf) error {
+		initLeaf(buf, 0)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Tree{name: name, root: root}, nil
+}
+
+// Attach reconstructs a handle from a known root page.
+func Attach(name string, root page.ID) *Tree { return &Tree{name: name, root: root} }
+
+// Name returns the index name.
+func (t *Tree) Name() string { return t.name }
+
+// Root returns the root page id.
+func (t *Tree) Root() page.ID { return t.root }
+
+// --- node accessors -------------------------------------------------------
+
+func payload(buf page.Buf) []byte { return buf.Payload() }
+
+func initLeaf(buf page.Buf, next page.ID) {
+	buf.SetType(page.TypeBTreeLeaf)
+	p := payload(buf)
+	binary.LittleEndian.PutUint16(p[0:], 0)
+	binary.LittleEndian.PutUint64(p[2:], uint64(next))
+}
+
+func initInner(buf page.Buf) {
+	buf.SetType(page.TypeBTreeInternal)
+	binary.LittleEndian.PutUint16(payload(buf)[0:], 0)
+}
+
+func nodeCount(buf page.Buf) int { return int(binary.LittleEndian.Uint16(payload(buf)[0:])) }
+
+func setNodeCount(buf page.Buf, n int) { binary.LittleEndian.PutUint16(payload(buf)[0:], uint16(n)) }
+
+func leafNext(buf page.Buf) page.ID {
+	return page.ID(binary.LittleEndian.Uint64(payload(buf)[2:]))
+}
+
+func setLeafNext(buf page.Buf, next page.ID) {
+	binary.LittleEndian.PutUint64(payload(buf)[2:], uint64(next))
+}
+
+func leafKey(buf page.Buf, i int) uint64 {
+	return binary.LittleEndian.Uint64(payload(buf)[leafHeader+i*leafEntrySize:])
+}
+
+func leafRID(buf page.Buf, i int) page.RID {
+	return page.DecodeRID(payload(buf)[leafHeader+i*leafEntrySize+8:])
+}
+
+func setLeafEntry(buf page.Buf, i int, key uint64, rid page.RID) {
+	off := leafHeader + i*leafEntrySize
+	binary.LittleEndian.PutUint64(payload(buf)[off:], key)
+	enc := page.EncodeRID(rid)
+	copy(payload(buf)[off+8:], enc[:])
+}
+
+func copyLeafEntries(dst page.Buf, dstStart int, src page.Buf, srcStart, n int) {
+	d := payload(dst)[leafHeader+dstStart*leafEntrySize:]
+	s := payload(src)[leafHeader+srcStart*leafEntrySize : leafHeader+(srcStart+n)*leafEntrySize]
+	copy(d, s)
+}
+
+func innerChild(buf page.Buf, i int) page.ID {
+	return page.ID(binary.LittleEndian.Uint64(payload(buf)[innerHeader+i*innerEntrySize:]))
+}
+
+func setInnerChild(buf page.Buf, i int, child page.ID) {
+	binary.LittleEndian.PutUint64(payload(buf)[innerHeader+i*innerEntrySize:], uint64(child))
+}
+
+func innerKey(buf page.Buf, i int) uint64 {
+	return binary.LittleEndian.Uint64(payload(buf)[innerHeader+i*innerEntrySize+8:])
+}
+
+func setInnerKey(buf page.Buf, i int, key uint64) {
+	binary.LittleEndian.PutUint64(payload(buf)[innerHeader+i*innerEntrySize+8:], key)
+}
+
+// --- lookup ----------------------------------------------------------------
+
+// Get returns the RID stored under key.
+func (t *Tree) Get(tx *engine.Tx, key uint64) (page.RID, bool, error) {
+	id := t.root
+	for {
+		var (
+			isLeaf bool
+			next   page.ID
+			rid    page.RID
+			found  bool
+		)
+		err := tx.Read(id, func(buf page.Buf) error {
+			if buf.Type() == page.TypeBTreeLeaf {
+				isLeaf = true
+				i, ok := leafSearch(buf, key)
+				if ok {
+					rid = leafRID(buf, i)
+					found = true
+				}
+				return nil
+			}
+			next = childFor(buf, key)
+			return nil
+		})
+		if err != nil {
+			return page.RID{}, false, err
+		}
+		if isLeaf {
+			return rid, found, nil
+		}
+		id = next
+	}
+}
+
+// leafSearch returns the position of key in the leaf and whether it is
+// present.  When absent, the position is where it would be inserted.
+func leafSearch(buf page.Buf, key uint64) (int, bool) {
+	n := nodeCount(buf)
+	lo, hi := 0, n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch k := leafKey(buf, mid); {
+		case k == key:
+			return mid, true
+		case k < key:
+			lo = mid + 1
+		default:
+			hi = mid
+		}
+	}
+	return lo, false
+}
+
+// childFor returns the child page to follow for key in an internal node.
+func childFor(buf page.Buf, key uint64) page.ID {
+	n := nodeCount(buf)
+	lo, hi := 0, n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if innerKey(buf, mid) <= key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return innerChild(buf, lo)
+}
+
+// --- insert ----------------------------------------------------------------
+
+// Insert adds key -> rid to the tree.  Inserting an existing key returns
+// ErrDuplicate.
+func (t *Tree) Insert(tx *engine.Tx, key uint64, rid page.RID) error {
+	split, err := t.insertInto(tx, t.root, key, rid)
+	if err != nil {
+		return err
+	}
+	if split == nil {
+		return nil
+	}
+	// The root split.  Keep the root page in place: move its current
+	// content to a new left sibling and turn the root into an internal
+	// node over (left, splitKey, right).
+	leftID, err := tx.Alloc(page.TypeBTreeInternal)
+	if err != nil {
+		return err
+	}
+	var rootImage page.Buf
+	if err := tx.Read(t.root, func(buf page.Buf) error {
+		rootImage = buf.Clone()
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := tx.Modify(leftID, func(buf page.Buf) error {
+		copy(buf.Payload(), rootImage.Payload())
+		buf.SetType(rootImage.Type())
+		return nil
+	}); err != nil {
+		return err
+	}
+	return tx.Modify(t.root, func(buf page.Buf) error {
+		initInner(buf)
+		setNodeCount(buf, 1)
+		setInnerChild(buf, 0, leftID)
+		setInnerKey(buf, 0, split.key)
+		setInnerChild(buf, 1, split.right)
+		return nil
+	})
+}
+
+// splitResult describes a child split that must be registered in the parent.
+type splitResult struct {
+	key   uint64
+	right page.ID
+}
+
+func (t *Tree) insertInto(tx *engine.Tx, id page.ID, key uint64, rid page.RID) (*splitResult, error) {
+	var (
+		isLeaf bool
+		child  page.ID
+	)
+	if err := tx.Read(id, func(buf page.Buf) error {
+		if buf.Type() == page.TypeBTreeLeaf {
+			isLeaf = true
+			return nil
+		}
+		child = childFor(buf, key)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	if isLeaf {
+		return t.insertIntoLeaf(tx, id, key, rid)
+	}
+
+	childSplit, err := t.insertInto(tx, child, key, rid)
+	if err != nil {
+		return nil, err
+	}
+	if childSplit == nil {
+		return nil, nil
+	}
+	return t.insertIntoInner(tx, id, childSplit)
+}
+
+func (t *Tree) insertIntoLeaf(tx *engine.Tx, id page.ID, key uint64, rid page.RID) (*splitResult, error) {
+	var needSplit bool
+	err := tx.Modify(id, func(buf page.Buf) error {
+		pos, found := leafSearch(buf, key)
+		if found {
+			return fmt.Errorf("%w: %d in %s", ErrDuplicate, key, t.name)
+		}
+		n := nodeCount(buf)
+		if n >= MaxLeafEntries {
+			needSplit = true
+			return nil
+		}
+		// Shift entries right and insert.
+		p := payload(buf)
+		copy(p[leafHeader+(pos+1)*leafEntrySize:], p[leafHeader+pos*leafEntrySize:leafHeader+n*leafEntrySize])
+		setLeafEntry(buf, pos, key, rid)
+		setNodeCount(buf, n+1)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !needSplit {
+		return nil, nil
+	}
+
+	// Split the leaf: allocate a right sibling, move the upper half there,
+	// then retry the insert into the appropriate half.
+	rightID, err := tx.Alloc(page.TypeBTreeLeaf)
+	if err != nil {
+		return nil, err
+	}
+	var splitKey uint64
+	var leftImage page.Buf
+	if err := tx.Read(id, func(buf page.Buf) error {
+		leftImage = buf.Clone()
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	n := nodeCount(leftImage)
+	half := n / 2
+	splitKey = leafKey(leftImage, half)
+
+	if err := tx.Modify(rightID, func(buf page.Buf) error {
+		initLeaf(buf, leafNext(leftImage))
+		copyLeafEntries(buf, 0, leftImage, half, n-half)
+		setNodeCount(buf, n-half)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := tx.Modify(id, func(buf page.Buf) error {
+		setNodeCount(buf, half)
+		setLeafNext(buf, rightID)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	target := id
+	if key >= splitKey {
+		target = rightID
+	}
+	if _, err := t.insertIntoLeaf(tx, target, key, rid); err != nil {
+		return nil, err
+	}
+	return &splitResult{key: splitKey, right: rightID}, nil
+}
+
+func (t *Tree) insertIntoInner(tx *engine.Tx, id page.ID, split *splitResult) (*splitResult, error) {
+	var needSplit bool
+	err := tx.Modify(id, func(buf page.Buf) error {
+		n := nodeCount(buf)
+		if n >= MaxInnerEntries {
+			needSplit = true
+			return nil
+		}
+		insertInnerEntry(buf, split.key, split.right)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !needSplit {
+		return nil, nil
+	}
+
+	// Split the internal node around its median key.
+	rightID, err := tx.Alloc(page.TypeBTreeInternal)
+	if err != nil {
+		return nil, err
+	}
+	var image page.Buf
+	if err := tx.Read(id, func(buf page.Buf) error {
+		image = buf.Clone()
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	n := nodeCount(image)
+	mid := n / 2
+	upKey := innerKey(image, mid)
+
+	if err := tx.Modify(rightID, func(buf page.Buf) error {
+		initInner(buf)
+		rightCount := n - mid - 1
+		setNodeCount(buf, rightCount)
+		setInnerChild(buf, 0, innerChild(image, mid+1))
+		for i := 0; i < rightCount; i++ {
+			setInnerKey(buf, i, innerKey(image, mid+1+i))
+			setInnerChild(buf, i+1, innerChild(image, mid+2+i))
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := tx.Modify(id, func(buf page.Buf) error {
+		setNodeCount(buf, mid)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	target := id
+	if split.key >= upKey {
+		target = rightID
+	}
+	if err := tx.Modify(target, func(buf page.Buf) error {
+		insertInnerEntry(buf, split.key, split.right)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return &splitResult{key: upKey, right: rightID}, nil
+}
+
+// insertInnerEntry inserts (key, rightChild) into an internal node with
+// space available.
+func insertInnerEntry(buf page.Buf, key uint64, right page.ID) {
+	n := nodeCount(buf)
+	pos := 0
+	for pos < n && innerKey(buf, pos) <= key {
+		pos++
+	}
+	// Shift keys and children right of pos.
+	for i := n; i > pos; i-- {
+		setInnerKey(buf, i, innerKey(buf, i-1))
+		setInnerChild(buf, i+1, innerChild(buf, i))
+	}
+	setInnerKey(buf, pos, key)
+	setInnerChild(buf, pos+1, right)
+	setNodeCount(buf, n+1)
+}
+
+// --- delete ----------------------------------------------------------------
+
+// Delete removes key from the tree (lazy: leaves may underflow).
+func (t *Tree) Delete(tx *engine.Tx, key uint64) error {
+	leaf, err := t.findLeaf(tx, key)
+	if err != nil {
+		return err
+	}
+	return tx.Modify(leaf, func(buf page.Buf) error {
+		pos, found := leafSearch(buf, key)
+		if !found {
+			return fmt.Errorf("%w: %d in %s", ErrNotFound, key, t.name)
+		}
+		n := nodeCount(buf)
+		p := payload(buf)
+		copy(p[leafHeader+pos*leafEntrySize:], p[leafHeader+(pos+1)*leafEntrySize:leafHeader+n*leafEntrySize])
+		setNodeCount(buf, n-1)
+		return nil
+	})
+}
+
+func (t *Tree) findLeaf(tx *engine.Tx, key uint64) (page.ID, error) {
+	id := t.root
+	for {
+		var (
+			isLeaf bool
+			next   page.ID
+		)
+		if err := tx.Read(id, func(buf page.Buf) error {
+			if buf.Type() == page.TypeBTreeLeaf {
+				isLeaf = true
+				return nil
+			}
+			next = childFor(buf, key)
+			return nil
+		}); err != nil {
+			return page.InvalidID, err
+		}
+		if isLeaf {
+			return id, nil
+		}
+		id = next
+	}
+}
+
+// --- range scan -------------------------------------------------------------
+
+// ErrStopScan stops a Scan early without reporting an error.
+var ErrStopScan = errors.New("btree: stop scan")
+
+// Scan visits keys in [lo, hi] in ascending order.
+func (t *Tree) Scan(tx *engine.Tx, lo, hi uint64, fn func(key uint64, rid page.RID) error) error {
+	leaf, err := t.findLeaf(tx, lo)
+	if err != nil {
+		return err
+	}
+	for leaf != page.InvalidID {
+		var next page.ID
+		stop := false
+		err := tx.Read(leaf, func(buf page.Buf) error {
+			start, _ := leafSearch(buf, lo)
+			n := nodeCount(buf)
+			for i := start; i < n; i++ {
+				k := leafKey(buf, i)
+				if k > hi {
+					stop = true
+					return nil
+				}
+				if err := fn(k, leafRID(buf, i)); err != nil {
+					return err
+				}
+			}
+			next = leafNext(buf)
+			return nil
+		})
+		if errors.Is(err, ErrStopScan) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if stop {
+			return nil
+		}
+		leaf = next
+	}
+	return nil
+}
+
+// Height returns the height of the tree (1 for a single leaf).  It is used
+// by tests and diagnostics.
+func (t *Tree) Height(tx *engine.Tx) (int, error) {
+	h := 1
+	id := t.root
+	for {
+		var (
+			isLeaf bool
+			next   page.ID
+		)
+		if err := tx.Read(id, func(buf page.Buf) error {
+			if buf.Type() == page.TypeBTreeLeaf {
+				isLeaf = true
+				return nil
+			}
+			next = innerChild(buf, 0)
+			return nil
+		}); err != nil {
+			return 0, err
+		}
+		if isLeaf {
+			return h, nil
+		}
+		h++
+		id = next
+	}
+}

@@ -1,0 +1,373 @@
+// Package buffer implements the DRAM buffer pool.
+//
+// The pool mirrors the behaviour the FaCE paper assumes of PostgreSQL's
+// buffer manager: LRU replacement, pin counts, and per-frame dirty flags.
+// Following Section 3.3 of the paper, each frame carries two flags:
+//
+//   - dirty:  the DRAM copy is newer than the disk copy.
+//   - fdirty: the DRAM copy is newer than the flash-cache copy ("flash
+//     dirty").
+//
+// The pool itself knows nothing about flash or disk.  It is wired to the
+// rest of the system through two callbacks: a FetchFunc that loads a page
+// on a miss (the engine consults the flash cache first, then disk) and an
+// EvictFunc that receives pages leaving DRAM (the engine stages them into
+// the flash cache or writes them to disk).
+package buffer
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/reprolab/face/internal/page"
+)
+
+// Errors returned by the pool.
+var (
+	ErrAllPinned   = errors.New("buffer: all frames are pinned")
+	ErrNotResident = errors.New("buffer: page is not resident")
+	ErrBadCapacity = errors.New("buffer: capacity must be at least 1")
+)
+
+// Victim describes a page leaving the DRAM buffer.
+type Victim struct {
+	ID page.ID
+	// Data is the page image.  The slice is only valid for the duration
+	// of the eviction callback; retainers must copy it.
+	Data page.Buf
+	// Dirty reports whether the page is newer than its disk copy.
+	Dirty bool
+	// FDirty reports whether the page is newer than its flash-cache copy.
+	FDirty bool
+}
+
+// FetchFunc loads the page with the given id into buf on a DRAM miss.  It
+// reports whether the loaded copy is newer than the disk copy (true when it
+// was served from a write-back flash cache holding a dirty version).
+type FetchFunc func(id page.ID, buf page.Buf) (dirty bool, err error)
+
+// EvictFunc consumes a page evicted from the DRAM buffer.
+type EvictFunc func(v Victim) error
+
+// Stats reports buffer pool activity.
+type Stats struct {
+	Hits           int64
+	Misses         int64
+	Evictions      int64
+	DirtyEvictions int64
+}
+
+// HitRate returns the fraction of Get calls served from DRAM.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+type frame struct {
+	id     page.ID
+	data   page.Buf
+	dirty  bool
+	fdirty bool
+	pins   int
+	elem   *list.Element
+}
+
+// Pool is an LRU buffer pool of fixed capacity.  It is safe for concurrent
+// use, though the engine in this repository drives it from one goroutine.
+type Pool struct {
+	mu       sync.Mutex
+	capacity int
+	frames   map[page.ID]*frame
+	lru      *list.List // front = most recently used
+	fetch    FetchFunc
+	evict    EvictFunc
+	stats    Stats
+}
+
+// New creates a pool holding up to capacity pages.
+func New(capacity int, fetch FetchFunc, evict EvictFunc) (*Pool, error) {
+	if capacity < 1 {
+		return nil, ErrBadCapacity
+	}
+	return &Pool{
+		capacity: capacity,
+		frames:   make(map[page.ID]*frame, capacity),
+		lru:      list.New(),
+		fetch:    fetch,
+		evict:    evict,
+	}, nil
+}
+
+// Capacity returns the pool capacity in pages.
+func (p *Pool) Capacity() int { return p.capacity }
+
+// Len returns the number of resident pages.
+func (p *Pool) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.frames)
+}
+
+// Stats returns a snapshot of the pool statistics.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// ResetStats clears the pool statistics.
+func (p *Pool) ResetStats() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats = Stats{}
+}
+
+// Contains reports whether the page is resident without affecting LRU
+// order or statistics.
+func (p *Pool) Contains(id page.ID) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, ok := p.frames[id]
+	return ok
+}
+
+// Get pins the page with the given id and returns its frame buffer.  The
+// buffer aliases pool memory and remains valid until Unpin.  On a miss the
+// page is loaded through the fetch callback, evicting the least recently
+// used unpinned page if the pool is full.
+//
+// The fetch and evict callbacks are invoked without holding the pool lock,
+// so they may call back into the pool (Group Second Chance pulls extra
+// victims with EvictBatch from inside the eviction path).
+func (p *Pool) Get(id page.ID) (page.Buf, error) {
+	p.mu.Lock()
+	if f, ok := p.frames[id]; ok {
+		f.pins++
+		p.lru.MoveToFront(f.elem)
+		p.stats.Hits++
+		p.mu.Unlock()
+		return f.data, nil
+	}
+	p.stats.Misses++
+	f, err := p.allocateFrame(id)
+	if err != nil {
+		p.mu.Unlock()
+		return nil, err
+	}
+	p.mu.Unlock()
+
+	dirty, err := p.fetch(id, f.data)
+	p.mu.Lock()
+	if err != nil {
+		p.removeLocked(f)
+		p.mu.Unlock()
+		return nil, fmt.Errorf("buffer: fetching page %d: %w", id, err)
+	}
+	f.dirty = dirty
+	f.fdirty = false
+	p.mu.Unlock()
+	return f.data, nil
+}
+
+// Put inserts a brand-new page image into the pool without consulting the
+// fetch callback (used when allocating fresh pages).  The page is pinned.
+func (p *Pool) Put(id page.ID, init func(buf page.Buf)) (page.Buf, error) {
+	p.mu.Lock()
+	if f, ok := p.frames[id]; ok {
+		f.pins++
+		p.lru.MoveToFront(f.elem)
+		if init != nil {
+			init(f.data)
+		}
+		f.dirty = true
+		f.fdirty = true
+		p.mu.Unlock()
+		return f.data, nil
+	}
+	f, err := p.allocateFrame(id)
+	if err != nil {
+		p.mu.Unlock()
+		return nil, err
+	}
+	if init != nil {
+		init(f.data)
+	}
+	f.dirty = true
+	f.fdirty = true
+	p.mu.Unlock()
+	return f.data, nil
+}
+
+// allocateFrame finds or creates a free frame for id, evicting if
+// necessary.  The caller holds p.mu on entry and on return; the lock is
+// released around the eviction callback.  The returned frame is pinned.
+func (p *Pool) allocateFrame(id page.ID) (*frame, error) {
+	for len(p.frames) >= p.capacity {
+		victim := p.pickVictimLocked()
+		if victim == nil {
+			return nil, ErrAllPinned
+		}
+		p.stats.Evictions++
+		if victim.dirty {
+			p.stats.DirtyEvictions++
+		}
+		p.removeLocked(victim)
+		if p.evict != nil {
+			v := Victim{ID: victim.id, Data: victim.data, Dirty: victim.dirty, FDirty: victim.fdirty}
+			p.mu.Unlock()
+			err := p.evict(v)
+			p.mu.Lock()
+			if err != nil {
+				return nil, fmt.Errorf("buffer: evicting page %d: %w", victim.id, err)
+			}
+		}
+	}
+	f := &frame{id: id, data: page.NewBuf(), pins: 1}
+	f.elem = p.lru.PushFront(f)
+	p.frames[id] = f
+	return f, nil
+}
+
+// pickVictimLocked returns the least recently used unpinned frame, or nil.
+func (p *Pool) pickVictimLocked() *frame {
+	for e := p.lru.Back(); e != nil; e = e.Prev() {
+		f := e.Value.(*frame)
+		if f.pins == 0 {
+			return f
+		}
+	}
+	return nil
+}
+
+func (p *Pool) removeLocked(f *frame) {
+	p.lru.Remove(f.elem)
+	delete(p.frames, f.id)
+}
+
+// MarkDirty flags the page as updated: both dirty and fdirty are set, as in
+// Algorithm 1 of the paper ("on update of page p in the DRAM buffer").
+func (p *Pool) MarkDirty(id page.ID) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f, ok := p.frames[id]
+	if !ok {
+		return fmt.Errorf("%w: page %d", ErrNotResident, id)
+	}
+	f.dirty = true
+	f.fdirty = true
+	return nil
+}
+
+// Flags returns the dirty and fdirty flags of a resident page.
+func (p *Pool) Flags(id page.ID) (dirty, fdirty bool, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f, ok := p.frames[id]
+	if !ok {
+		return false, false, fmt.Errorf("%w: page %d", ErrNotResident, id)
+	}
+	return f.dirty, f.fdirty, nil
+}
+
+// Unpin releases one pin on the page.
+func (p *Pool) Unpin(id page.ID) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f, ok := p.frames[id]
+	if !ok {
+		return fmt.Errorf("%w: page %d", ErrNotResident, id)
+	}
+	if f.pins == 0 {
+		return fmt.Errorf("buffer: page %d is not pinned", id)
+	}
+	f.pins--
+	return nil
+}
+
+// FlushDirty passes every dirty resident page to fn (typically the
+// checkpoint path).  Pages remain resident.  The fdirty flag is always
+// cleared; the dirty flag is cleared only when syncedToDisk is true (i.e.
+// the flush went all the way to the disk copy rather than into a
+// write-back flash cache).
+//
+// fn is invoked without holding the pool lock, for the same reason as the
+// eviction callback in Get.
+func (p *Pool) FlushDirty(fn func(v Victim) error, syncedToDisk bool) error {
+	p.mu.Lock()
+	var victims []Victim
+	for _, f := range p.frames {
+		if !f.dirty && !f.fdirty {
+			continue
+		}
+		victims = append(victims, Victim{ID: f.id, Data: f.data.Clone(), Dirty: f.dirty, FDirty: f.fdirty})
+	}
+	p.mu.Unlock()
+
+	for _, v := range victims {
+		if err := fn(v); err != nil {
+			return fmt.Errorf("buffer: flushing page %d: %w", v.ID, err)
+		}
+		p.mu.Lock()
+		if f, ok := p.frames[v.ID]; ok {
+			f.fdirty = false
+			if syncedToDisk {
+				f.dirty = false
+			}
+		}
+		p.mu.Unlock()
+	}
+	return nil
+}
+
+// EvictBatch removes up to n unpinned pages from the LRU tail and returns
+// them WITHOUT invoking the eviction callback.  It implements the "pull
+// more pages from the LRU tail of the DRAM buffer" step of the paper's
+// Group Second Chance replacement (Section 3.3): the flash cache tops up a
+// partially empty write group with additional DRAM victims.
+func (p *Pool) EvictBatch(n int) []Victim {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []Victim
+	e := p.lru.Back()
+	for e != nil && len(out) < n {
+		prev := e.Prev()
+		f := e.Value.(*frame)
+		if f.pins == 0 {
+			p.stats.Evictions++
+			if f.dirty {
+				p.stats.DirtyEvictions++
+			}
+			data := f.data.Clone()
+			out = append(out, Victim{ID: f.id, Data: data, Dirty: f.dirty, FDirty: f.fdirty})
+			p.removeLocked(f)
+		}
+		e = prev
+	}
+	return out
+}
+
+// DropAll discards every resident page without writing anything.  It
+// simulates the loss of volatile state at a crash.
+func (p *Pool) DropAll() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.frames = make(map[page.ID]*frame, p.capacity)
+	p.lru.Init()
+}
+
+// ResidentIDs returns the ids of all resident pages (for tests and
+// diagnostics).
+func (p *Pool) ResidentIDs() []page.ID {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]page.ID, 0, len(p.frames))
+	for id := range p.frames {
+		out = append(out, id)
+	}
+	return out
+}

@@ -1,0 +1,381 @@
+package buffer
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"testing"
+
+	"github.com/reprolab/face/internal/page"
+)
+
+// testBacking simulates a backing store keyed by page id.
+type testBacking struct {
+	pages    map[page.ID]byte
+	fetches  int
+	evicted  []Victim
+	fetchErr error
+	evictErr error
+}
+
+func newTestBacking() *testBacking {
+	return &testBacking{pages: make(map[page.ID]byte)}
+}
+
+func (b *testBacking) fetch(id page.ID, buf page.Buf) (bool, error) {
+	if b.fetchErr != nil {
+		return false, b.fetchErr
+	}
+	b.fetches++
+	buf.Init(id, page.TypeHeap)
+	buf[page.HeaderSize] = b.pages[id]
+	return false, nil
+}
+
+func (b *testBacking) evict(v Victim) error {
+	if b.evictErr != nil {
+		return b.evictErr
+	}
+	cp := v
+	cp.Data = v.Data.Clone()
+	b.evicted = append(b.evicted, cp)
+	if v.Dirty {
+		b.pages[v.ID] = v.Data[page.HeaderSize]
+	}
+	return nil
+}
+
+func newPool(t *testing.T, capacity int, b *testBacking) *Pool {
+	t.Helper()
+	p, err := New(capacity, b.fetch, b.evict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewBadCapacity(t *testing.T) {
+	if _, err := New(0, nil, nil); !errors.Is(err, ErrBadCapacity) {
+		t.Fatalf("got %v, want ErrBadCapacity", err)
+	}
+}
+
+func TestGetHitAndMiss(t *testing.T) {
+	b := newTestBacking()
+	b.pages[7] = 42
+	p := newPool(t, 4, b)
+
+	buf, err := p.Get(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf[page.HeaderSize] != 42 {
+		t.Fatalf("fetched content = %d, want 42", buf[page.HeaderSize])
+	}
+	if err := p.Unpin(7); err != nil {
+		t.Fatal(err)
+	}
+	// Second access is a hit; no further fetch.
+	if _, err := p.Get(7); err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(7)
+	s := p.Stats()
+	if s.Hits != 1 || s.Misses != 1 || b.fetches != 1 {
+		t.Fatalf("stats = %+v, fetches = %d", s, b.fetches)
+	}
+	if s.HitRate() != 0.5 {
+		t.Fatalf("HitRate = %v, want 0.5", s.HitRate())
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	b := newTestBacking()
+	p := newPool(t, 3, b)
+	for id := page.ID(1); id <= 3; id++ {
+		if _, err := p.Get(id); err != nil {
+			t.Fatal(err)
+		}
+		p.Unpin(id)
+	}
+	// Touch page 1 so page 2 becomes LRU.
+	p.Get(1)
+	p.Unpin(1)
+	// Insert page 4: page 2 must be evicted.
+	if _, err := p.Get(4); err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(4)
+	if len(b.evicted) != 1 || b.evicted[0].ID != 2 {
+		t.Fatalf("evicted %v, want page 2", b.evicted)
+	}
+	if p.Contains(2) {
+		t.Fatal("page 2 still resident after eviction")
+	}
+}
+
+func TestDirtyFlagsOnEviction(t *testing.T) {
+	b := newTestBacking()
+	p := newPool(t, 2, b)
+	buf, _ := p.Get(1)
+	buf[page.HeaderSize] = 99
+	p.MarkDirty(1)
+	p.Unpin(1)
+	p.Get(2)
+	p.Unpin(2)
+	// Evict page 1 by loading a third page.
+	p.Get(3)
+	p.Unpin(3)
+	if len(b.evicted) != 1 {
+		t.Fatalf("evicted %d pages, want 1", len(b.evicted))
+	}
+	v := b.evicted[0]
+	if v.ID != 1 || !v.Dirty || !v.FDirty {
+		t.Fatalf("victim = %+v, want dirty page 1", v)
+	}
+	if b.pages[1] != 99 {
+		t.Fatal("dirty content not propagated to backing store")
+	}
+	s := p.Stats()
+	if s.DirtyEvictions != 1 || s.Evictions != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestPinPreventsEviction(t *testing.T) {
+	b := newTestBacking()
+	p := newPool(t, 2, b)
+	p.Get(1) // stays pinned
+	p.Get(2) // stays pinned
+	if _, err := p.Get(3); !errors.Is(err, ErrAllPinned) {
+		t.Fatalf("got %v, want ErrAllPinned", err)
+	}
+	p.Unpin(2)
+	if _, err := p.Get(3); err != nil {
+		t.Fatalf("after unpin: %v", err)
+	}
+	if p.Contains(2) {
+		t.Fatal("page 2 should have been evicted")
+	}
+	if !p.Contains(1) {
+		t.Fatal("pinned page 1 must remain resident")
+	}
+}
+
+func TestUnpinErrors(t *testing.T) {
+	b := newTestBacking()
+	p := newPool(t, 2, b)
+	if err := p.Unpin(9); !errors.Is(err, ErrNotResident) {
+		t.Fatalf("got %v, want ErrNotResident", err)
+	}
+	p.Get(1)
+	p.Unpin(1)
+	if err := p.Unpin(1); err == nil {
+		t.Fatal("double unpin should fail")
+	}
+	if err := p.MarkDirty(9); !errors.Is(err, ErrNotResident) {
+		t.Fatalf("MarkDirty: got %v, want ErrNotResident", err)
+	}
+	if _, _, err := p.Flags(9); !errors.Is(err, ErrNotResident) {
+		t.Fatalf("Flags: got %v, want ErrNotResident", err)
+	}
+}
+
+func TestFetchFromFlashSetsDirtyOnly(t *testing.T) {
+	// A fetch that reports dirty=true (flash cache holding a newer-than-
+	// disk copy) must leave dirty set and fdirty clear, per Algorithm 1.
+	fetch := func(id page.ID, buf page.Buf) (bool, error) {
+		buf.Init(id, page.TypeHeap)
+		return true, nil
+	}
+	p, err := New(2, fetch, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Get(5); err != nil {
+		t.Fatal(err)
+	}
+	dirty, fdirty, err := p.Flags(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dirty || fdirty {
+		t.Fatalf("flags after flash fetch: dirty=%v fdirty=%v, want true/false", dirty, fdirty)
+	}
+}
+
+func TestPutNewPage(t *testing.T) {
+	b := newTestBacking()
+	p := newPool(t, 2, b)
+	buf, err := p.Put(10, func(buf page.Buf) { buf.Init(10, page.TypeHeap) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf.ID() != 10 {
+		t.Fatalf("Put page id = %d", buf.ID())
+	}
+	dirty, fdirty, _ := p.Flags(10)
+	if !dirty || !fdirty {
+		t.Fatal("new page must be dirty and fdirty")
+	}
+	if b.fetches != 0 {
+		t.Fatal("Put must not call fetch")
+	}
+	p.Unpin(10)
+	// Put on a resident page re-pins it.
+	if _, err := p.Put(10, nil); err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(10)
+}
+
+func TestFetchErrorPropagates(t *testing.T) {
+	b := newTestBacking()
+	b.fetchErr = fmt.Errorf("boom")
+	p := newPool(t, 2, b)
+	if _, err := p.Get(1); err == nil {
+		t.Fatal("expected fetch error")
+	}
+	if p.Len() != 0 {
+		t.Fatal("failed fetch left a frame behind")
+	}
+}
+
+func TestEvictErrorPropagates(t *testing.T) {
+	b := newTestBacking()
+	p := newPool(t, 1, b)
+	p.Get(1)
+	p.Unpin(1)
+	b.evictErr = fmt.Errorf("evict boom")
+	if _, err := p.Get(2); err == nil {
+		t.Fatal("expected eviction error")
+	}
+}
+
+func TestFlushDirty(t *testing.T) {
+	b := newTestBacking()
+	p := newPool(t, 4, b)
+	for id := page.ID(1); id <= 3; id++ {
+		buf, _ := p.Get(id)
+		buf[page.HeaderSize] = byte(id)
+		p.MarkDirty(id)
+		p.Unpin(id)
+	}
+	var flushed []page.ID
+	err := p.FlushDirty(func(v Victim) error {
+		flushed = append(flushed, v.ID)
+		return nil
+	}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Slice(flushed, func(i, j int) bool { return flushed[i] < flushed[j] })
+	if len(flushed) != 3 {
+		t.Fatalf("flushed %v, want 3 pages", flushed)
+	}
+	// With syncedToDisk=false the dirty flag survives, fdirty is cleared.
+	dirty, fdirty, _ := p.Flags(1)
+	if !dirty || fdirty {
+		t.Fatalf("flags after flash flush: dirty=%v fdirty=%v", dirty, fdirty)
+	}
+	// A second flush with syncedToDisk=true clears dirty too.
+	if err := p.FlushDirty(func(v Victim) error { return nil }, true); err != nil {
+		t.Fatal(err)
+	}
+	dirty, fdirty, _ = p.Flags(1)
+	if dirty || fdirty {
+		t.Fatalf("flags after disk flush: dirty=%v fdirty=%v", dirty, fdirty)
+	}
+	// Nothing dirty now: callback must not run.
+	if err := p.FlushDirty(func(v Victim) error { t.Fatal("unexpected flush"); return nil }, true); err != nil {
+		t.Fatal(err)
+	}
+	// Flush errors propagate.
+	p.MarkDirty(1)
+	if err := p.FlushDirty(func(v Victim) error { return fmt.Errorf("nope") }, true); err == nil {
+		t.Fatal("expected flush error")
+	}
+}
+
+func TestEvictBatch(t *testing.T) {
+	b := newTestBacking()
+	p := newPool(t, 5, b)
+	for id := page.ID(1); id <= 5; id++ {
+		buf, _ := p.Get(id)
+		buf[page.HeaderSize] = byte(id)
+		if id%2 == 0 {
+			p.MarkDirty(id)
+		}
+		p.Unpin(id)
+	}
+	// Keep page 1 pinned: it must not be pulled.
+	p.Get(1)
+	victims := p.EvictBatch(3)
+	if len(victims) != 3 {
+		t.Fatalf("EvictBatch returned %d victims, want 3", len(victims))
+	}
+	for _, v := range victims {
+		if v.ID == 1 {
+			t.Fatal("pinned page pulled by EvictBatch")
+		}
+		if (v.ID%2 == 0) != v.Dirty {
+			t.Fatalf("victim %d dirty flag = %v", v.ID, v.Dirty)
+		}
+		if v.Data[page.HeaderSize] != byte(v.ID) {
+			t.Fatalf("victim %d content mismatch", v.ID)
+		}
+	}
+	if len(b.evicted) != 0 {
+		t.Fatal("EvictBatch must not invoke the eviction callback")
+	}
+	if p.Len() != 2 {
+		t.Fatalf("resident pages = %d, want 2", p.Len())
+	}
+	// LRU order: the oldest unpinned pages (2, 3, 4) are pulled first.
+	ids := []page.ID{victims[0].ID, victims[1].ID, victims[2].ID}
+	if ids[0] != 2 || ids[1] != 3 || ids[2] != 4 {
+		t.Fatalf("EvictBatch order = %v, want [2 3 4]", ids)
+	}
+}
+
+func TestDropAll(t *testing.T) {
+	b := newTestBacking()
+	p := newPool(t, 4, b)
+	for id := page.ID(1); id <= 4; id++ {
+		p.Get(id)
+		p.MarkDirty(id)
+		p.Unpin(id)
+	}
+	p.DropAll()
+	if p.Len() != 0 {
+		t.Fatalf("Len after DropAll = %d", p.Len())
+	}
+	if len(b.evicted) != 0 {
+		t.Fatal("DropAll must not write anything")
+	}
+	if len(p.ResidentIDs()) != 0 {
+		t.Fatal("ResidentIDs non-empty after DropAll")
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	b := newTestBacking()
+	p := newPool(t, 2, b)
+	p.Get(1)
+	p.Unpin(1)
+	p.ResetStats()
+	if s := p.Stats(); s.Hits != 0 || s.Misses != 0 {
+		t.Fatalf("stats after reset = %+v", s)
+	}
+	if (Stats{}).HitRate() != 0 {
+		t.Fatal("empty stats hit rate should be 0")
+	}
+}
+
+func TestCapacityAccessor(t *testing.T) {
+	b := newTestBacking()
+	p := newPool(t, 7, b)
+	if p.Capacity() != 7 {
+		t.Fatalf("Capacity = %d", p.Capacity())
+	}
+}

@@ -1,0 +1,499 @@
+package device
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func fill(b byte) []byte {
+	p := make([]byte, BlockSize)
+	for i := range p {
+		p[i] = b
+	}
+	return p
+}
+
+func TestProfileServiceTimes(t *testing.T) {
+	p := ProfileSamsung470
+	if got := p.RandReadTime(); got <= 0 {
+		t.Fatalf("RandReadTime = %v, want > 0", got)
+	}
+	// Random writes must be slower than sequential writes by roughly an
+	// order of magnitude for the MLC SSD (the asymmetry FaCE exploits).
+	ratio := float64(p.RandWriteTime()) / float64(p.SeqWriteTime())
+	if ratio < 5 {
+		t.Fatalf("MLC random/sequential write ratio = %.1f, want >= 5", ratio)
+	}
+	// Disk random access must be much slower than flash random access.
+	if ProfileCheetah15K.RandReadTime() < 10*p.RandReadTime() {
+		t.Fatalf("disk random read (%v) should dwarf flash random read (%v)",
+			ProfileCheetah15K.RandReadTime(), p.RandReadTime())
+	}
+}
+
+func TestProfileServiceTimeDispatch(t *testing.T) {
+	p := ProfileSamsung470
+	cases := []struct {
+		write, seq bool
+		want       time.Duration
+	}{
+		{false, false, p.RandReadTime()},
+		{false, true, p.SeqReadTime()},
+		{true, false, p.SteadyRandWriteTime()},
+		{true, true, p.SeqWriteTime()},
+	}
+	for _, c := range cases {
+		if got := p.ServiceTime(c.write, c.seq); got != c.want {
+			t.Errorf("ServiceTime(write=%v, seq=%v) = %v, want %v", c.write, c.seq, got, c.want)
+		}
+	}
+	// The steady-state (GC-degraded) random write must be at least the
+	// nominal one, and strictly worse for the MLC SSD.
+	if p.SteadyRandWriteTime() <= p.RandWriteTime() {
+		t.Fatal("MLC steady-state random writes should be degraded by GC")
+	}
+	if ProfileCheetah15K.SteadyRandWriteTime() != ProfileCheetah15K.RandWriteTime() {
+		t.Fatal("disks have no GC degradation")
+	}
+}
+
+func TestProfilePricePerGB(t *testing.T) {
+	if got := ProfileCheetah15K.PricePerGB(); got < 1.5 || got > 1.8 {
+		t.Fatalf("Cheetah price/GB = %.2f, want ~1.63", got)
+	}
+	var zero Profile
+	if got := zero.PricePerGB(); got != 0 {
+		t.Fatalf("zero profile price/GB = %v, want 0", got)
+	}
+}
+
+func TestTable1Profiles(t *testing.T) {
+	ps := Table1Profiles()
+	if len(ps) != 5 {
+		t.Fatalf("Table1Profiles returned %d profiles, want 5", len(ps))
+	}
+	for _, p := range ps {
+		if p.Name == "" || p.RandReadIOPS <= 0 {
+			t.Errorf("incomplete profile: %+v", p)
+		}
+	}
+}
+
+func TestMediaKindString(t *testing.T) {
+	kinds := []MediaKind{MediaUnknown, MediaFlashMLC, MediaFlashSLC, MediaDisk, MediaDRAM}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Errorf("MediaKind %d has empty or duplicate string %q", k, s)
+		}
+		seen[s] = true
+	}
+	if !MediaFlashMLC.IsFlash() || !MediaFlashSLC.IsFlash() || MediaDisk.IsFlash() {
+		t.Fatal("IsFlash misclassifies media kinds")
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	d := New("test", ProfileSamsung470, 16)
+	want := fill(0xAB)
+	if err := d.WriteAt(3, want); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, BlockSize)
+	if err := d.ReadAt(3, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("read data differs from written data")
+	}
+}
+
+func TestReadUnwrittenBlockIsZero(t *testing.T) {
+	d := New("test", ProfileSamsung470, 4)
+	got := fill(0xFF)
+	if err := d.ReadAt(2, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, make([]byte, BlockSize)) {
+		t.Fatal("unwritten block should read as zeros")
+	}
+}
+
+func TestOutOfRangeAndShortBuffer(t *testing.T) {
+	d := New("test", ProfileSamsung470, 4)
+	buf := make([]byte, BlockSize)
+	if err := d.ReadAt(4, buf); err == nil {
+		t.Fatal("expected out-of-range read error")
+	}
+	if err := d.WriteAt(-1, buf); err == nil {
+		t.Fatal("expected out-of-range write error")
+	}
+	if err := d.ReadAt(0, make([]byte, 10)); err != ErrShortBuffer {
+		t.Fatalf("got %v, want ErrShortBuffer", err)
+	}
+	if err := d.WriteAt(0, make([]byte, 10)); err != ErrShortBuffer {
+		t.Fatalf("got %v, want ErrShortBuffer", err)
+	}
+	if err := d.WriteRun(0, [][]byte{make([]byte, 1)}); err == nil {
+		t.Fatal("expected short buffer error in WriteRun")
+	}
+	if err := d.WriteRun(3, [][]byte{fill(1), fill(2)}); err == nil {
+		t.Fatal("expected out-of-range error in WriteRun")
+	}
+	if err := d.ReadRun(3, 2, func(int, []byte) error { return nil }); err == nil {
+		t.Fatal("expected out-of-range error in ReadRun")
+	}
+}
+
+func TestSequentialDetection(t *testing.T) {
+	d := New("test", ProfileSamsung470, 100)
+	buf := fill(1)
+	// Ascending writes after the first should be sequential.
+	for i := int64(0); i < 10; i++ {
+		if err := d.WriteAt(i, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := d.Stats()
+	if s.SeqWrites != 9 || s.RandWrites != 1 {
+		t.Fatalf("ascending writes: seq=%d rand=%d, want 9/1", s.SeqWrites, s.RandWrites)
+	}
+	d.ResetStats()
+	// Scattered writes are random.
+	for _, blk := range []int64{5, 50, 17, 80, 2} {
+		if err := d.WriteAt(blk, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s = d.Stats()
+	if s.RandWrites != 5 {
+		t.Fatalf("scattered writes: rand=%d, want 5", s.RandWrites)
+	}
+	// Interleaved reads do not break write sequentiality (per-kind
+	// tracking): only the first write of the ascending run is random.
+	d.ResetStats()
+	rbuf := make([]byte, BlockSize)
+	for i := int64(0); i < 5; i++ {
+		if err := d.WriteAt(20+i, buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.ReadAt(90-i, rbuf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s = d.Stats()
+	if s.SeqWrites != 4 || s.RandWrites != 1 {
+		t.Fatalf("interleaved: seq=%d rand=%d writes, want 4/1 (stats %v)", s.SeqWrites, s.RandWrites, s)
+	}
+}
+
+func TestRunOperations(t *testing.T) {
+	d := New("test", ProfileSamsung470, 64)
+	pages := [][]byte{fill(1), fill(2), fill(3), fill(4)}
+	if err := d.WriteRun(10, pages); err != nil {
+		t.Fatal(err)
+	}
+	s := d.Stats()
+	if s.SeqWrites != 4 || s.RandWrites != 0 {
+		t.Fatalf("WriteRun stats %v, want 4 sequential writes", s)
+	}
+	var got []byte
+	err := d.ReadRun(10, 4, func(i int, p []byte) error {
+		got = append(got, p[0])
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte{1, 2, 3, 4}) {
+		t.Fatalf("ReadRun contents = %v, want [1 2 3 4]", got)
+	}
+	s = d.Stats()
+	if s.SeqReads != 4 {
+		t.Fatalf("ReadRun stats %v, want 4 sequential reads", s)
+	}
+	// Empty runs are no-ops.
+	if err := d.WriteRun(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ReadRun(0, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBusyTimeAccounting(t *testing.T) {
+	d := New("test", ProfileCheetah15K, 100)
+	buf := fill(9)
+	if err := d.WriteAt(50, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteAt(10, buf); err != nil {
+		t.Fatal(err)
+	}
+	want := 2 * ProfileCheetah15K.RandWriteTime()
+	if got := d.BusyTime(); got != want {
+		t.Fatalf("BusyTime = %v, want %v", got, want)
+	}
+	d.ResetStats()
+	if got := d.BusyTime(); got != 0 {
+		t.Fatalf("BusyTime after reset = %v, want 0", got)
+	}
+}
+
+func TestStatsArithmetic(t *testing.T) {
+	a := Stats{RandReads: 5, RandWrites: 3, SeqReads: 2, SeqWrites: 1, Busy: 10 * time.Millisecond}
+	b := Stats{RandReads: 1, RandWrites: 1, SeqReads: 1, SeqWrites: 1, Busy: 2 * time.Millisecond}
+	sum := a.Add(b)
+	if sum.Reads() != 9 || sum.Writes() != 6 || sum.Ops() != 15 {
+		t.Fatalf("Add: %+v", sum)
+	}
+	diff := sum.Sub(b)
+	if diff != a {
+		t.Fatalf("Sub: got %+v, want %+v", diff, a)
+	}
+	if a.String() == "" {
+		t.Fatal("Stats.String empty")
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	d := New("test", ProfileSamsung470, 8)
+	if err := d.WriteAt(1, fill(7)); err != nil {
+		t.Fatal(err)
+	}
+	snap := d.SnapshotContent()
+	if err := d.WriteAt(1, fill(8)); err != nil {
+		t.Fatal(err)
+	}
+	d.RestoreContent(snap)
+	got := make([]byte, BlockSize)
+	if err := d.ReadAt(1, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 7 {
+		t.Fatalf("restored block byte = %d, want 7", got[0])
+	}
+	if d.Stats().Ops() != 1 {
+		t.Fatalf("RestoreContent should reset stats, got %v", d.Stats())
+	}
+	// Mutating the snapshot must not affect the device (deep copy).
+	snap[1][0] = 99
+	if err := d.ReadAt(1, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 7 {
+		t.Fatal("snapshot mutation leaked into device content")
+	}
+}
+
+func TestDeviceRoundTripProperty(t *testing.T) {
+	d := New("prop", ProfileIntelX25E, 256)
+	f := func(blk uint8, val uint8) bool {
+		p := fill(val)
+		if err := d.WriteAt(int64(blk), p); err != nil {
+			return false
+		}
+		got := make([]byte, BlockSize)
+		if err := d.ReadAt(int64(blk), got); err != nil {
+			return false
+		}
+		return bytes.Equal(got, p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArrayStriping(t *testing.T) {
+	a := NewArray("raid", ProfileCheetah15K, 4, 100)
+	if a.Parallelism() != 4 {
+		t.Fatalf("Parallelism = %d, want 4", a.Parallelism())
+	}
+	if a.NumBlocks() < 100 {
+		t.Fatalf("NumBlocks = %d, want >= 100", a.NumBlocks())
+	}
+	// Write every block with its index and read back.
+	buf := make([]byte, BlockSize)
+	for i := int64(0); i < 100; i++ {
+		buf[0] = byte(i)
+		if err := a.WriteAt(i, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := int64(0); i < 100; i++ {
+		if err := a.ReadAt(i, buf); err != nil {
+			t.Fatal(err)
+		}
+		if buf[0] != byte(i) {
+			t.Fatalf("block %d content = %d", i, buf[0])
+		}
+	}
+	// Work should spread across all members.
+	for i, m := range a.Members() {
+		if m.Stats().Ops() == 0 {
+			t.Errorf("member %d received no I/O", i)
+		}
+	}
+	if a.Stats().Ops() != 200 {
+		t.Fatalf("aggregate ops = %d, want 200", a.Stats().Ops())
+	}
+}
+
+func TestArrayRunsAndBounds(t *testing.T) {
+	a := NewArray("raid", ProfileCheetah15K, 3, 30)
+	pages := make([][]byte, 9)
+	for i := range pages {
+		pages[i] = fill(byte(i + 1))
+	}
+	if err := a.WriteRun(6, pages); err != nil {
+		t.Fatal(err)
+	}
+	var got []byte
+	if err := a.ReadRun(6, 9, func(i int, p []byte) error {
+		got = append(got, p[0])
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range got {
+		if b != byte(i+1) {
+			t.Fatalf("run block %d = %d, want %d", i, b, i+1)
+		}
+	}
+	s := a.Stats()
+	if s.SeqWrites != 9 || s.SeqReads != 9 {
+		t.Fatalf("array run stats %v, want 9 seq reads and writes", s)
+	}
+	buf := make([]byte, BlockSize)
+	if err := a.ReadAt(a.NumBlocks(), buf); err == nil {
+		t.Fatal("expected out-of-range array read error")
+	}
+	if err := a.WriteAt(-1, buf); err == nil {
+		t.Fatal("expected out-of-range array write error")
+	}
+	if err := a.WriteRun(a.NumBlocks()-1, pages); err == nil {
+		t.Fatal("expected out-of-range array WriteRun error")
+	}
+	if err := a.ReadRun(a.NumBlocks()-1, 9, nil); err == nil {
+		t.Fatal("expected out-of-range array ReadRun error")
+	}
+	if err := a.WriteRun(0, [][]byte{make([]byte, 3)}); err == nil {
+		t.Fatal("expected short-buffer array WriteRun error")
+	}
+}
+
+func TestArraySnapshotRestore(t *testing.T) {
+	a := NewArray("raid", ProfileCheetah15K, 2, 10)
+	if err := a.WriteAt(5, fill(42)); err != nil {
+		t.Fatal(err)
+	}
+	snap := a.SnapshotContent()
+	if err := a.WriteAt(5, fill(43)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.RestoreContent(snap); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, BlockSize)
+	if err := a.ReadAt(5, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 42 {
+		t.Fatalf("restored array block = %d, want 42", buf[0])
+	}
+	if err := a.RestoreContent(snap[:1]); err == nil {
+		t.Fatal("expected member-count mismatch error")
+	}
+}
+
+func TestArrayBusyAndMaxMemberBusy(t *testing.T) {
+	a := NewArray("raid", ProfileCheetah15K, 2, 10)
+	buf := fill(1)
+	// Hit only member 0 (even logical blocks).
+	for i := 0; i < 4; i++ {
+		if err := a.WriteAt(int64(i*2), buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.MaxMemberBusy() != a.BusyTime() {
+		t.Fatalf("imbalanced load: MaxMemberBusy %v should equal total busy %v",
+			a.MaxMemberBusy(), a.BusyTime())
+	}
+	a.ResetStats()
+	if a.BusyTime() != 0 {
+		t.Fatal("ResetStats did not clear member stats")
+	}
+}
+
+func TestNewWithNegativeCapacity(t *testing.T) {
+	d := New("neg", ProfileSamsung470, -5)
+	if d.NumBlocks() != 0 {
+		t.Fatalf("NumBlocks = %d, want 0", d.NumBlocks())
+	}
+}
+
+func TestRunAmortizesCommandOverhead(t *testing.T) {
+	// A 64-block run must be cheaper than 64 individual sequential writes
+	// because the per-command overhead is paid once (the effect the FaCE
+	// group optimizations exploit).
+	single := New("singles", ProfileSamsung470, 128)
+	batch := New("batch", ProfileSamsung470, 128)
+	pages := make([][]byte, 64)
+	buf := fill(1)
+	for i := range pages {
+		pages[i] = buf
+	}
+	for i := int64(0); i < 64; i++ {
+		if err := single.WriteAt(i, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := batch.WriteRun(0, pages); err != nil {
+		t.Fatal(err)
+	}
+	if batch.BusyTime() >= single.BusyTime() {
+		t.Fatalf("batch busy %v should be less than singles busy %v", batch.BusyTime(), single.BusyTime())
+	}
+}
+
+func TestLoadLogical(t *testing.T) {
+	blocks := make([][]byte, 10)
+	for i := range blocks {
+		if i%2 == 0 {
+			blocks[i] = fill(byte(i + 1))
+		}
+	}
+	d := New("plain", ProfileSamsung470, 4)
+	d.LoadLogical(blocks)
+	if d.NumBlocks() != 10 {
+		t.Fatalf("NumBlocks = %d, want 10", d.NumBlocks())
+	}
+	buf := make([]byte, BlockSize)
+	if err := d.ReadAt(4, buf); err != nil || buf[0] != 5 {
+		t.Fatalf("block 4 = %d, %v", buf[0], err)
+	}
+	if d.Stats().Ops() != 1 {
+		t.Fatal("LoadLogical should not charge I/O")
+	}
+
+	a := NewArray("arr", ProfileCheetah15K, 3, 6)
+	a.LoadLogical(blocks)
+	if a.NumBlocks() < 10 {
+		t.Fatalf("array NumBlocks = %d, want >= 10", a.NumBlocks())
+	}
+	for i := 0; i < 10; i++ {
+		if err := a.ReadAt(int64(i), buf); err != nil {
+			t.Fatal(err)
+		}
+		want := byte(0)
+		if i%2 == 0 {
+			want = byte(i + 1)
+		}
+		if buf[0] != want {
+			t.Fatalf("array block %d = %d, want %d", i, buf[0], want)
+		}
+	}
+}

@@ -1,0 +1,264 @@
+// Package device implements simulated block storage devices.
+//
+// Every experiment in the FaCE paper hinges on the cost asymmetries between
+// storage devices: random vs sequential access, flash vs magnetic disk,
+// MLC vs SLC flash.  This package models those asymmetries with calibrated
+// latency profiles derived from Table 1 of the paper (4 KiB random
+// throughput in IOPS and sequential bandwidth in MB/s, measured with the
+// Orion calibration tool on the authors' hardware).
+//
+// A Device stores real block contents in memory (so the database engine,
+// flash cache and recovery manager operate on genuine data) and charges
+// every operation a simulated service time to its statistics.  Elapsed
+// simulated time, device utilization and I/O throughput are then derived
+// from those statistics by the metrics and bench packages.
+package device
+
+import (
+	"fmt"
+	"time"
+)
+
+// BlockSize is the size of one device block in bytes.  It matches the
+// paper's PostgreSQL page size of 4 KiB.
+const BlockSize = 4096
+
+// Profile describes the performance and cost characteristics of a storage
+// device.  The throughput figures follow Table 1 of the paper.
+type Profile struct {
+	// Name identifies the device model, e.g. "Samsung 470 256GB (MLC)".
+	Name string
+	// Media is a coarse classification used in reports.
+	Media MediaKind
+
+	// RandReadIOPS and RandWriteIOPS are 4 KiB random operation rates.
+	RandReadIOPS  float64
+	RandWriteIOPS float64
+	// SeqReadMBps and SeqWriteMBps are sequential bandwidths in MB/s.
+	SeqReadMBps  float64
+	SeqWriteMBps float64
+
+	// SteadyRandWriteFactor models the degradation of sustained random
+	// writes on flash in the steady state: garbage collection and write
+	// amplification push the effective cost of a random write well above
+	// the nominal 1/IOPS figure measured on a lightly used drive.  The
+	// factor multiplies the random-write service time (1.0 = no
+	// degradation).  It is calibrated so the per-operation service times
+	// observed for the LRU-managed cache match Table 4 of the paper.
+	// Sequential writes are unaffected, which is precisely the asymmetry
+	// the FaCE design exploits.
+	SteadyRandWriteFactor float64
+
+	// CmdOverhead is the fixed per-command cost charged in addition to
+	// the per-block transfer time for sequential single-block operations
+	// and for multi-block runs.  It models command issue/FTL overhead and
+	// is what makes batched (group) I/O cheaper than the same number of
+	// individual sequential operations — the effect Group Replacement and
+	// Group Second Chance exploit (Section 3.3).  Random single-block
+	// operations are charged 1/IOPS, which already includes this
+	// overhead.
+	CmdOverhead time.Duration
+
+	// CapacityGB and PriceUSD reproduce the capacity/price columns of
+	// Table 1; they are only used for reporting and cost-effectiveness
+	// analysis (Section 2.2, Table 5).
+	CapacityGB float64
+	PriceUSD   float64
+}
+
+// MediaKind classifies a device profile.
+type MediaKind int
+
+// Media kinds.
+const (
+	MediaUnknown MediaKind = iota
+	MediaFlashMLC
+	MediaFlashSLC
+	MediaDisk
+	MediaDRAM
+)
+
+// String returns a human-readable media name.
+func (m MediaKind) String() string {
+	switch m {
+	case MediaFlashMLC:
+		return "MLC flash SSD"
+	case MediaFlashSLC:
+		return "SLC flash SSD"
+	case MediaDisk:
+		return "magnetic disk"
+	case MediaDRAM:
+		return "DRAM"
+	default:
+		return "unknown"
+	}
+}
+
+// IsFlash reports whether the media is NAND flash.
+func (m MediaKind) IsFlash() bool { return m == MediaFlashMLC || m == MediaFlashSLC }
+
+// PricePerGB returns the price per gigabyte in USD, or 0 when unknown.
+func (p Profile) PricePerGB() float64 {
+	if p.CapacityGB <= 0 {
+		return 0
+	}
+	return p.PriceUSD / p.CapacityGB
+}
+
+// RandReadTime returns the service time of one random 4 KiB read.
+func (p Profile) RandReadTime() time.Duration { return iopsToLatency(p.RandReadIOPS) }
+
+// RandWriteTime returns the nominal service time of one random 4 KiB write
+// (as measured on a lightly used device, Table 1).
+func (p Profile) RandWriteTime() time.Duration { return iopsToLatency(p.RandWriteIOPS) }
+
+// SteadyRandWriteTime returns the effective service time of a random write
+// in the steady state, including the garbage-collection degradation factor.
+func (p Profile) SteadyRandWriteTime() time.Duration {
+	f := p.SteadyRandWriteFactor
+	if f < 1 {
+		f = 1
+	}
+	return time.Duration(float64(p.RandWriteTime()) * f)
+}
+
+// SeqReadTime returns the service time of one sequential 4 KiB read.
+func (p Profile) SeqReadTime() time.Duration { return bandwidthToLatency(p.SeqReadMBps) }
+
+// SeqWriteTime returns the service time of one sequential 4 KiB write.
+func (p Profile) SeqWriteTime() time.Duration { return bandwidthToLatency(p.SeqWriteMBps) }
+
+// ServiceTime returns the service time for a single block operation of the
+// given kind and access pattern.
+func (p Profile) ServiceTime(write, sequential bool) time.Duration {
+	switch {
+	case write && sequential:
+		return p.SeqWriteTime()
+	case write && !sequential:
+		return p.SteadyRandWriteTime()
+	case !write && sequential:
+		return p.SeqReadTime()
+	default:
+		return p.RandReadTime()
+	}
+}
+
+// String summarises the profile.
+func (p Profile) String() string {
+	return fmt.Sprintf("%s (%s): rr=%v rw=%v sr=%v sw=%v",
+		p.Name, p.Media, p.RandReadTime(), p.RandWriteTime(), p.SeqReadTime(), p.SeqWriteTime())
+}
+
+func iopsToLatency(iops float64) time.Duration {
+	if iops <= 0 {
+		return 0
+	}
+	return time.Duration(float64(time.Second) / iops)
+}
+
+func bandwidthToLatency(mbps float64) time.Duration {
+	if mbps <= 0 {
+		return 0
+	}
+	opsPerSec := mbps * 1e6 / BlockSize
+	return time.Duration(float64(time.Second) / opsPerSec)
+}
+
+// Profiles reproduced from Table 1 of the paper.
+var (
+	// ProfileSamsung470 is the MLC SSD used as the primary flash cache
+	// device (Samsung 470 Series 256 GB).
+	ProfileSamsung470 = Profile{
+		Name:                  "Samsung 470 Series 256GB",
+		Media:                 MediaFlashMLC,
+		RandReadIOPS:          28495,
+		RandWriteIOPS:         6314,
+		SeqReadMBps:           251.33,
+		SeqWriteMBps:          242.80,
+		SteadyRandWriteFactor: 2.8,
+		CmdOverhead:           18 * time.Microsecond,
+		CapacityGB:            256,
+		PriceUSD:              450,
+	}
+
+	// ProfileIntelX25M is the second MLC SSD of Table 1 (Intel X25-M G2).
+	ProfileIntelX25M = Profile{
+		Name:                  "Intel X25-M G2 80GB",
+		Media:                 MediaFlashMLC,
+		RandReadIOPS:          35601,
+		RandWriteIOPS:         2547,
+		SeqReadMBps:           258.70,
+		SeqWriteMBps:          80.81,
+		SteadyRandWriteFactor: 2.2,
+		CmdOverhead:           15 * time.Microsecond,
+		CapacityGB:            80,
+		PriceUSD:              180,
+	}
+
+	// ProfileIntelX25E is the SLC SSD (Intel X25-E 32 GB).
+	ProfileIntelX25E = Profile{
+		Name:                  "Intel X25-E 32GB",
+		Media:                 MediaFlashSLC,
+		RandReadIOPS:          38427,
+		RandWriteIOPS:         5057,
+		SeqReadMBps:           259.2,
+		SeqWriteMBps:          195.25,
+		SteadyRandWriteFactor: 1.6,
+		CmdOverhead:           12 * time.Microsecond,
+		CapacityGB:            32,
+		PriceUSD:              440,
+	}
+
+	// ProfileCheetah15K is one enterprise 15k-RPM SAS disk drive
+	// (Seagate Cheetah 15K.6 146.8 GB).
+	ProfileCheetah15K = Profile{
+		Name:          "Seagate Cheetah 15K.6 146.8GB",
+		Media:         MediaDisk,
+		RandReadIOPS:  409,
+		RandWriteIOPS: 343,
+		SeqReadMBps:   156,
+		SeqWriteMBps:  154,
+		CapacityGB:    146.8,
+		PriceUSD:      240,
+	}
+
+	// ProfileRAID0x8 is the 8-disk RAID-0 array of Table 1, reported for
+	// reference.  The simulator builds disk arrays by striping individual
+	// ProfileCheetah15K devices instead of using this aggregate profile.
+	ProfileRAID0x8 = Profile{
+		Name:          "8-disk RAID-0 (Cheetah 15K.6)",
+		Media:         MediaDisk,
+		RandReadIOPS:  2598,
+		RandWriteIOPS: 2502,
+		SeqReadMBps:   848,
+		SeqWriteMBps:  843,
+		CapacityGB:    1170,
+		PriceUSD:      1920,
+	}
+
+	// ProfileDRAM approximates main memory for the cost-effectiveness
+	// analysis of Section 2.2 / Table 5.  Access latencies are effectively
+	// zero at page granularity compared to storage devices.
+	ProfileDRAM = Profile{
+		Name:          "DDR3 DRAM",
+		Media:         MediaDRAM,
+		RandReadIOPS:  20e6,
+		RandWriteIOPS: 20e6,
+		SeqReadMBps:   12800,
+		SeqWriteMBps:  12800,
+		CapacityGB:    4,
+		PriceUSD:      72, // ~10x the $/GB of MLC flash, per Section 5.4.1
+	}
+)
+
+// Table1Profiles returns the device profiles in the order they appear in
+// Table 1 of the paper.
+func Table1Profiles() []Profile {
+	return []Profile{
+		ProfileSamsung470,
+		ProfileIntelX25M,
+		ProfileIntelX25E,
+		ProfileCheetah15K,
+		ProfileRAID0x8,
+	}
+}

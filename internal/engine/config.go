@@ -1,0 +1,168 @@
+// Package engine ties the substrates together into a small transactional
+// storage engine: DRAM buffer pool, optional flash cache extension,
+// write-ahead log, checkpointer and restart recovery.  It plays the role
+// PostgreSQL plays in the paper: the host system whose buffer manager,
+// checkpoint process and recovery daemon FaCE extends.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/reprolab/face/internal/device"
+	"github.com/reprolab/face/internal/face"
+	"github.com/reprolab/face/internal/metrics"
+)
+
+// CachePolicy selects the flash cache manager, mirroring the schemes
+// compared in the paper's evaluation.
+type CachePolicy string
+
+// Cache policies.
+const (
+	// PolicyNone disables the flash cache (HDD-only or SSD-only setups).
+	PolicyNone CachePolicy = "none"
+	// PolicyFaCE is the basic mvFIFO FaCE cache.
+	PolicyFaCE CachePolicy = "face"
+	// PolicyFaCEGR is FaCE with Group Replacement.
+	PolicyFaCEGR CachePolicy = "face+gr"
+	// PolicyFaCEGSC is FaCE with Group Second Chance.
+	PolicyFaCEGSC CachePolicy = "face+gsc"
+	// PolicyLC is the Lazy Cleaning (LRU write-back) baseline.
+	PolicyLC CachePolicy = "lc"
+	// PolicyWriteThrough is the TAC-style write-through baseline.
+	PolicyWriteThrough CachePolicy = "wt"
+)
+
+// UsesFlash reports whether the policy needs a flash device.
+func (p CachePolicy) UsesFlash() bool { return p != PolicyNone && p != "" }
+
+// String returns the policy name.
+func (p CachePolicy) String() string {
+	if p == "" {
+		return string(PolicyNone)
+	}
+	return string(p)
+}
+
+// ParsePolicy converts a string (as used by the CLI) into a CachePolicy.
+func ParsePolicy(s string) (CachePolicy, error) {
+	switch CachePolicy(s) {
+	case PolicyNone, PolicyFaCE, PolicyFaCEGR, PolicyFaCEGSC, PolicyLC, PolicyWriteThrough:
+		return CachePolicy(s), nil
+	case "":
+		return PolicyNone, nil
+	default:
+		return "", fmt.Errorf("engine: unknown cache policy %q", s)
+	}
+}
+
+// Errors returned by the engine.
+var (
+	ErrClosed   = errors.New("engine: database is closed")
+	ErrCrashed  = errors.New("engine: database has crashed; reopen it to recover")
+	ErrNoDevice = errors.New("engine: missing required device")
+	ErrTxDone   = errors.New("engine: transaction already finished")
+)
+
+// Config describes a database instance.
+type Config struct {
+	// DataDev holds the database pages (a disk array in most experiments,
+	// a flash SSD in the SSD-only configuration).
+	DataDev device.Dev
+	// LogDev holds the write-ahead log.
+	LogDev device.Dev
+	// FlashDev holds the flash cache; required when Policy uses flash.
+	FlashDev device.Dev
+
+	// BufferPages is the DRAM buffer pool capacity in pages.
+	BufferPages int
+
+	// Policy selects the flash cache scheme.
+	Policy CachePolicy
+	// FlashFrames is the flash cache capacity in page frames.
+	FlashFrames int
+	// GroupSize overrides the replacement batch size for the FaCE group
+	// optimizations (default face.DefaultGroupSize).
+	GroupSize int
+	// SegmentEntries overrides the persistent metadata segment size.
+	SegmentEntries int
+	// CleanThreshold is the LC lazy-cleaner dirty fraction threshold.
+	CleanThreshold float64
+
+	// CheckpointEvery triggers a database checkpoint whenever this much
+	// simulated time has passed since the previous one.  Zero disables
+	// periodic checkpoints.
+	CheckpointEvery time.Duration
+
+	// Model is the CPU/overlap model used to derive elapsed simulated
+	// time.  The zero value uses metrics.DefaultModel.
+	Model metrics.Model
+
+	// Recover runs crash recovery during Open.  Set it when reopening a
+	// database after Crash; leave it false for a freshly initialised set
+	// of devices.
+	Recover bool
+}
+
+func (c *Config) validate() error {
+	if c.DataDev == nil {
+		return fmt.Errorf("%w: DataDev", ErrNoDevice)
+	}
+	if c.LogDev == nil {
+		return fmt.Errorf("%w: LogDev", ErrNoDevice)
+	}
+	if c.BufferPages < 1 {
+		return fmt.Errorf("engine: BufferPages must be at least 1")
+	}
+	if c.Policy.UsesFlash() {
+		if c.FlashDev == nil {
+			return fmt.Errorf("%w: FlashDev (policy %s)", ErrNoDevice, c.Policy)
+		}
+		if c.FlashFrames < 1 {
+			return fmt.Errorf("engine: FlashFrames must be at least 1 for policy %s", c.Policy)
+		}
+	}
+	return nil
+}
+
+// buildCache constructs the flash cache manager for the configured policy.
+func (c *Config) buildCache(diskWrite face.DiskWriteFunc, pull face.PullFunc) (face.Extension, error) {
+	if !c.Policy.UsesFlash() {
+		return nil, nil
+	}
+	group := c.GroupSize
+	if group <= 0 {
+		group = face.DefaultGroupSize
+	}
+	switch c.Policy {
+	case PolicyFaCE:
+		return face.NewMVFIFO(face.MVFIFOConfig{
+			Dev: c.FlashDev, Frames: c.FlashFrames, GroupSize: 1,
+			SegmentEntries: c.SegmentEntries, DiskWrite: diskWrite,
+		})
+	case PolicyFaCEGR:
+		return face.NewMVFIFO(face.MVFIFOConfig{
+			Dev: c.FlashDev, Frames: c.FlashFrames, GroupSize: group,
+			SegmentEntries: c.SegmentEntries, DiskWrite: diskWrite,
+		})
+	case PolicyFaCEGSC:
+		return face.NewMVFIFO(face.MVFIFOConfig{
+			Dev: c.FlashDev, Frames: c.FlashFrames, GroupSize: group, SecondChance: true,
+			SegmentEntries: c.SegmentEntries, DiskWrite: diskWrite, Pull: pull,
+		})
+	case PolicyLC:
+		return face.NewLC(face.LCConfig{
+			Dev: c.FlashDev, Frames: c.FlashFrames, DiskWrite: diskWrite,
+			CleanThreshold: c.CleanThreshold,
+		})
+	case PolicyWriteThrough:
+		return face.NewLC(face.LCConfig{
+			Dev: c.FlashDev, Frames: c.FlashFrames, DiskWrite: diskWrite,
+			WriteThrough: true,
+		})
+	default:
+		return nil, fmt.Errorf("engine: unknown cache policy %q", c.Policy)
+	}
+}

@@ -1,0 +1,520 @@
+package engine
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/reprolab/face/internal/buffer"
+	"github.com/reprolab/face/internal/device"
+	"github.com/reprolab/face/internal/face"
+	"github.com/reprolab/face/internal/metrics"
+	"github.com/reprolab/face/internal/page"
+	"github.com/reprolab/face/internal/recovery"
+	"github.com/reprolab/face/internal/simclock"
+	"github.com/reprolab/face/internal/wal"
+)
+
+// superblockMagic identifies an initialised database superblock (page 0 of
+// the data device).
+const superblockMagic = 0xFACEDB01
+
+// DB is a transactional page store with an optional flash cache extension.
+// It is driven single-threaded: one transaction at a time, as the benchmark
+// harness models client concurrency analytically (see the metrics package).
+type DB struct {
+	mu sync.Mutex
+
+	cfg   Config
+	model metrics.Model
+
+	dataDev  device.Dev
+	logDev   device.Dev
+	flashDev device.Dev
+
+	pool  *buffer.Pool
+	cache face.Extension
+	log   *wal.Manager
+	clock *simclock.Clock
+
+	nextPage page.ID
+	nextTx   wal.TxID
+	// maxLSNSeen is the page-LSN high-water mark recorded in the
+	// superblock at the last checkpoint; it lets a fresh log continue the
+	// LSN sequence of a database image created under an earlier log.
+	maxLSNSeen page.LSN
+
+	committed int64
+	aborted   int64
+
+	lastCheckpoint time.Duration
+	checkpoints    int64
+
+	recoveryReport *RecoveryReport
+
+	crashed bool
+	closed  bool
+}
+
+// RecoveryReport describes a completed restart, including the timing split
+// the paper reports in Section 5.5.
+type RecoveryReport struct {
+	recovery.Report
+	// MetadataRestoreTime is the simulated time spent rebuilding the flash
+	// cache metadata directory.
+	MetadataRestoreTime time.Duration
+	// RedoUndoTime is the simulated time spent in the log passes.
+	RedoUndoTime time.Duration
+	// TotalTime is the total simulated restart time.
+	TotalTime time.Duration
+	// FlashReads and DiskReads are the page reads performed during
+	// recovery, split by device.
+	FlashReads int64
+	DiskReads  int64
+}
+
+// Open creates or reopens a database on the given devices.  With
+// cfg.Recover set, crash recovery runs before Open returns and its report
+// is available from RecoveryReport.
+func Open(cfg Config) (*DB, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	db := &DB{
+		cfg:      cfg,
+		model:    cfg.Model,
+		dataDev:  cfg.DataDev,
+		logDev:   cfg.LogDev,
+		flashDev: cfg.FlashDev,
+		clock:    simclock.New(),
+		nextPage: 1,
+		nextTx:   1,
+	}
+
+	var err error
+	db.log, err = wal.Open(cfg.LogDev)
+	if err != nil {
+		return nil, err
+	}
+
+	if err := db.readSuperblock(); err != nil {
+		return nil, err
+	}
+	// If the database pages carry LSNs from an earlier log incarnation
+	// (e.g. a cloned database image attached to a fresh log device), start
+	// the new log above their high-water mark so that LSN comparisons in
+	// redo and in the flash cache stay meaningful.
+	if db.maxLSNSeen > db.log.Next() && db.log.Durable() == db.log.Next() && db.log.LastCheckpoint() == 0 {
+		if err := db.log.SetStart(db.maxLSNSeen); err != nil {
+			return nil, err
+		}
+	}
+
+	db.cache, err = cfg.buildCache(db.diskWritePage, db.pullVictims)
+	if err != nil {
+		return nil, err
+	}
+
+	db.pool, err = buffer.New(cfg.BufferPages, db.fetchPage, db.evictPage)
+	if err != nil {
+		return nil, err
+	}
+
+	if cfg.Recover {
+		if err := db.recover(); err != nil {
+			return nil, err
+		}
+	}
+	db.lastCheckpoint = db.Elapsed()
+	return db, nil
+}
+
+// --- device wiring -------------------------------------------------------
+
+// fetchPage loads a page on a DRAM buffer miss: the flash cache first, the
+// data device otherwise.
+func (db *DB) fetchPage(id page.ID, buf page.Buf) (bool, error) {
+	if db.cache != nil {
+		found, dirty, err := db.cache.Lookup(id, buf)
+		if err != nil {
+			return false, err
+		}
+		if found {
+			return dirty, nil
+		}
+	}
+	if err := db.dataDev.ReadAt(int64(id), buf); err != nil {
+		return false, err
+	}
+	return false, nil
+}
+
+// evictPage handles a page leaving the DRAM buffer: write-ahead rule first,
+// then stage into the flash cache (or straight to disk without one).
+func (db *DB) evictPage(v buffer.Victim) error {
+	if v.Dirty || v.FDirty {
+		if err := db.log.Force(v.Data.LSN() + 1); err != nil {
+			return err
+		}
+	}
+	if db.cache != nil {
+		return db.cache.StageIn(v.ID, v.Data, v.Dirty, v.FDirty)
+	}
+	if v.Dirty {
+		return db.dataDev.WriteAt(int64(v.ID), v.Data)
+	}
+	return nil
+}
+
+// diskWritePage is handed to the flash cache so it can stage dirty pages
+// out to the database on disk.
+func (db *DB) diskWritePage(id page.ID, data page.Buf) error {
+	return db.dataDev.WriteAt(int64(id), data)
+}
+
+// pullVictims lets Group Second Chance top up a write group with victims
+// pulled from the DRAM buffer's LRU tail.  The write-ahead rule is honoured
+// before the pages are handed to the cache.
+func (db *DB) pullVictims(n int) []face.PulledPage {
+	victims := db.pool.EvictBatch(n)
+	if len(victims) == 0 {
+		return nil
+	}
+	var maxLSN page.LSN
+	for _, v := range victims {
+		if (v.Dirty || v.FDirty) && v.Data.LSN() > maxLSN {
+			maxLSN = v.Data.LSN()
+		}
+	}
+	if maxLSN > 0 {
+		// Forcing the log cannot be allowed to fail silently, but the pull
+		// path has no error return; fall back to dropping the pages as
+		// clean DRAM copies would be (their log records are still in the
+		// WAL tail and will be replayed if needed).
+		if err := db.log.Force(maxLSN + 1); err != nil {
+			return nil
+		}
+	}
+	out := make([]face.PulledPage, 0, len(victims))
+	for _, v := range victims {
+		out = append(out, face.PulledPage{ID: v.ID, Data: v.Data, Dirty: v.Dirty, FDirty: v.FDirty})
+	}
+	return out
+}
+
+// --- superblock ----------------------------------------------------------
+
+func (db *DB) readSuperblock() error {
+	buf := make([]byte, device.BlockSize)
+	if err := db.dataDev.ReadAt(0, buf); err != nil {
+		return fmt.Errorf("engine: reading superblock: %w", err)
+	}
+	if binary.LittleEndian.Uint32(buf[page.HeaderSize:]) == superblockMagic {
+		db.nextPage = page.ID(binary.LittleEndian.Uint64(buf[page.HeaderSize+4:]))
+		if db.nextPage < 1 {
+			db.nextPage = 1
+		}
+		db.maxLSNSeen = page.LSN(binary.LittleEndian.Uint64(buf[page.HeaderSize+12:]))
+	}
+	return nil
+}
+
+func (db *DB) writeSuperblock() error {
+	buf := page.NewBuf()
+	buf.Init(0, page.TypeSuperblock)
+	binary.LittleEndian.PutUint32(buf[page.HeaderSize:], superblockMagic)
+	binary.LittleEndian.PutUint64(buf[page.HeaderSize+4:], uint64(db.nextPage))
+	binary.LittleEndian.PutUint64(buf[page.HeaderSize+12:], uint64(db.log.Next()))
+	buf.UpdateChecksum()
+	if err := db.dataDev.WriteAt(0, buf); err != nil {
+		return fmt.Errorf("engine: writing superblock: %w", err)
+	}
+	return nil
+}
+
+// --- lifecycle -----------------------------------------------------------
+
+// Close checkpoints the database and flushes all cached dirty pages to
+// disk, leaving the data device self-contained.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil
+	}
+	if db.crashed {
+		db.closed = true
+		return nil
+	}
+	if err := db.checkpointLocked(); err != nil {
+		return err
+	}
+	if db.cache != nil {
+		if err := db.cache.FlushAll(); err != nil {
+			return err
+		}
+	}
+	if err := db.pool.FlushDirty(func(v buffer.Victim) error {
+		if !v.Dirty {
+			return nil
+		}
+		return db.dataDev.WriteAt(int64(v.ID), v.Data)
+	}, true); err != nil {
+		return err
+	}
+	db.closed = true
+	return nil
+}
+
+// Crash simulates a process failure: every volatile structure (DRAM buffer
+// pool, unforced log tail, in-memory cache metadata) is lost; device
+// contents survive.  Reopen the same devices with Config.Recover set to
+// restart.
+func (db *DB) Crash() {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.pool.DropAll()
+	db.log.Crash()
+	db.crashed = true
+	db.closed = true
+}
+
+// recover runs restart recovery: the flash cache metadata directory is
+// restored first, then the log is replayed.
+func (db *DB) recover() error {
+	rep := &RecoveryReport{}
+
+	dataBefore := db.dataDev.Stats()
+	flashBefore := device.Stats{}
+	if db.flashDev != nil {
+		flashBefore = db.flashDev.Stats()
+	}
+	logBefore := db.logDev.Stats()
+
+	// Phase 1: restore the flash cache metadata directory.
+	if db.cache != nil {
+		if err := db.cache.Recover(); err != nil {
+			return err
+		}
+	}
+	var flashAfterMeta device.Stats
+	if db.flashDev != nil {
+		flashAfterMeta = db.flashDev.Stats()
+		rep.MetadataRestoreTime = flashAfterMeta.Sub(flashBefore).Busy
+	}
+
+	// Phase 2: redo and undo from the last completed checkpoint.
+	r, err := recovery.Run(db.log, dbPager{db})
+	if err != nil {
+		return err
+	}
+	rep.Report = r
+	if r.MaxPageID >= db.nextPage {
+		db.nextPage = r.MaxPageID + 1
+	}
+
+	// Recovery runs single-threaded, so its simulated duration is the sum
+	// of the service demand it placed on every device.
+	dataDelta := db.dataDev.Stats().Sub(dataBefore)
+	logDelta := db.logDev.Stats().Sub(logBefore)
+	var flashDelta device.Stats
+	if db.flashDev != nil {
+		flashDelta = db.flashDev.Stats().Sub(flashBefore)
+	}
+	cpu := time.Duration(r.RecordsScanned) * db.model.CPUPerPageAccess
+	rep.RedoUndoTime = dataDelta.Busy + logDelta.Busy + flashDelta.Busy + cpu - rep.MetadataRestoreTime
+	if rep.RedoUndoTime < 0 {
+		rep.RedoUndoTime = 0
+	}
+	rep.TotalTime = rep.MetadataRestoreTime + rep.RedoUndoTime
+	rep.DiskReads = dataDelta.Reads()
+	rep.FlashReads = flashDelta.Reads()
+
+	// Take a checkpoint so the next crash does not have to replay this
+	// work again, as real systems do at the end of restart.
+	if err := db.checkpointLocked(); err != nil {
+		return err
+	}
+	db.recoveryReport = rep
+	return nil
+}
+
+// RecoveryReport returns the report of the restart performed by Open, or
+// nil when the database was opened without recovery.
+func (db *DB) RecoveryReport() *RecoveryReport { return db.recoveryReport }
+
+// dbPager adapts the DB to the recovery.Pager interface.
+type dbPager struct{ db *DB }
+
+func (p dbPager) Get(id page.ID) (page.Buf, error) { return p.db.pool.Get(id) }
+func (p dbPager) Unpin(id page.ID) error           { return p.db.pool.Unpin(id) }
+func (p dbPager) MarkDirty(id page.ID) error       { return p.db.pool.MarkDirty(id) }
+
+// --- checkpointing -------------------------------------------------------
+
+// Checkpoint performs a database checkpoint: dirty DRAM pages are flushed
+// into the persistent database (the flash cache under FaCE and LC, disk
+// otherwise) and the flash cache checkpoints its own metadata.
+func (db *DB) Checkpoint() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	return db.checkpointLocked()
+}
+
+func (db *DB) checkpointLocked() error {
+	beginLSN, err := db.log.LogCheckpointBegin()
+	if err != nil {
+		return err
+	}
+	if db.cache != nil {
+		// Dirty DRAM pages are checked in to the flash cache instead of
+		// disk.  Under write-through the cache forwards them to disk, so
+		// the DRAM copies become clean with respect to disk as well.
+		syncedToDisk := db.cfg.Policy == PolicyWriteThrough
+		err = db.pool.FlushDirty(func(v buffer.Victim) error {
+			if err := db.log.Force(v.Data.LSN() + 1); err != nil {
+				return err
+			}
+			return db.cache.StageIn(v.ID, v.Data, v.Dirty, v.FDirty)
+		}, syncedToDisk)
+		if err != nil {
+			return err
+		}
+		if err := db.cache.Checkpoint(); err != nil {
+			return err
+		}
+	} else {
+		err = db.pool.FlushDirty(func(v buffer.Victim) error {
+			if !v.Dirty {
+				return nil
+			}
+			if err := db.log.Force(v.Data.LSN() + 1); err != nil {
+				return err
+			}
+			return db.dataDev.WriteAt(int64(v.ID), v.Data)
+		}, true)
+		if err != nil {
+			return err
+		}
+	}
+	if err := db.writeSuperblock(); err != nil {
+		return err
+	}
+	if err := db.log.LogCheckpointEnd(beginLSN); err != nil {
+		return err
+	}
+	db.checkpoints++
+	db.lastCheckpoint = db.Elapsed()
+	return nil
+}
+
+// Tick advances the simulated clock to the modelled elapsed time and runs a
+// periodic checkpoint when the configured interval has passed.  The
+// benchmark harness calls it between transactions.
+func (db *DB) Tick() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	now := db.Elapsed()
+	db.clock.AdvanceTo(now)
+	if db.cfg.CheckpointEvery > 0 && now-db.lastCheckpoint >= db.cfg.CheckpointEvery {
+		return db.checkpointLocked()
+	}
+	return nil
+}
+
+// Checkpoints returns the number of checkpoints taken.
+func (db *DB) Checkpoints() int64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.checkpoints
+}
+
+// --- measurement ---------------------------------------------------------
+
+// Elapsed returns the modelled elapsed simulated time of all work performed
+// so far: the bottleneck of CPU, flash device and data device, with the log
+// device overlapping the same way.
+func (db *DB) Elapsed() time.Duration {
+	ps := db.pool.Stats()
+	accesses := ps.Hits + ps.Misses
+	resources := []metrics.Resource{
+		metrics.DeviceResource(db.dataDev),
+		metrics.DeviceResource(db.logDev),
+	}
+	if db.flashDev != nil {
+		resources = append(resources, metrics.DeviceResource(db.flashDev))
+	}
+	return db.model.Elapsed(accesses, resources...)
+}
+
+// Snapshot captures every counter needed to measure a window of work by
+// subtracting two snapshots.
+type Snapshot struct {
+	Elapsed      time.Duration
+	Committed    int64
+	Aborted      int64
+	PageAccesses int64
+	Checkpoints  int64
+	Pool         buffer.Stats
+	Cache        face.Stats
+	Data         device.Stats
+	Log          device.Stats
+	Flash        device.Stats
+}
+
+// Snapshot returns the current counters.
+func (db *DB) Snapshot() Snapshot {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	ps := db.pool.Stats()
+	s := Snapshot{
+		Elapsed:      db.Elapsed(),
+		Committed:    db.committed,
+		Aborted:      db.aborted,
+		PageAccesses: ps.Hits + ps.Misses,
+		Checkpoints:  db.checkpoints,
+		Pool:         ps,
+		Data:         db.dataDev.Stats(),
+		Log:          db.logDev.Stats(),
+	}
+	if db.cache != nil {
+		s.Cache = db.cache.Stats()
+	}
+	if db.flashDev != nil {
+		s.Flash = db.flashDev.Stats()
+	}
+	return s
+}
+
+// Committed returns the number of committed transactions.
+func (db *DB) Committed() int64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.committed
+}
+
+// Cache exposes the flash cache manager (nil without one).
+func (db *DB) Cache() face.Extension { return db.cache }
+
+// Pool exposes the DRAM buffer pool.
+func (db *DB) Pool() *buffer.Pool { return db.pool }
+
+// Log exposes the write-ahead log manager.
+func (db *DB) Log() *wal.Manager { return db.log }
+
+// Clock returns the simulated clock.
+func (db *DB) Clock() *simclock.Clock { return db.clock }
+
+// NumPages returns the number of allocated pages (excluding the superblock).
+func (db *DB) NumPages() int64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return int64(db.nextPage) - 1
+}

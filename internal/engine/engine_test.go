@@ -1,0 +1,554 @@
+package engine
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/reprolab/face/internal/device"
+	"github.com/reprolab/face/internal/page"
+)
+
+// testRig bundles the devices of one database instance so it can be
+// crashed and reopened.
+type testRig struct {
+	data  *device.Array
+	log   *device.Device
+	flash *device.Device
+	cfg   Config
+}
+
+func newRig(t *testing.T, policy CachePolicy) *testRig {
+	t.Helper()
+	r := &testRig{
+		data:  device.NewArray("data", device.ProfileCheetah15K, 4, 4096),
+		log:   device.New("log", device.ProfileCheetah15K, 8192),
+		flash: device.New("flash", device.ProfileSamsung470, 2048),
+	}
+	r.cfg = Config{
+		DataDev:        r.data,
+		LogDev:         r.log,
+		FlashDev:       r.flash,
+		BufferPages:    32,
+		Policy:         policy,
+		FlashFrames:    256,
+		GroupSize:      16,
+		SegmentEntries: 64,
+	}
+	if !policy.UsesFlash() {
+		r.cfg.FlashDev = nil
+		r.cfg.FlashFrames = 0
+	}
+	return r
+}
+
+func (r *testRig) open(t *testing.T, recover bool) *DB {
+	t.Helper()
+	cfg := r.cfg
+	cfg.Recover = recover
+	db, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// writeValue stores a uint64 value in the payload of the page.
+func writeValue(t *testing.T, tx *Tx, id page.ID, v uint64) {
+	t.Helper()
+	if err := tx.Modify(id, func(buf page.Buf) error {
+		binary.LittleEndian.PutUint64(buf.Payload(), v)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// readValue reads the uint64 value from the payload of the page.
+func readValue(t *testing.T, tx *Tx, id page.ID) uint64 {
+	t.Helper()
+	var v uint64
+	if err := tx.Read(id, func(buf page.Buf) error {
+		v = binary.LittleEndian.Uint64(buf.Payload())
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func allPolicies() []CachePolicy {
+	return []CachePolicy{PolicyNone, PolicyFaCE, PolicyFaCEGR, PolicyFaCEGSC, PolicyLC, PolicyWriteThrough}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for _, p := range allPolicies() {
+		got, err := ParsePolicy(string(p))
+		if err != nil || got != p {
+			t.Fatalf("ParsePolicy(%q) = %v, %v", p, got, err)
+		}
+	}
+	if p, err := ParsePolicy(""); err != nil || p != PolicyNone {
+		t.Fatalf("ParsePolicy(\"\") = %v, %v", p, err)
+	}
+	if _, err := ParsePolicy("bogus"); err == nil {
+		t.Fatal("bogus policy accepted")
+	}
+	if PolicyNone.UsesFlash() || !PolicyFaCE.UsesFlash() {
+		t.Fatal("UsesFlash misbehaves")
+	}
+	if PolicyFaCE.String() != "face" || CachePolicy("").String() != "none" {
+		t.Fatal("String misbehaves")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	r := newRig(t, PolicyFaCE)
+	bad := r.cfg
+	bad.DataDev = nil
+	if _, err := Open(bad); !errors.Is(err, ErrNoDevice) {
+		t.Fatalf("missing data device: %v", err)
+	}
+	bad = r.cfg
+	bad.LogDev = nil
+	if _, err := Open(bad); !errors.Is(err, ErrNoDevice) {
+		t.Fatalf("missing log device: %v", err)
+	}
+	bad = r.cfg
+	bad.FlashDev = nil
+	if _, err := Open(bad); !errors.Is(err, ErrNoDevice) {
+		t.Fatalf("missing flash device: %v", err)
+	}
+	bad = r.cfg
+	bad.BufferPages = 0
+	if _, err := Open(bad); err == nil {
+		t.Fatal("zero buffer pages accepted")
+	}
+	bad = r.cfg
+	bad.FlashFrames = 0
+	if _, err := Open(bad); err == nil {
+		t.Fatal("zero flash frames accepted with a flash policy")
+	}
+	bad = r.cfg
+	bad.Policy = "bogus"
+	if _, err := Open(bad); err == nil {
+		t.Fatal("bogus policy accepted")
+	}
+}
+
+func TestBasicTransactionsAcrossPolicies(t *testing.T) {
+	for _, policy := range allPolicies() {
+		policy := policy
+		t.Run(string(policy), func(t *testing.T) {
+			r := newRig(t, policy)
+			db := r.open(t, false)
+			defer db.Close()
+
+			// Allocate pages and write values.
+			tx, err := db.Begin()
+			if err != nil {
+				t.Fatal(err)
+			}
+			var ids []page.ID
+			for i := 0; i < 100; i++ {
+				id, err := tx.Alloc(page.TypeHeap)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ids = append(ids, id)
+				writeValue(t, tx, id, uint64(i))
+			}
+			if err := tx.Commit(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Read them back through a workload large enough to overflow
+			// the 32-page DRAM buffer, exercising the cache/disk paths.
+			tx2, _ := db.Begin()
+			for round := 0; round < 3; round++ {
+				for i, id := range ids {
+					if got := readValue(t, tx2, id); got != uint64(i) {
+						t.Fatalf("page %d value = %d, want %d", id, got, i)
+					}
+				}
+			}
+			if err := tx2.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			if db.Committed() != 2 {
+				t.Fatalf("Committed = %d, want 2", db.Committed())
+			}
+			if db.NumPages() != 100 {
+				t.Fatalf("NumPages = %d, want 100", db.NumPages())
+			}
+			if policy.UsesFlash() {
+				if db.Cache() == nil || db.Cache().Stats().StageIns == 0 {
+					t.Fatal("flash cache saw no traffic")
+				}
+			} else if db.Cache() != nil {
+				t.Fatal("cache present for PolicyNone")
+			}
+			if db.Elapsed() <= 0 {
+				t.Fatal("Elapsed not positive")
+			}
+		})
+	}
+}
+
+func TestAbortRollsBack(t *testing.T) {
+	r := newRig(t, PolicyFaCE)
+	db := r.open(t, false)
+	defer db.Close()
+
+	tx, _ := db.Begin()
+	id, err := tx.Alloc(page.TypeHeap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeValue(t, tx, id, 111)
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	tx2, _ := db.Begin()
+	writeValue(t, tx2, id, 222)
+	if got := readValue(t, tx2, id); got != 222 {
+		t.Fatalf("uncommitted read = %d", got)
+	}
+	if err := tx2.Abort(); err != nil {
+		t.Fatal(err)
+	}
+
+	tx3, _ := db.Begin()
+	if got := readValue(t, tx3, id); got != 111 {
+		t.Fatalf("value after abort = %d, want 111", got)
+	}
+	tx3.Commit()
+
+	// Operations on finished transactions fail.
+	if err := tx2.Commit(); !errors.Is(err, ErrTxDone) {
+		t.Fatalf("Commit after Abort: %v", err)
+	}
+	if err := tx2.Abort(); !errors.Is(err, ErrTxDone) {
+		t.Fatalf("double Abort: %v", err)
+	}
+	if err := tx2.Modify(id, func(page.Buf) error { return nil }); !errors.Is(err, ErrTxDone) {
+		t.Fatalf("Modify after Abort: %v", err)
+	}
+	if err := tx2.Read(id, func(page.Buf) error { return nil }); !errors.Is(err, ErrTxDone) {
+		t.Fatalf("Read after Abort: %v", err)
+	}
+	if _, err := tx2.Alloc(page.TypeHeap); !errors.Is(err, ErrTxDone) {
+		t.Fatalf("Alloc after Abort: %v", err)
+	}
+}
+
+func TestModifyErrorLeavesPageUntouched(t *testing.T) {
+	r := newRig(t, PolicyNone)
+	db := r.open(t, false)
+	defer db.Close()
+	tx, _ := db.Begin()
+	id, _ := tx.Alloc(page.TypeHeap)
+	writeValue(t, tx, id, 5)
+	boom := fmt.Errorf("boom")
+	err := tx.Modify(id, func(buf page.Buf) error {
+		binary.LittleEndian.PutUint64(buf.Payload(), 999)
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Modify error = %v", err)
+	}
+	if got := readValue(t, tx, id); got != 5 {
+		t.Fatalf("value after failed Modify = %d, want 5", got)
+	}
+	tx.Commit()
+}
+
+func TestModifyNoChangeWritesNoLog(t *testing.T) {
+	r := newRig(t, PolicyNone)
+	db := r.open(t, false)
+	defer db.Close()
+	tx, _ := db.Begin()
+	id, _ := tx.Alloc(page.TypeHeap)
+	before := db.Log().Next()
+	if err := tx.Modify(id, func(buf page.Buf) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if db.Log().Next() != before {
+		t.Fatal("no-op Modify appended a log record")
+	}
+	tx.Commit()
+}
+
+func crashRecoverScenario(t *testing.T, policy CachePolicy) {
+	r := newRig(t, policy)
+	db := r.open(t, false)
+
+	// Committed state before the crash.
+	tx, _ := db.Begin()
+	var ids []page.ID
+	for i := 0; i < 200; i++ {
+		id, err := tx.Alloc(page.TypeHeap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+		writeValue(t, tx, id, uint64(i))
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	// More committed updates after the checkpoint.
+	tx2, _ := db.Begin()
+	for i := 0; i < 100; i++ {
+		writeValue(t, tx2, ids[i], uint64(i)+1000)
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// An uncommitted (loser) transaction.
+	tx3, _ := db.Begin()
+	for i := 100; i < 150; i++ {
+		writeValue(t, tx3, ids[i], 7777)
+	}
+	// Force the loser's pages out of DRAM so some reach the persistent
+	// database before the crash.
+	tx4, _ := db.Begin()
+	for i := 150; i < 200; i++ {
+		_ = readValue(t, tx4, ids[i])
+	}
+	tx4.Commit()
+
+	db.Crash()
+
+	// A crashed database refuses new work.
+	if _, err := db.Begin(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("Begin after crash: %v", err)
+	}
+
+	db2 := r.open(t, true)
+	defer db2.Close()
+	rep := db2.RecoveryReport()
+	if rep == nil {
+		t.Fatal("no recovery report after recovering open")
+	}
+	if rep.TotalTime <= 0 {
+		t.Fatal("recovery took no simulated time")
+	}
+
+	tx5, _ := db2.Begin()
+	for i := 0; i < 100; i++ {
+		if got := readValue(t, tx5, ids[i]); got != uint64(i)+1000 {
+			t.Fatalf("policy %s: committed update lost: page %d = %d, want %d", policy, ids[i], got, i+1000)
+		}
+	}
+	for i := 100; i < 150; i++ {
+		if got := readValue(t, tx5, ids[i]); got == 7777 {
+			t.Fatalf("policy %s: loser transaction survived on page %d", policy, ids[i])
+		}
+	}
+	for i := 150; i < 200; i++ {
+		if got := readValue(t, tx5, ids[i]); got != uint64(i) {
+			t.Fatalf("policy %s: baseline value lost: page %d = %d, want %d", policy, ids[i], got, i)
+		}
+	}
+	tx5.Commit()
+}
+
+func TestCrashRecoveryAllPolicies(t *testing.T) {
+	for _, policy := range allPolicies() {
+		policy := policy
+		t.Run(string(policy), func(t *testing.T) { crashRecoverScenario(t, policy) })
+	}
+}
+
+func TestFaCERecoveryReadsMostlyFromFlash(t *testing.T) {
+	r := newRig(t, PolicyFaCEGSC)
+	db := r.open(t, false)
+	tx, _ := db.Begin()
+	var ids []page.ID
+	for i := 0; i < 150; i++ {
+		id, _ := tx.Alloc(page.TypeHeap)
+		ids = append(ids, id)
+		writeValue(t, tx, id, uint64(i))
+	}
+	tx.Commit()
+	db.Checkpoint()
+	tx2, _ := db.Begin()
+	for i := 0; i < 150; i++ {
+		writeValue(t, tx2, ids[i], uint64(i)*3)
+	}
+	tx2.Commit()
+	db.Crash()
+
+	db2 := r.open(t, true)
+	defer db2.Close()
+	rep := db2.RecoveryReport()
+	if rep.FlashReads == 0 {
+		t.Fatal("FaCE recovery read nothing from flash")
+	}
+	if rep.FlashReads < rep.DiskReads {
+		t.Fatalf("FaCE recovery should be served mostly by flash: flash=%d disk=%d",
+			rep.FlashReads, rep.DiskReads)
+	}
+}
+
+func TestHDDOnlyRecoverySlowerThanFaCE(t *testing.T) {
+	run := func(policy CachePolicy) time.Duration {
+		r := newRig(t, policy)
+		db := r.open(t, false)
+		tx, _ := db.Begin()
+		var ids []page.ID
+		for i := 0; i < 200; i++ {
+			id, _ := tx.Alloc(page.TypeHeap)
+			ids = append(ids, id)
+			writeValue(t, tx, id, uint64(i))
+		}
+		tx.Commit()
+		db.Checkpoint()
+		tx2, _ := db.Begin()
+		for i := 0; i < 200; i++ {
+			writeValue(t, tx2, ids[i], uint64(i)+5)
+		}
+		tx2.Commit()
+		db.Crash()
+		db2 := r.open(t, true)
+		defer db2.Close()
+		return db2.RecoveryReport().TotalTime
+	}
+	faceTime := run(PolicyFaCEGSC)
+	hddTime := run(PolicyNone)
+	if faceTime >= hddTime {
+		t.Fatalf("FaCE restart (%v) should be faster than HDD-only restart (%v)", faceTime, hddTime)
+	}
+}
+
+func TestPeriodicCheckpointViaTick(t *testing.T) {
+	r := newRig(t, PolicyFaCE)
+	r.cfg.CheckpointEvery = 50 * time.Millisecond
+	db := r.open(t, false)
+	defer db.Close()
+
+	tx, _ := db.Begin()
+	var ids []page.ID
+	for i := 0; i < 50; i++ {
+		id, _ := tx.Alloc(page.TypeHeap)
+		ids = append(ids, id)
+	}
+	tx.Commit()
+
+	for round := 0; round < 60; round++ {
+		tx, _ := db.Begin()
+		for _, id := range ids {
+			writeValue(t, tx, id, uint64(round))
+		}
+		tx.Commit()
+		if err := db.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if db.Checkpoints() == 0 {
+		t.Fatal("periodic checkpoints never fired")
+	}
+	if db.Clock().Now() == 0 {
+		t.Fatal("Tick did not advance the simulated clock")
+	}
+}
+
+func TestSnapshotDeltas(t *testing.T) {
+	r := newRig(t, PolicyFaCE)
+	db := r.open(t, false)
+	defer db.Close()
+	tx, _ := db.Begin()
+	id, _ := tx.Alloc(page.TypeHeap)
+	writeValue(t, tx, id, 1)
+	tx.Commit()
+
+	before := db.Snapshot()
+	tx2, _ := db.Begin()
+	for i := 0; i < 10; i++ {
+		writeValue(t, tx2, id, uint64(i))
+	}
+	tx2.Commit()
+	after := db.Snapshot()
+
+	if after.Committed-before.Committed != 1 {
+		t.Fatalf("committed delta = %d", after.Committed-before.Committed)
+	}
+	if after.PageAccesses <= before.PageAccesses {
+		t.Fatal("page accesses did not grow")
+	}
+	if after.Elapsed < before.Elapsed {
+		t.Fatal("elapsed went backwards")
+	}
+}
+
+func TestCloseMakesDataDeviceSelfContained(t *testing.T) {
+	r := newRig(t, PolicyFaCEGSC)
+	db := r.open(t, false)
+	tx, _ := db.Begin()
+	var ids []page.ID
+	for i := 0; i < 300; i++ {
+		id, _ := tx.Alloc(page.TypeHeap)
+		ids = append(ids, id)
+		writeValue(t, tx, id, uint64(i)*7)
+	}
+	tx.Commit()
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Begin after close fails.
+	if _, err := db.Begin(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Begin after Close: %v", err)
+	}
+	// Closing twice is fine.
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen without the flash cache: every committed value must be
+	// readable straight from disk.
+	cfg := r.cfg
+	cfg.Policy = PolicyNone
+	cfg.FlashDev = nil
+	cfg.FlashFrames = 0
+	db2, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	tx2, _ := db2.Begin()
+	for i, id := range ids {
+		if got := readValue(t, tx2, id); got != uint64(i)*7 {
+			t.Fatalf("page %d = %d after Close, want %d", id, got, uint64(i)*7)
+		}
+	}
+	tx2.Commit()
+}
+
+func TestAllocExhaustsDevice(t *testing.T) {
+	r := &testRig{
+		data: device.NewArray("data", device.ProfileCheetah15K, 1, 4),
+		log:  device.New("log", device.ProfileCheetah15K, 256),
+	}
+	r.cfg = Config{DataDev: r.data, LogDev: r.log, BufferPages: 4, Policy: PolicyNone}
+	db := r.open(t, false)
+	defer db.Close()
+	tx, _ := db.Begin()
+	for {
+		_, err := tx.Alloc(page.TypeHeap)
+		if err != nil {
+			return // expected: device full
+		}
+		if db.NumPages() > 10 {
+			t.Fatal("allocation never hit the device capacity")
+		}
+	}
+}

@@ -1,0 +1,225 @@
+package engine
+
+import (
+	"fmt"
+
+	"github.com/reprolab/face/internal/page"
+	"github.com/reprolab/face/internal/wal"
+)
+
+// Tx is a transaction.  The engine executes one transaction at a time; the
+// concurrency of the paper's 50 clients is modelled analytically by the
+// metrics package rather than executed.
+type Tx struct {
+	db   *DB
+	id   wal.TxID
+	done bool
+
+	// undo keeps the before images of this transaction's changes so Abort
+	// can roll them back without reading the log backwards.
+	undo []undoRecord
+}
+
+type undoRecord struct {
+	pageID page.ID
+	offset uint16
+	before []byte
+}
+
+// Begin starts a new transaction.
+func (db *DB) Begin() (*Tx, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.crashed {
+		return nil, ErrCrashed
+	}
+	if db.closed {
+		return nil, ErrClosed
+	}
+	tx := &Tx{db: db, id: db.nextTx}
+	db.nextTx++
+	return tx, nil
+}
+
+// ID returns the transaction id.
+func (tx *Tx) ID() uint64 { return uint64(tx.id) }
+
+// Read pins the page, passes it to fn for read-only use, and unpins it.
+func (tx *Tx) Read(id page.ID, fn func(buf page.Buf) error) error {
+	if tx.done {
+		return ErrTxDone
+	}
+	buf, err := tx.db.pool.Get(id)
+	if err != nil {
+		return err
+	}
+	defer tx.db.pool.Unpin(id)
+	return fn(buf)
+}
+
+// Modify pins the page, lets fn change it in place, logs the change as a
+// byte-range update record (before and after images), stamps the page LSN
+// and marks the page dirty.  If fn returns an error or changes nothing, no
+// log record is written.
+func (tx *Tx) Modify(id page.ID, fn func(buf page.Buf) error) error {
+	if tx.done {
+		return ErrTxDone
+	}
+	buf, err := tx.db.pool.Get(id)
+	if err != nil {
+		return err
+	}
+	defer tx.db.pool.Unpin(id)
+
+	before := buf.Clone()
+	if err := fn(buf); err != nil {
+		// Restore the pristine image so a failed modification leaves no
+		// unlogged change behind.
+		copy(buf, before)
+		return err
+	}
+	lo, hi := diffRange(before, buf)
+	if lo >= hi {
+		return nil
+	}
+	rec := &wal.Record{
+		Type:   wal.TypeUpdate,
+		TxID:   tx.id,
+		PageID: id,
+		Offset: uint16(lo),
+		Before: append([]byte(nil), before[lo:hi]...),
+		After:  append([]byte(nil), buf[lo:hi]...),
+	}
+	lsn, err := tx.db.log.Append(rec)
+	if err != nil {
+		copy(buf, before)
+		return err
+	}
+	buf.SetLSN(lsn)
+	if err := tx.db.pool.MarkDirty(id); err != nil {
+		return err
+	}
+	tx.undo = append(tx.undo, undoRecord{pageID: id, offset: uint16(lo), before: rec.Before})
+	return nil
+}
+
+// Alloc allocates and formats a new page of the given type.  The formatted
+// image is logged as a full-page record so recovery can recreate it.
+func (tx *Tx) Alloc(t page.Type) (page.ID, error) {
+	if tx.done {
+		return page.InvalidID, ErrTxDone
+	}
+	db := tx.db
+	db.mu.Lock()
+	id := db.nextPage
+	if int64(id) >= db.dataDev.NumBlocks() {
+		db.mu.Unlock()
+		return page.InvalidID, fmt.Errorf("engine: data device full (%d pages)", db.dataDev.NumBlocks())
+	}
+	db.nextPage++
+	db.mu.Unlock()
+
+	buf, err := db.pool.Put(id, func(buf page.Buf) { buf.Init(id, t) })
+	if err != nil {
+		return page.InvalidID, err
+	}
+	defer db.pool.Unpin(id)
+
+	rec := &wal.Record{Type: wal.TypeFullPage, TxID: tx.id, PageID: id, After: buf.Clone()}
+	lsn, err := db.log.Append(rec)
+	if err != nil {
+		return page.InvalidID, err
+	}
+	buf.SetLSN(lsn)
+	if err := db.pool.MarkDirty(id); err != nil {
+		return page.InvalidID, err
+	}
+	return id, nil
+}
+
+// Commit makes the transaction durable: a commit record is appended and the
+// log is forced (commit-time force-write, Section 4 of the paper).
+func (tx *Tx) Commit() error {
+	if tx.done {
+		return ErrTxDone
+	}
+	tx.done = true
+	db := tx.db
+	rec := &wal.Record{Type: wal.TypeCommit, TxID: tx.id}
+	lsn, err := db.log.Append(rec)
+	if err != nil {
+		return err
+	}
+	if err := db.log.Force(lsn + 1); err != nil {
+		return err
+	}
+	db.mu.Lock()
+	db.committed++
+	db.mu.Unlock()
+	return nil
+}
+
+// Abort rolls the transaction back by restoring the before images of its
+// changes in reverse order.  The compensating changes are logged as system
+// records (TxID 0) so redo replays them and the transaction needs no undo
+// after a crash.
+func (tx *Tx) Abort() error {
+	if tx.done {
+		return ErrTxDone
+	}
+	tx.done = true
+	db := tx.db
+	for i := len(tx.undo) - 1; i >= 0; i-- {
+		u := tx.undo[i]
+		buf, err := db.pool.Get(u.pageID)
+		if err != nil {
+			return err
+		}
+		after := append([]byte(nil), buf[int(u.offset):int(u.offset)+len(u.before)]...)
+		copy(buf[u.offset:], u.before)
+		rec := &wal.Record{
+			Type:   wal.TypeUpdate,
+			TxID:   0,
+			PageID: u.pageID,
+			Offset: u.offset,
+			Before: after,
+			After:  append([]byte(nil), u.before...),
+		}
+		lsn, err := db.log.Append(rec)
+		if err != nil {
+			db.pool.Unpin(u.pageID)
+			return err
+		}
+		buf.SetLSN(lsn)
+		if err := db.pool.MarkDirty(u.pageID); err != nil {
+			db.pool.Unpin(u.pageID)
+			return err
+		}
+		db.pool.Unpin(u.pageID)
+	}
+	rec := &wal.Record{Type: wal.TypeAbort, TxID: tx.id}
+	if _, err := db.log.Append(rec); err != nil {
+		return err
+	}
+	db.mu.Lock()
+	db.aborted++
+	db.mu.Unlock()
+	return nil
+}
+
+// diffRange returns the smallest [lo, hi) byte range in which a and b
+// differ, ignoring the page LSN field (it is updated by Modify itself).
+func diffRange(a, b page.Buf) (int, int) {
+	lo := 0
+	for lo < page.Size && a[lo] == b[lo] {
+		lo++
+	}
+	if lo == page.Size {
+		return 0, 0
+	}
+	hi := page.Size
+	for hi > lo && a[hi-1] == b[hi-1] {
+		hi--
+	}
+	return lo, hi
+}

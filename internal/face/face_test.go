@@ -1,0 +1,677 @@
+package face
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"github.com/reprolab/face/internal/device"
+	"github.com/reprolab/face/internal/page"
+)
+
+// fakeDisk records dirty pages written back by the cache managers.
+type fakeDisk struct {
+	pages  map[page.ID]page.Buf
+	writes int
+	err    error
+}
+
+func newFakeDisk() *fakeDisk { return &fakeDisk{pages: make(map[page.ID]page.Buf)} }
+
+func (d *fakeDisk) write(id page.ID, data page.Buf) error {
+	if d.err != nil {
+		return d.err
+	}
+	d.writes++
+	d.pages[id] = data.Clone()
+	return nil
+}
+
+func flashDev(blocks int64) *device.Device {
+	return device.New("flash", device.ProfileSamsung470, blocks)
+}
+
+// makePage builds a page image with the given id, lsn and a marker byte.
+func makePage(id page.ID, lsn page.LSN, marker byte) page.Buf {
+	b := page.NewBuf()
+	b.Init(id, page.TypeHeap)
+	b.SetLSN(lsn)
+	b.Payload()[0] = marker
+	return b
+}
+
+func newFaCE(t *testing.T, frames int, disk *fakeDisk, opts ...func(*MVFIFOConfig)) *MVFIFO {
+	t.Helper()
+	cfg := MVFIFOConfig{
+		Dev:            flashDev(int64(frames) + 64),
+		Frames:         frames,
+		SegmentEntries: 16,
+		DiskWrite:      disk.write,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	m, err := NewMVFIFO(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestMVFIFONames(t *testing.T) {
+	disk := newFakeDisk()
+	base := newFaCE(t, 8, disk)
+	gr := newFaCE(t, 8, disk, func(c *MVFIFOConfig) { c.GroupSize = 4 })
+	gsc := newFaCE(t, 8, disk, func(c *MVFIFOConfig) { c.GroupSize = 4; c.SecondChance = true })
+	named := newFaCE(t, 8, disk, func(c *MVFIFOConfig) { c.Label = "custom" })
+	if base.Name() != "FaCE" || gr.Name() != "FaCE+GR" || gsc.Name() != "FaCE+GSC" || named.Name() != "custom" {
+		t.Fatalf("names: %q %q %q %q", base.Name(), gr.Name(), gsc.Name(), named.Name())
+	}
+}
+
+func TestNewMVFIFOValidation(t *testing.T) {
+	disk := newFakeDisk()
+	if _, err := NewMVFIFO(MVFIFOConfig{Frames: 8, DiskWrite: disk.write}); err == nil {
+		t.Fatal("nil device accepted")
+	}
+	if _, err := NewMVFIFO(MVFIFOConfig{Dev: flashDev(100), Frames: 8}); err == nil {
+		t.Fatal("nil DiskWrite accepted")
+	}
+	if _, err := NewMVFIFO(MVFIFOConfig{Dev: flashDev(100), Frames: 2, GroupSize: 4, DiskWrite: disk.write}); !errors.Is(err, ErrTooSmall) {
+		t.Fatalf("got %v, want ErrTooSmall", err)
+	}
+	if _, err := NewMVFIFO(MVFIFOConfig{Dev: flashDev(4), Frames: 1000, DiskWrite: disk.write}); err == nil {
+		t.Fatal("oversized frame count accepted")
+	}
+}
+
+func TestMVFIFOBasicHit(t *testing.T) {
+	disk := newFakeDisk()
+	m := newFaCE(t, 8, disk)
+	p := makePage(42, 7, 0xAA)
+	if err := m.StageIn(42, p, true, true); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Contains(42) {
+		t.Fatal("page 42 should be cached")
+	}
+	buf := page.NewBuf()
+	found, dirty, err := m.Lookup(42, buf)
+	if err != nil || !found || !dirty {
+		t.Fatalf("Lookup = %v,%v,%v", found, dirty, err)
+	}
+	if buf.ID() != 42 || buf.Payload()[0] != 0xAA {
+		t.Fatal("lookup returned wrong content")
+	}
+	if found, _, _ := m.Lookup(99, buf); found {
+		t.Fatal("phantom hit")
+	}
+	s := m.Stats()
+	if s.Hits != 1 || s.Lookups != 2 || s.HitRate() != 0.5 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestMVFIFOConditionalEnqueue(t *testing.T) {
+	disk := newFakeDisk()
+	m := newFaCE(t, 8, disk)
+	p := makePage(1, 1, 1)
+	// Clean page, not cached: enqueued.
+	if err := m.StageIn(1, p, false, false); err != nil {
+		t.Fatal(err)
+	}
+	writes := m.Stats().FlashPageWrites
+	// Same clean page again: identical copy exists, no flash write.
+	if err := m.StageIn(1, p, false, false); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats().FlashPageWrites != writes {
+		t.Fatal("conditional enqueue should skip identical copies")
+	}
+	// fdirty version: unconditional enqueue, invalidating the old one.
+	p2 := makePage(1, 5, 2)
+	if err := m.StageIn(1, p2, true, true); err != nil {
+		t.Fatal(err)
+	}
+	s := m.Stats()
+	if s.FlashPageWrites != writes+1 || s.Invalidations != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+	// The valid copy is the new version.
+	buf := page.NewBuf()
+	found, dirty, _ := m.Lookup(1, buf)
+	if !found || !dirty || buf.Payload()[0] != 2 {
+		t.Fatal("lookup did not return the latest version")
+	}
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (one valid + one invalid duplicate)", m.Len())
+	}
+	if m.Stats().Duplicates != 1 {
+		t.Fatalf("Duplicates = %d, want 1", m.Stats().Duplicates)
+	}
+}
+
+func TestMVFIFOStageOutWritesDirtyToDisk(t *testing.T) {
+	disk := newFakeDisk()
+	m := newFaCE(t, 4, disk)
+	// Fill the cache with dirty pages 1..4, then add page 5: page 1 must
+	// be staged out to disk.
+	for id := page.ID(1); id <= 5; id++ {
+		p := makePage(id, page.LSN(id), byte(id))
+		if err := m.StageIn(id, p, true, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if disk.writes != 1 {
+		t.Fatalf("disk writes = %d, want 1", disk.writes)
+	}
+	if got, ok := disk.pages[1]; !ok || got.Payload()[0] != 1 {
+		t.Fatal("page 1 content not written to disk")
+	}
+	if m.Contains(1) {
+		t.Fatal("staged-out page still reported as cached")
+	}
+	s := m.Stats()
+	if s.DiskPageWrites != 1 || s.WriteReduction() <= 0.7 {
+		t.Fatalf("stats %+v, write reduction %.2f", s, s.WriteReduction())
+	}
+}
+
+func TestMVFIFODiscardCleanAndInvalid(t *testing.T) {
+	disk := newFakeDisk()
+	m := newFaCE(t, 4, disk)
+	// Two versions of page 1 (one invalid), then clean pages.
+	m.StageIn(1, makePage(1, 1, 1), true, true)
+	m.StageIn(1, makePage(1, 2, 2), true, true)
+	m.StageIn(2, makePage(2, 1, 1), false, false)
+	m.StageIn(3, makePage(3, 1, 1), false, false)
+	// Cache full (4 frames).  Adding page 4 dequeues the invalid old
+	// version of page 1: no disk write.
+	m.StageIn(4, makePage(4, 1, 1), false, false)
+	if disk.writes != 0 {
+		t.Fatalf("disk writes = %d, want 0 (invalid version discarded)", disk.writes)
+	}
+	// Adding page 5 dequeues the valid dirty version of page 1: 1 write.
+	m.StageIn(5, makePage(5, 1, 1), false, false)
+	if disk.writes != 1 {
+		t.Fatalf("disk writes = %d, want 1", disk.writes)
+	}
+	// Adding page 6 dequeues clean page 2: discarded, no write.
+	m.StageIn(6, makePage(6, 1, 1), false, false)
+	if disk.writes != 1 {
+		t.Fatalf("disk writes = %d, want 1 after clean discard", disk.writes)
+	}
+	if m.Contains(2) {
+		t.Fatal("discarded page still cached")
+	}
+}
+
+func TestMVFIFOSequentialWritePattern(t *testing.T) {
+	disk := newFakeDisk()
+	dev := flashDev(600)
+	m, err := NewMVFIFO(MVFIFOConfig{Dev: dev, Frames: 256, SegmentEntries: 64, DiskWrite: disk.write})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		id := page.ID(i%500 + 1)
+		if err := m.StageIn(id, makePage(id, page.LSN(i), byte(i)), true, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := dev.Stats()
+	if s.RandWrites > s.SeqWrites/10 {
+		t.Fatalf("FaCE writes should be overwhelmingly sequential: %v", s)
+	}
+}
+
+func TestLCRandomWritePattern(t *testing.T) {
+	disk := newFakeDisk()
+	dev := flashDev(256)
+	c, err := NewLC(LCConfig{Dev: dev, Frames: 256, DiskWrite: disk.write})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Evictions arrive in an effectively random page order, as they do
+	// from a real buffer pool, so LC's in-place LRU replacement scatters
+	// writes across the flash device.
+	seed := uint64(1)
+	for i := 0; i < 2000; i++ {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		id := page.ID(seed%500 + 1)
+		if err := c.StageIn(id, makePage(id, page.LSN(i), byte(i)), true, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := dev.Stats()
+	if s.RandWrites < s.SeqWrites {
+		t.Fatalf("LC writes should be mostly random at steady state: %v", s)
+	}
+}
+
+func TestGroupReplacementBatchesIO(t *testing.T) {
+	disk := newFakeDisk()
+	devSingle := flashDev(200)
+	devGroup := flashDev(200)
+	single, err := NewMVFIFO(MVFIFOConfig{Dev: devSingle, Frames: 64, SegmentEntries: 32, DiskWrite: disk.write})
+	if err != nil {
+		t.Fatal(err)
+	}
+	group, err := NewMVFIFO(MVFIFOConfig{Dev: devGroup, Frames: 64, GroupSize: 16, SegmentEntries: 32, DiskWrite: disk.write})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		id := page.ID(i%300 + 1)
+		p := makePage(id, page.LSN(i), byte(i))
+		if err := single.StageIn(id, p, true, true); err != nil {
+			t.Fatal(err)
+		}
+		if err := group.StageIn(id, p, true, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if devGroup.BusyTime() >= devSingle.BusyTime() {
+		t.Fatalf("group replacement should reduce flash busy time: group=%v single=%v",
+			devGroup.BusyTime(), devSingle.BusyTime())
+	}
+}
+
+func TestGroupSecondChanceKeepsHotPages(t *testing.T) {
+	disk := newFakeDisk()
+	m := newFaCE(t, 16, disk, func(c *MVFIFOConfig) { c.GroupSize = 4; c.SecondChance = true })
+	// Page 1 is hot: cached and referenced.
+	m.StageIn(1, makePage(1, 1, 1), true, true)
+	buf := page.NewBuf()
+	m.Lookup(1, buf)
+	// Fill the cache so replacement reaches page 1.
+	for id := page.ID(2); id <= 20; id++ {
+		if err := m.StageIn(id, makePage(id, 1, byte(id)), true, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !m.Contains(1) {
+		t.Fatal("referenced page 1 should have been kept by second chance")
+	}
+	if m.Stats().SecondChances == 0 {
+		t.Fatal("second chances not counted")
+	}
+}
+
+func TestGSCPullsVictimsFromDRAM(t *testing.T) {
+	disk := newFakeDisk()
+	nextPull := page.ID(1000)
+	pull := func(n int) []PulledPage {
+		var out []PulledPage
+		for i := 0; i < n; i++ {
+			id := nextPull
+			nextPull++
+			out = append(out, PulledPage{ID: id, Data: makePage(id, 1, 9), Dirty: true, FDirty: true})
+		}
+		return out
+	}
+	m := newFaCE(t, 16, disk, func(c *MVFIFOConfig) {
+		c.GroupSize = 8
+		c.SecondChance = true
+		c.Pull = pull
+	})
+	for id := page.ID(1); id <= 40; id++ {
+		if err := m.StageIn(id, makePage(id, 1, byte(id)), true, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := m.Stats()
+	if s.Pulled == 0 {
+		t.Fatal("GSC never pulled DRAM victims")
+	}
+	// Every pulled page was dirty, so it must either still be cached or
+	// have been staged out to disk — it can never simply vanish.
+	for id := page.ID(1000); id < nextPull; id++ {
+		if _, onDisk := disk.pages[id]; !onDisk && !m.Contains(id) {
+			t.Fatalf("pulled page %d neither cached nor written to disk", id)
+		}
+	}
+}
+
+func TestMVFIFOCheckpointAndRecover(t *testing.T) {
+	disk := newFakeDisk()
+	dev := flashDev(300)
+	cfg := MVFIFOConfig{Dev: dev, Frames: 64, SegmentEntries: 8, DiskWrite: disk.write}
+	m, err := NewMVFIFO(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stage in 40 dirty pages; with 8-entry segments most metadata is
+	// persisted automatically, the tail only in RAM.
+	for id := page.ID(1); id <= 40; id++ {
+		if err := m.StageIn(id, makePage(id, page.LSN(100+id), byte(id)), true, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Crash without a checkpoint: build a fresh manager on the same device
+	// and recover.
+	m2, err := NewMVFIFO(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	// Every page staged in must be discoverable after recovery: the
+	// persisted segments cover the old ones and the stamp scan the rest.
+	missing := 0
+	for id := page.ID(1); id <= 40; id++ {
+		if !m2.Contains(id) {
+			missing++
+		}
+	}
+	if missing != 0 {
+		t.Fatalf("%d of 40 pages lost after recovery", missing)
+	}
+	buf := page.NewBuf()
+	found, dirty, err := m2.Lookup(17, buf)
+	if err != nil || !found || !dirty {
+		t.Fatalf("Lookup(17) after recovery = %v,%v,%v", found, dirty, err)
+	}
+	if buf.Payload()[0] != 17 || buf.LSN() != page.LSN(117) {
+		t.Fatal("recovered page content mismatch")
+	}
+}
+
+func TestMVFIFORecoverAfterCheckpointAndWraparound(t *testing.T) {
+	disk := newFakeDisk()
+	dev := flashDev(200)
+	cfg := MVFIFOConfig{Dev: dev, Frames: 32, SegmentEntries: 8, DiskWrite: disk.write}
+	m, err := NewMVFIFO(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Push several times the capacity through the cache so the queue and
+	// the metadata segment slots wrap around, with a checkpoint midway.
+	for i := 0; i < 150; i++ {
+		id := page.ID(i%60 + 1)
+		if err := m.StageIn(id, makePage(id, page.LSN(i+1), byte(i)), true, true); err != nil {
+			t.Fatal(err)
+		}
+		if i == 75 {
+			if err := m.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	cachedBefore := map[page.ID]bool{}
+	for id := page.ID(1); id <= 60; id++ {
+		if m.Contains(id) {
+			cachedBefore[id] = true
+		}
+	}
+	m2, err := NewMVFIFO(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	for id := range cachedBefore {
+		if !m2.Contains(id) {
+			t.Fatalf("page %d cached before crash but lost after recovery", id)
+		}
+	}
+	// Recovered lookups must return the newest version (highest LSN seen).
+	buf := page.NewBuf()
+	for id := range cachedBefore {
+		found, _, err := m2.Lookup(id, buf)
+		if err != nil || !found {
+			t.Fatalf("Lookup(%d) after recovery failed: %v %v", id, found, err)
+		}
+		if buf.ID() != id {
+			t.Fatalf("Lookup(%d) returned page %d", id, buf.ID())
+		}
+	}
+}
+
+func TestMVFIFOFlushAll(t *testing.T) {
+	disk := newFakeDisk()
+	m := newFaCE(t, 8, disk)
+	for id := page.ID(1); id <= 5; id++ {
+		m.StageIn(id, makePage(id, 1, byte(id)), id%2 == 1, true)
+	}
+	if err := m.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	// Pages 1, 3, 5 were dirty.
+	if disk.writes != 3 {
+		t.Fatalf("FlushAll wrote %d pages, want 3", disk.writes)
+	}
+	if m.DirtyFrames() != 0 {
+		t.Fatalf("DirtyFrames after FlushAll = %d", m.DirtyFrames())
+	}
+	// A second FlushAll writes nothing.
+	if err := m.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if disk.writes != 3 {
+		t.Fatal("second FlushAll performed writes")
+	}
+}
+
+func TestMVFIFODiskWriteErrorPropagates(t *testing.T) {
+	disk := newFakeDisk()
+	m := newFaCE(t, 2, disk)
+	m.StageIn(1, makePage(1, 1, 1), true, true)
+	m.StageIn(2, makePage(2, 1, 2), true, true)
+	disk.err = fmt.Errorf("disk gone")
+	if err := m.StageIn(3, makePage(3, 1, 3), true, true); err == nil {
+		t.Fatal("expected propagated disk write error")
+	}
+}
+
+func TestStatsDerivedMetrics(t *testing.T) {
+	s := Stats{Lookups: 100, Hits: 80, DirtyStageIns: 50, DiskPageWrites: 20}
+	if s.HitRate() != 0.8 {
+		t.Fatalf("HitRate = %v", s.HitRate())
+	}
+	if s.WriteReduction() != 0.6 {
+		t.Fatalf("WriteReduction = %v", s.WriteReduction())
+	}
+	var zero Stats
+	if zero.HitRate() != 0 || zero.WriteReduction() != 0 {
+		t.Fatal("zero stats should yield zero rates")
+	}
+	neg := Stats{DirtyStageIns: 10, DiskPageWrites: 20}
+	if neg.WriteReduction() != 0 {
+		t.Fatal("write reduction must not go negative")
+	}
+}
+
+func TestLCBasics(t *testing.T) {
+	disk := newFakeDisk()
+	c, err := NewLC(LCConfig{Dev: flashDev(16), Frames: 4, DiskWrite: disk.write})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name() != "LC" || c.Capacity() != 4 {
+		t.Fatalf("Name/Capacity = %q/%d", c.Name(), c.Capacity())
+	}
+	p := makePage(7, 3, 0x77)
+	if err := c.StageIn(7, p, true, true); err != nil {
+		t.Fatal(err)
+	}
+	buf := page.NewBuf()
+	found, dirty, err := c.Lookup(7, buf)
+	if err != nil || !found || !dirty || buf.Payload()[0] != 0x77 {
+		t.Fatalf("Lookup = %v,%v,%v", found, dirty, err)
+	}
+	if found, _, _ := c.Lookup(8, buf); found {
+		t.Fatal("phantom hit")
+	}
+	if !c.Contains(7) || c.Contains(8) || c.Len() != 1 {
+		t.Fatal("Contains/Len wrong")
+	}
+}
+
+func TestLCEvictionWritesDirtyVictim(t *testing.T) {
+	disk := newFakeDisk()
+	c, err := NewLC(LCConfig{Dev: flashDev(16), Frames: 2, DiskWrite: disk.write})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.StageIn(1, makePage(1, 1, 1), true, true)
+	c.StageIn(2, makePage(2, 1, 2), false, false)
+	// Page 3 evicts LRU page 1 (dirty): disk write.
+	c.StageIn(3, makePage(3, 1, 3), false, false)
+	if disk.writes != 1 || disk.pages[1] == nil {
+		t.Fatalf("disk writes = %d", disk.writes)
+	}
+	// Page 4 evicts page 2 (clean): no write.
+	c.StageIn(4, makePage(4, 1, 4), false, false)
+	if disk.writes != 1 {
+		t.Fatalf("clean eviction caused a disk write")
+	}
+}
+
+func TestLCInPlaceOverwrite(t *testing.T) {
+	disk := newFakeDisk()
+	dev := flashDev(16)
+	c, _ := NewLC(LCConfig{Dev: dev, Frames: 4, DiskWrite: disk.write})
+	c.StageIn(1, makePage(1, 1, 1), true, true)
+	before := c.Stats().FlashPageWrites
+	// New version: in-place overwrite (one more flash write, no new frame).
+	c.StageIn(1, makePage(1, 2, 2), true, true)
+	if c.Stats().FlashPageWrites != before+1 || c.Len() != 1 {
+		t.Fatalf("in-place overwrite stats: writes=%d len=%d", c.Stats().FlashPageWrites, c.Len())
+	}
+	// Identical copy (fdirty=false): no write.
+	c.StageIn(1, makePage(1, 2, 2), true, false)
+	if c.Stats().FlashPageWrites != before+1 {
+		t.Fatal("identical copy should not be rewritten")
+	}
+	buf := page.NewBuf()
+	found, _, _ := c.Lookup(1, buf)
+	if !found || buf.Payload()[0] != 2 {
+		t.Fatal("lookup did not return newest version")
+	}
+}
+
+func TestLCLazyCleaner(t *testing.T) {
+	disk := newFakeDisk()
+	c, _ := NewLC(LCConfig{Dev: flashDev(64), Frames: 10, CleanThreshold: 0.5, CleanBatch: 4, DiskWrite: disk.write})
+	for id := page.ID(1); id <= 8; id++ {
+		c.StageIn(id, makePage(id, 1, byte(id)), true, true)
+	}
+	if c.DirtyFrames() > 6 {
+		t.Fatalf("lazy cleaner did not run: %d dirty frames", c.DirtyFrames())
+	}
+	if disk.writes == 0 {
+		t.Fatal("lazy cleaner wrote nothing to disk")
+	}
+	// Cleaned pages remain cached.
+	if c.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", c.Len())
+	}
+}
+
+func TestLCCheckpointFlushesDirtyFrames(t *testing.T) {
+	disk := newFakeDisk()
+	c, _ := NewLC(LCConfig{Dev: flashDev(64), Frames: 10, DiskWrite: disk.write})
+	for id := page.ID(1); id <= 5; id++ {
+		c.StageIn(id, makePage(id, 1, byte(id)), true, true)
+	}
+	if err := c.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if disk.writes != 5 {
+		t.Fatalf("checkpoint wrote %d pages, want 5", disk.writes)
+	}
+	if c.DirtyFrames() != 0 {
+		t.Fatal("dirty frames remain after checkpoint")
+	}
+}
+
+func TestLCRecoverStartsCold(t *testing.T) {
+	disk := newFakeDisk()
+	c, _ := NewLC(LCConfig{Dev: flashDev(64), Frames: 10, DiskWrite: disk.write})
+	for id := page.ID(1); id <= 5; id++ {
+		c.StageIn(id, makePage(id, 1, byte(id)), true, true)
+	}
+	if err := c.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 0 || c.DirtyFrames() != 0 {
+		t.Fatal("LC cache should restart cold")
+	}
+	buf := page.NewBuf()
+	if found, _, _ := c.Lookup(1, buf); found {
+		t.Fatal("cold cache returned a hit")
+	}
+	// The cache is usable again after recovery.
+	if err := c.StageIn(9, makePage(9, 1, 9), true, true); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Contains(9) {
+		t.Fatal("cache unusable after Recover")
+	}
+}
+
+func TestWriteThroughPolicy(t *testing.T) {
+	disk := newFakeDisk()
+	c, err := NewLC(LCConfig{Dev: flashDev(64), Frames: 10, WriteThrough: true, DiskWrite: disk.write})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name() != "WT" {
+		t.Fatalf("Name = %q", c.Name())
+	}
+	c.StageIn(1, makePage(1, 1, 1), true, true)
+	// Dirty eviction goes straight to disk as well as flash.
+	if disk.writes != 1 {
+		t.Fatalf("write-through disk writes = %d, want 1", disk.writes)
+	}
+	if c.DirtyFrames() != 0 {
+		t.Fatal("write-through cache should never hold dirty frames")
+	}
+	// Checkpoint has nothing to do.
+	if err := c.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if disk.writes != 1 {
+		t.Fatal("write-through checkpoint should not write")
+	}
+	// Reads still hit.
+	buf := page.NewBuf()
+	if found, dirty, _ := c.Lookup(1, buf); !found || dirty {
+		t.Fatalf("Lookup = %v,%v, want hit on clean copy", found, dirty)
+	}
+}
+
+func TestNewLCValidation(t *testing.T) {
+	disk := newFakeDisk()
+	if _, err := NewLC(LCConfig{Frames: 4, DiskWrite: disk.write}); err == nil {
+		t.Fatal("nil device accepted")
+	}
+	if _, err := NewLC(LCConfig{Dev: flashDev(16), Frames: 4}); err == nil {
+		t.Fatal("nil DiskWrite accepted")
+	}
+	if _, err := NewLC(LCConfig{Dev: flashDev(16), Frames: 0, DiskWrite: disk.write}); !errors.Is(err, ErrTooSmall) {
+		t.Fatal("zero frames accepted")
+	}
+	if _, err := NewLC(LCConfig{Dev: flashDev(2), Frames: 100, DiskWrite: disk.write}); err == nil {
+		t.Fatal("oversized frame count accepted")
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	disk := newFakeDisk()
+	m := newFaCE(t, 8, disk)
+	m.StageIn(1, makePage(1, 1, 1), true, true)
+	m.ResetStats()
+	if m.Stats().StageIns != 0 {
+		t.Fatal("MVFIFO ResetStats failed")
+	}
+	c, _ := NewLC(LCConfig{Dev: flashDev(16), Frames: 4, DiskWrite: disk.write})
+	c.StageIn(1, makePage(1, 1, 1), true, true)
+	c.ResetStats()
+	if c.Stats().StageIns != 0 {
+		t.Fatal("LC ResetStats failed")
+	}
+}

@@ -1,0 +1,603 @@
+package face
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/reprolab/face/internal/device"
+	"github.com/reprolab/face/internal/page"
+)
+
+// DefaultGroupSize is the default batch size for Group Replacement and
+// Group Second Chance.  The paper suggests the number of pages in a flash
+// memory block, typically 64 or 128.
+const DefaultGroupSize = 64
+
+// DefaultSegmentEntries is the default number of metadata entries per
+// persistent segment.  The paper uses 64 000 entries (1.5 MB); the default
+// here is smaller so that scaled-down experiments exercise segment
+// recycling, and it is configurable.
+const DefaultSegmentEntries = 4096
+
+// MVFIFOConfig configures a FaCE mvFIFO cache manager.
+type MVFIFOConfig struct {
+	// Dev is the flash device dedicated to the cache.
+	Dev device.Dev
+	// Frames is the number of 4 KiB data frames in the cache.
+	Frames int
+	// GroupSize is the replacement batch size.  1 disables grouping
+	// (plain FaCE); larger values enable Group Replacement.
+	GroupSize int
+	// SecondChance enables Group Second Chance: referenced frames are
+	// re-enqueued instead of being staged out.
+	SecondChance bool
+	// SegmentEntries is the number of metadata entries per persistent
+	// segment (Section 4.1).
+	SegmentEntries int
+	// DiskWrite writes a dirty page back to the database on disk.
+	DiskWrite DiskWriteFunc
+	// Pull, when non-nil, lets Group Second Chance top up a write group
+	// with victims pulled from the DRAM buffer's LRU tail.
+	Pull PullFunc
+	// Label overrides the derived policy name.
+	Label string
+}
+
+func (c *MVFIFOConfig) applyDefaults() {
+	if c.GroupSize <= 0 {
+		c.GroupSize = 1
+	}
+	if c.SegmentEntries <= 0 {
+		c.SegmentEntries = DefaultSegmentEntries
+	}
+}
+
+// name derives a display name matching the paper's terminology.
+func (c *MVFIFOConfig) name() string {
+	if c.Label != "" {
+		return c.Label
+	}
+	switch {
+	case c.GroupSize > 1 && c.SecondChance:
+		return "FaCE+GSC"
+	case c.GroupSize > 1:
+		return "FaCE+GR"
+	default:
+		return "FaCE"
+	}
+}
+
+// frameMeta is the in-memory metadata of one flash frame.
+type frameMeta struct {
+	id    page.ID
+	lsn   page.LSN
+	valid bool
+	dirty bool
+	ref   bool
+	used  bool
+}
+
+// MVFIFO is the FaCE cache manager: a multi-version FIFO queue of page
+// frames on flash with optional group replacement and group second chance,
+// plus a persistent metadata directory for recovery.
+type MVFIFO struct {
+	mu  sync.Mutex
+	cfg MVFIFOConfig
+
+	layout layout
+
+	// Queue state.  front and seq are absolute (monotonically increasing)
+	// positions; the frame slot of position p is p % capacity.
+	front uint64
+	seq   uint64
+
+	meta []frameMeta
+	dir  map[page.ID]uint64 // page id -> absolute position of the valid copy
+
+	metadir *metaDirectory
+
+	stats  Stats
+	closed bool
+}
+
+// NewMVFIFO creates a FaCE cache manager on the given flash device.  The
+// device must be large enough to hold the requested number of frames plus
+// the superblock and metadata region.
+func NewMVFIFO(cfg MVFIFOConfig) (*MVFIFO, error) {
+	cfg.applyDefaults()
+	if cfg.Dev == nil {
+		return nil, fmt.Errorf("face: nil flash device")
+	}
+	if cfg.DiskWrite == nil {
+		return nil, fmt.Errorf("face: nil DiskWrite callback")
+	}
+	if cfg.Frames < cfg.GroupSize || cfg.Frames < 1 {
+		return nil, fmt.Errorf("%w: %d frames, group size %d", ErrTooSmall, cfg.Frames, cfg.GroupSize)
+	}
+	lay := computeLayout(cfg.Frames, cfg.SegmentEntries)
+	if lay.totalBlocks() > cfg.Dev.NumBlocks() {
+		return nil, fmt.Errorf("face: device has %d blocks, need %d (frames=%d, metadata=%d)",
+			cfg.Dev.NumBlocks(), lay.totalBlocks(), cfg.Frames, lay.metaBlocks)
+	}
+	m := &MVFIFO{
+		cfg:    cfg,
+		layout: lay,
+		meta:   make([]frameMeta, cfg.Frames),
+		dir:    make(map[page.ID]uint64, cfg.Frames),
+	}
+	// The persistent superblock is written lazily (on the first metadata
+	// flush or checkpoint) so that constructing a manager over a device
+	// that already holds a FaCE cache — the crash-recovery path — does not
+	// clobber the recoverable state.
+	m.metadir = newMetaDirectory(cfg.Dev, lay, cfg.SegmentEntries)
+	return m, nil
+}
+
+// Name returns the policy name.
+func (m *MVFIFO) Name() string { return m.cfg.name() }
+
+// Capacity returns the number of data frames.
+func (m *MVFIFO) Capacity() int { return m.cfg.Frames }
+
+// Len returns the number of occupied frames, including invalid duplicates.
+func (m *MVFIFO) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return int(m.seq - m.front)
+}
+
+// Stats returns a snapshot of the statistics.
+func (m *MVFIFO) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.stats
+	s.Duplicates = int64(m.seq-m.front) - int64(len(m.dir))
+	return s
+}
+
+// ResetStats clears the statistics.
+func (m *MVFIFO) ResetStats() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stats = Stats{}
+}
+
+// Contains reports whether a valid copy of the page is cached.
+func (m *MVFIFO) Contains(id page.ID) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.dir[id]
+	return ok
+}
+
+// Lookup searches the cache for the page and, on a hit, copies the frame
+// into buf and sets the frame's reference bit (used by second chance).
+func (m *MVFIFO) Lookup(id page.ID, buf page.Buf) (bool, bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return false, false, ErrClosed
+	}
+	m.stats.Lookups++
+	pos, ok := m.dir[id]
+	if !ok {
+		return false, false, nil
+	}
+	slot := pos % uint64(m.cfg.Frames)
+	fm := &m.meta[slot]
+	if !fm.valid || fm.id != id {
+		// A stale directory entry should never survive invalidation.
+		delete(m.dir, id)
+		return false, false, nil
+	}
+	if err := m.cfg.Dev.ReadAt(m.layout.frameBlock(slot), buf); err != nil {
+		return false, false, fmt.Errorf("face: reading frame %d: %w", slot, err)
+	}
+	m.stats.FlashPageReads++
+	m.stats.Hits++
+	fm.ref = true
+	return true, fm.dirty, nil
+}
+
+// StageIn offers a page evicted from the DRAM buffer to the cache,
+// implementing Algorithm 1 of the paper: unconditional enqueue when fdirty,
+// conditional enqueue (skip when an identical copy is cached) otherwise.
+func (m *MVFIFO) StageIn(id page.ID, data page.Buf, dirty, fdirty bool) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	m.stats.StageIns++
+	if dirty {
+		m.stats.DirtyStageIns++
+	} else {
+		m.stats.CleanStageIns++
+	}
+	if !fdirty {
+		if _, cached := m.dir[id]; cached {
+			// An identical copy is already in the flash cache.
+			return nil
+		}
+		if dirty && !fdirty {
+			// The page is newer than disk but identical to a flash copy
+			// that no longer exists (it was staged out).  Enqueue it so
+			// the persistent database keeps the newest version.
+			return m.enqueue([]stageItem{{id: id, data: data, dirty: true, lsn: data.LSN()}})
+		}
+		// Clean page, not cached: enqueue as clean.
+		return m.enqueue([]stageItem{{id: id, data: data, dirty: false, lsn: data.LSN()}})
+	}
+	// fdirty: unconditional enqueue of the newest version.
+	return m.enqueue([]stageItem{{id: id, data: data, dirty: dirty, lsn: data.LSN()}})
+}
+
+// stageItem is a page about to be enqueued.
+type stageItem struct {
+	id    page.ID
+	data  page.Buf
+	dirty bool
+	lsn   page.LSN
+}
+
+// enqueue appends the items to the rear of the queue, making room first if
+// necessary.  Items are written to flash as one sequential run.
+func (m *MVFIFO) enqueue(items []stageItem) error {
+	if len(items) == 0 {
+		return nil
+	}
+	capacity := uint64(m.cfg.Frames)
+	// Make room.  Group replacement frees GroupSize frames at a time and
+	// may append survivors and pulled DRAM victims to the write group.
+	for m.seq-m.front+uint64(len(items)) > capacity {
+		extra, err := m.makeRoom(len(items))
+		if err != nil {
+			return err
+		}
+		items = append(items, extra...)
+	}
+	// Assign consecutive positions and write the run (split at wrap).
+	start := m.seq
+	images := make([]page.Buf, len(items))
+	for i, it := range items {
+		pos := start + uint64(i)
+		img := it.data.Clone()
+		img.SetCacheStamp(uint32(pos))
+		images[i] = img
+	}
+	if err := m.writeFrames(start, images); err != nil {
+		return err
+	}
+	m.stats.FlashPageWrites += int64(len(items))
+	for i, it := range items {
+		pos := start + uint64(i)
+		slot := pos % capacity
+		// Decide whether this item becomes the valid copy of the page.  A
+		// write group may contain two versions of the same page — e.g. a
+		// second-chance survivor re-enqueued after a newer incoming
+		// version — so the page LSN decides which copy stays valid.
+		newest := true
+		if old, ok := m.dir[it.id]; ok {
+			oldSlot := old % capacity
+			if m.meta[oldSlot].valid && m.meta[oldSlot].id == it.id {
+				if m.meta[oldSlot].lsn > it.lsn {
+					newest = false
+				} else if old >= m.front && old < pos {
+					m.meta[oldSlot].valid = false
+					m.stats.Invalidations++
+				}
+			}
+		}
+		m.meta[slot] = frameMeta{id: it.id, lsn: it.lsn, valid: newest, dirty: it.dirty, used: true}
+		if newest {
+			m.dir[it.id] = pos
+		} else {
+			m.stats.Invalidations++
+		}
+		m.seq = pos + 1
+		if err := m.metadir.appendEntry(metaEntry{id: it.id, lsn: it.lsn, dirty: it.dirty}, pos, m.front, &m.stats); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeFrames writes consecutive queue positions starting at start,
+// splitting the run where the circular queue wraps around.
+func (m *MVFIFO) writeFrames(start uint64, images []page.Buf) error {
+	capacity := uint64(m.cfg.Frames)
+	i := 0
+	for i < len(images) {
+		slot := (start + uint64(i)) % capacity
+		run := int(capacity - slot)
+		if run > len(images)-i {
+			run = len(images) - i
+		}
+		pages := make([][]byte, run)
+		for j := 0; j < run; j++ {
+			pages[j] = images[i+j]
+		}
+		if run == 1 {
+			if err := m.cfg.Dev.WriteAt(m.layout.frameBlock(slot), pages[0]); err != nil {
+				return fmt.Errorf("face: writing frame %d: %w", slot, err)
+			}
+		} else {
+			if err := m.cfg.Dev.WriteRun(m.layout.frameBlock(slot), pages); err != nil {
+				return fmt.Errorf("face: writing frames at %d: %w", slot, err)
+			}
+		}
+		i += run
+	}
+	return nil
+}
+
+// makeRoom frees at least GroupSize frames (or one frame when grouping is
+// disabled) from the front of the queue.  With second chance enabled it
+// returns referenced frames and pulled DRAM victims to be appended to the
+// caller's write group; reserve tells it how many slots the caller already
+// needs so the group is not overfilled.
+func (m *MVFIFO) makeRoom(reserve int) ([]stageItem, error) {
+	group := m.cfg.GroupSize
+	count := int(m.seq - m.front)
+	if group > count {
+		group = count
+	}
+	if group < 1 {
+		return nil, fmt.Errorf("face: internal error: empty queue in makeRoom")
+	}
+	capacity := uint64(m.cfg.Frames)
+
+	// Determine which frames in the group need their data read: valid
+	// dirty frames (for the disk write) and, with second chance,
+	// referenced valid frames (for re-enqueueing).
+	needData := false
+	for i := 0; i < group; i++ {
+		fm := &m.meta[(m.front+uint64(i))%capacity]
+		if fm.valid && (fm.dirty || (m.cfg.SecondChance && fm.ref)) {
+			needData = true
+			break
+		}
+	}
+	var frames []page.Buf
+	if needData {
+		var err error
+		frames, err = m.readFrames(m.front, group)
+		if err != nil {
+			return nil, err
+		}
+		m.stats.FlashPageReads += int64(group)
+	}
+
+	var survivors []stageItem
+	for i := 0; i < group; i++ {
+		pos := m.front + uint64(i)
+		slot := pos % capacity
+		fm := &m.meta[slot]
+		if !fm.valid {
+			*fm = frameMeta{}
+			continue
+		}
+		switch {
+		case m.cfg.SecondChance && fm.ref:
+			// Second chance: re-enqueue regardless of dirtiness.
+			m.stats.SecondChances++
+			survivors = append(survivors, stageItem{id: fm.id, data: frames[i].Clone(), dirty: fm.dirty, lsn: fm.lsn})
+		case fm.dirty:
+			if err := m.cfg.DiskWrite(fm.id, frames[i]); err != nil {
+				return nil, fmt.Errorf("face: staging out page %d: %w", fm.id, err)
+			}
+			m.stats.DiskPageWrites++
+			delete(m.dir, fm.id)
+		default:
+			// Clean and unreferenced: discard.
+			delete(m.dir, fm.id)
+		}
+		*fm = frameMeta{}
+	}
+	m.front += uint64(group)
+
+	// If every frame survived, force the oldest one out to guarantee
+	// progress (paper: "the page at the very front end will be discarded
+	// or flushed to disk").
+	maxKeep := group - reserve
+	if maxKeep < 0 {
+		maxKeep = 0
+	}
+	for len(survivors) > maxKeep {
+		victim := survivors[0]
+		survivors = survivors[1:]
+		if victim.dirty {
+			if err := m.cfg.DiskWrite(victim.id, victim.data); err != nil {
+				return nil, fmt.Errorf("face: staging out page %d: %w", victim.id, err)
+			}
+			m.stats.DiskPageWrites++
+		}
+		delete(m.dir, victim.id)
+	}
+	// Survivors will be re-enqueued by the caller; their directory entries
+	// still point at positions now outside the window, which enqueue will
+	// overwrite.
+
+	// Top up the write group with victims pulled from the DRAM buffer.
+	if m.cfg.SecondChance && m.cfg.Pull != nil {
+		want := group - reserve - len(survivors)
+		if want > 0 {
+			for _, p := range m.cfg.Pull(want) {
+				m.stats.Pulled++
+				m.stats.StageIns++
+				if p.Dirty {
+					m.stats.DirtyStageIns++
+				} else {
+					m.stats.CleanStageIns++
+				}
+				if !p.FDirty {
+					if _, cached := m.dir[p.ID]; cached {
+						continue
+					}
+				}
+				survivors = append(survivors, stageItem{id: p.ID, data: p.Data, dirty: p.Dirty, lsn: p.Data.LSN()})
+			}
+		}
+	}
+	return survivors, nil
+}
+
+// readFrames reads n consecutive queue positions starting at start,
+// splitting the run at the wrap point.
+func (m *MVFIFO) readFrames(start uint64, n int) ([]page.Buf, error) {
+	capacity := uint64(m.cfg.Frames)
+	out := make([]page.Buf, n)
+	i := 0
+	for i < n {
+		slot := (start + uint64(i)) % capacity
+		run := int(capacity - slot)
+		if run > n-i {
+			run = n - i
+		}
+		base := i
+		if run == 1 {
+			buf := page.NewBuf()
+			if err := m.cfg.Dev.ReadAt(m.layout.frameBlock(slot), buf); err != nil {
+				return nil, fmt.Errorf("face: reading frame %d: %w", slot, err)
+			}
+			out[base] = buf
+		} else {
+			err := m.cfg.Dev.ReadRun(m.layout.frameBlock(slot), run, func(j int, p []byte) error {
+				buf := page.NewBuf()
+				copy(buf, p)
+				out[base+j] = buf
+				return nil
+			})
+			if err != nil {
+				return nil, fmt.Errorf("face: reading frames at %d: %w", slot, err)
+			}
+		}
+		i += run
+	}
+	return out, nil
+}
+
+// Checkpoint flushes the current metadata segment and queue pointers to
+// flash.  Data pages in the cache are not written anywhere: they are
+// already part of the persistent database (Section 4.1).
+func (m *MVFIFO) Checkpoint() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	return m.metadir.flush(m.seq, m.front, &m.stats)
+}
+
+// Recover rebuilds the in-memory directory after a crash: the persistent
+// metadata segments are read back and the frames written after the last
+// metadata flush are rediscovered by scanning their headers and enqueue
+// stamps (Section 4.2).
+func (m *MVFIFO) Recover() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	front, persisted, entries, err := m.metadir.load()
+	if err != nil {
+		return err
+	}
+	capacity := uint64(m.cfg.Frames)
+	m.front = front
+	m.meta = make([]frameMeta, m.cfg.Frames)
+	m.dir = make(map[page.ID]uint64, m.cfg.Frames)
+
+	apply := func(pos uint64, id page.ID, lsn page.LSN, dirty bool) {
+		slot := pos % capacity
+		newest := true
+		if old, ok := m.dir[id]; ok && old >= m.front {
+			oldSlot := old % capacity
+			if m.meta[oldSlot].id == id && m.meta[oldSlot].valid {
+				if m.meta[oldSlot].lsn > lsn {
+					newest = false
+				} else {
+					m.meta[oldSlot].valid = false
+				}
+			}
+		}
+		m.meta[slot] = frameMeta{id: id, lsn: lsn, valid: newest, dirty: dirty, used: true}
+		if newest {
+			m.dir[id] = pos
+		}
+	}
+
+	// Replay persisted entries for positions still inside the queue window.
+	for pos := front; pos < persisted; pos++ {
+		e, ok := entries[pos]
+		if !ok {
+			continue
+		}
+		apply(pos, e.id, e.lsn, e.dirty)
+	}
+
+	// Rescan frames written after the last metadata flush.  The enqueue
+	// stamp distinguishes current-generation frames from stale ones.
+	limit := persisted + 2*uint64(m.cfg.SegmentEntries)
+	if limit > persisted+capacity {
+		limit = persisted + capacity
+	}
+	m.seq = persisted
+	buf := page.NewBuf()
+	for pos := persisted; pos < limit; pos++ {
+		slot := pos % capacity
+		if err := m.cfg.Dev.ReadAt(m.layout.frameBlock(slot), buf); err != nil {
+			return fmt.Errorf("face: recovery scan at frame %d: %w", slot, err)
+		}
+		m.stats.FlashPageReads++
+		if buf.CacheStamp() != uint32(pos) || buf.ID() == page.InvalidID {
+			break
+		}
+		// Conservatively treat rediscovered frames as dirty: at worst this
+		// causes one redundant disk write when the frame is staged out.
+		apply(pos, buf.ID(), buf.LSN(), true)
+		m.metadir.restoreEntry(pos, metaEntry{id: buf.ID(), lsn: buf.LSN(), dirty: true})
+		m.seq = pos + 1
+	}
+	if m.seq < m.front {
+		m.seq = m.front
+	}
+	return nil
+}
+
+// FlushAll writes every valid dirty frame to disk and marks it clean.  It
+// is used for clean shutdown.
+func (m *MVFIFO) FlushAll() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	capacity := uint64(m.cfg.Frames)
+	for pos := m.front; pos < m.seq; pos++ {
+		slot := pos % capacity
+		fm := &m.meta[slot]
+		if !fm.valid || !fm.dirty {
+			continue
+		}
+		buf := page.NewBuf()
+		if err := m.cfg.Dev.ReadAt(m.layout.frameBlock(slot), buf); err != nil {
+			return fmt.Errorf("face: flush read frame %d: %w", slot, err)
+		}
+		m.stats.FlashPageReads++
+		if err := m.cfg.DiskWrite(fm.id, buf); err != nil {
+			return fmt.Errorf("face: flush write page %d: %w", fm.id, err)
+		}
+		m.stats.DiskPageWrites++
+		fm.dirty = false
+	}
+	return nil
+}
+
+// DirtyFrames returns the number of valid dirty frames (diagnostics).
+func (m *MVFIFO) DirtyFrames() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for pos := m.front; pos < m.seq; pos++ {
+		fm := &m.meta[pos%uint64(m.cfg.Frames)]
+		if fm.valid && fm.dirty {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,164 @@
+// Package heap implements heap tables: unordered collections of records
+// stored in slotted pages and addressed by record id (RID).
+//
+// The TPC-C tables of the benchmark live in heap files; their primary keys
+// are indexed by B+trees from the btree package.  All page access goes
+// through engine transactions, so every modification is logged and every
+// read benefits from the DRAM buffer and the flash cache.
+package heap
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/reprolab/face/internal/engine"
+	"github.com/reprolab/face/internal/page"
+)
+
+// Errors returned by heap tables.
+var (
+	ErrNotFound = errors.New("heap: record not found")
+)
+
+// Table is a heap file.  The page list is an in-memory catalog owned by the
+// workload driver; it is rebuilt by the loader, not persisted, because the
+// benchmark keeps its catalog across simulated crashes.
+type Table struct {
+	name  string
+	pages []page.ID
+}
+
+// Create allocates the first page of a new heap table.
+func Create(tx *engine.Tx, name string) (*Table, error) {
+	id, err := tx.Alloc(page.TypeHeap)
+	if err != nil {
+		return nil, fmt.Errorf("heap: creating table %s: %w", name, err)
+	}
+	return &Table{name: name, pages: []page.ID{id}}, nil
+}
+
+// Attach reconstructs a Table handle from an existing page list (used when
+// a driver re-attaches to a database it loaded earlier).
+func Attach(name string, pages []page.ID) *Table {
+	cp := append([]page.ID(nil), pages...)
+	return &Table{name: name, pages: cp}
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Pages returns the ids of all pages of the table.
+func (t *Table) Pages() []page.ID { return append([]page.ID(nil), t.pages...) }
+
+// NumPages returns the number of pages in the table.
+func (t *Table) NumPages() int { return len(t.pages) }
+
+// Insert appends a record to the table and returns its RID.  The last page
+// is tried first; a new page is allocated when it is full.
+func (t *Table) Insert(tx *engine.Tx, rec []byte) (page.RID, error) {
+	if len(rec) > page.PayloadSize-8 {
+		return page.RID{}, page.ErrTooLarge
+	}
+	last := t.pages[len(t.pages)-1]
+	rid, err := t.insertInto(tx, last, rec)
+	if err == nil {
+		return rid, nil
+	}
+	if !errors.Is(err, page.ErrPageFull) {
+		return page.RID{}, err
+	}
+	id, err := tx.Alloc(page.TypeHeap)
+	if err != nil {
+		return page.RID{}, fmt.Errorf("heap: growing table %s: %w", t.name, err)
+	}
+	t.pages = append(t.pages, id)
+	return t.insertInto(tx, id, rec)
+}
+
+func (t *Table) insertInto(tx *engine.Tx, id page.ID, rec []byte) (page.RID, error) {
+	var rid page.RID
+	err := tx.Modify(id, func(buf page.Buf) error {
+		slot, err := buf.Insert(rec)
+		if err != nil {
+			return err
+		}
+		rid = page.RID{Page: id, Slot: uint16(slot)}
+		return nil
+	})
+	return rid, err
+}
+
+// Get passes the record at rid to fn.  The record slice is only valid
+// during the callback.
+func (t *Table) Get(tx *engine.Tx, rid page.RID, fn func(rec []byte) error) error {
+	return tx.Read(rid.Page, func(buf page.Buf) error {
+		rec, err := buf.Record(int(rid.Slot))
+		if err != nil {
+			return fmt.Errorf("%w: %v (%v)", ErrNotFound, rid, err)
+		}
+		return fn(rec)
+	})
+}
+
+// Update lets fn modify the record at rid in place.  The record size must
+// not grow.
+func (t *Table) Update(tx *engine.Tx, rid page.RID, fn func(rec []byte) error) error {
+	return tx.Modify(rid.Page, func(buf page.Buf) error {
+		rec, err := buf.Record(int(rid.Slot))
+		if err != nil {
+			return fmt.Errorf("%w: %v (%v)", ErrNotFound, rid, err)
+		}
+		return fn(rec)
+	})
+}
+
+// Delete removes the record at rid (lazy delete: the slot is tombstoned).
+func (t *Table) Delete(tx *engine.Tx, rid page.RID) error {
+	return tx.Modify(rid.Page, func(buf page.Buf) error {
+		deleted, err := buf.Deleted(int(rid.Slot))
+		if err != nil {
+			return fmt.Errorf("%w: %v (%v)", ErrNotFound, rid, err)
+		}
+		if deleted {
+			return fmt.Errorf("%w: %v already deleted", ErrNotFound, rid)
+		}
+		return buf.Delete(int(rid.Slot))
+	})
+}
+
+// Scan visits every live record in the table in physical order.  Returning
+// a non-nil error from fn stops the scan; the sentinel ErrStopScan stops it
+// without reporting an error.
+func (t *Table) Scan(tx *engine.Tx, fn func(rid page.RID, rec []byte) error) error {
+	for _, id := range t.pages {
+		err := tx.Read(id, func(buf page.Buf) error {
+			for slot := 0; slot < buf.SlotCount(); slot++ {
+				deleted, err := buf.Deleted(slot)
+				if err != nil {
+					return err
+				}
+				if deleted {
+					continue
+				}
+				rec, err := buf.Record(slot)
+				if err != nil {
+					return err
+				}
+				if err := fn(page.RID{Page: id, Slot: uint16(slot)}, rec); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if errors.Is(err, ErrStopScan) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ErrStopScan stops a Scan early without reporting an error.
+var ErrStopScan = errors.New("heap: stop scan")

@@ -1,0 +1,211 @@
+package heap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"testing"
+
+	"github.com/reprolab/face/internal/device"
+	"github.com/reprolab/face/internal/engine"
+	"github.com/reprolab/face/internal/page"
+)
+
+func testDB(t *testing.T) *engine.DB {
+	t.Helper()
+	cfg := engine.Config{
+		DataDev:     device.New("data", device.ProfileCheetah15K, 8192),
+		LogDev:      device.New("log", device.ProfileCheetah15K, 8192),
+		BufferPages: 64,
+		Policy:      engine.PolicyNone,
+	}
+	db, err := engine.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func rec(v uint64, size int) []byte {
+	b := make([]byte, size)
+	binary.LittleEndian.PutUint64(b, v)
+	return b
+}
+
+func TestInsertGetUpdateDelete(t *testing.T) {
+	db := testDB(t)
+	tx, _ := db.Begin()
+	tbl, err := Create(tx, "customer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Name() != "customer" || tbl.NumPages() != 1 {
+		t.Fatalf("new table: %s, %d pages", tbl.Name(), tbl.NumPages())
+	}
+
+	rid, err := tbl.Insert(tx, rec(42, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got uint64
+	if err := tbl.Get(tx, rid, func(r []byte) error {
+		got = binary.LittleEndian.Uint64(r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 {
+		t.Fatalf("Get = %d", got)
+	}
+
+	if err := tbl.Update(tx, rid, func(r []byte) error {
+		binary.LittleEndian.PutUint64(r, 77)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tbl.Get(tx, rid, func(r []byte) error {
+		got = binary.LittleEndian.Uint64(r)
+		return nil
+	})
+	if got != 77 {
+		t.Fatalf("after Update = %d", got)
+	}
+
+	if err := tbl.Delete(tx, rid); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Get(tx, rid, func([]byte) error { return nil }); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get after Delete: %v", err)
+	}
+	if err := tbl.Delete(tx, rid); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double Delete: %v", err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertGrowsTable(t *testing.T) {
+	db := testDB(t)
+	tx, _ := db.Begin()
+	tbl, _ := Create(tx, "stock")
+	const n = 500
+	rids := make([]page.RID, n)
+	for i := 0; i < n; i++ {
+		rid, err := tbl.Insert(tx, rec(uint64(i), 200))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids[i] = rid
+	}
+	if tbl.NumPages() < 20 {
+		t.Fatalf("table should have grown, has %d pages", tbl.NumPages())
+	}
+	for i, rid := range rids {
+		var got uint64
+		if err := tbl.Get(tx, rid, func(r []byte) error {
+			got = binary.LittleEndian.Uint64(r)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if got != uint64(i) {
+			t.Fatalf("record %d = %d", i, got)
+		}
+	}
+	tx.Commit()
+}
+
+func TestScan(t *testing.T) {
+	db := testDB(t)
+	tx, _ := db.Begin()
+	tbl, _ := Create(tx, "orders")
+	const n = 100
+	for i := 0; i < n; i++ {
+		if _, err := tbl.Insert(tx, rec(uint64(i), 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Delete every third record.
+	deleted := 0
+	if err := tbl.Scan(tx, func(rid page.RID, r []byte) error {
+		if binary.LittleEndian.Uint64(r)%3 == 0 {
+			deleted++
+			return tbl.Delete(tx, rid)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Count the survivors.
+	count := 0
+	if err := tbl.Scan(tx, func(rid page.RID, r []byte) error {
+		count++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != n-deleted {
+		t.Fatalf("scan found %d records, want %d", count, n-deleted)
+	}
+	// Early stop.
+	seen := 0
+	if err := tbl.Scan(tx, func(page.RID, []byte) error {
+		seen++
+		if seen == 5 {
+			return ErrStopScan
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if seen != 5 {
+		t.Fatalf("early stop visited %d records", seen)
+	}
+	// Propagated error.
+	boom := fmt.Errorf("boom")
+	if err := tbl.Scan(tx, func(page.RID, []byte) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("scan error: %v", err)
+	}
+	tx.Commit()
+}
+
+func TestInsertTooLarge(t *testing.T) {
+	db := testDB(t)
+	tx, _ := db.Begin()
+	tbl, _ := Create(tx, "big")
+	if _, err := tbl.Insert(tx, make([]byte, page.PayloadSize)); !errors.Is(err, page.ErrTooLarge) {
+		t.Fatalf("oversized insert: %v", err)
+	}
+	tx.Commit()
+}
+
+func TestAttach(t *testing.T) {
+	db := testDB(t)
+	tx, _ := db.Begin()
+	tbl, _ := Create(tx, "district")
+	rid, _ := tbl.Insert(tx, rec(9, 32))
+	tx.Commit()
+
+	re := Attach("district", tbl.Pages())
+	tx2, _ := db.Begin()
+	var got uint64
+	if err := re.Get(tx2, rid, func(r []byte) error {
+		got = binary.LittleEndian.Uint64(r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != 9 {
+		t.Fatalf("Attach Get = %d", got)
+	}
+	tx2.Commit()
+	// Pages() returns a copy.
+	pages := tbl.Pages()
+	pages[0] = 9999
+	if tbl.Pages()[0] == 9999 {
+		t.Fatal("Pages leaked internal slice")
+	}
+}

@@ -1,0 +1,121 @@
+// Package metrics turns raw device statistics into the performance figures
+// reported by the paper: elapsed simulated time, transactions per minute,
+// device utilization and 4 KiB I/O throughput.
+//
+// The paper's experiments run 50 concurrent clients against PostgreSQL, so
+// the storage devices operate as a closed system with their queues kept
+// full.  Under that regime the elapsed wall-clock time of a workload is
+// governed by its bottleneck resource.  The model here captures exactly
+// that: each resource (CPU, flash device, each member of the disk array)
+// accumulates busy time, and
+//
+//	elapsed = max over resources of (busy time / parallelism)
+//
+// Device utilization and I/O throughput follow directly from the same
+// quantities.
+package metrics
+
+import (
+	"time"
+
+	"github.com/reprolab/face/internal/device"
+)
+
+// DefaultCPUPerPageAccess is the modelled CPU cost of one buffer-pool page
+// access (latching, tuple manipulation, logging).  It bounds throughput
+// when all I/O is absorbed by caches.
+const DefaultCPUPerPageAccess = 5 * time.Microsecond
+
+// DefaultCPUParallelism models the four cores of the paper's Core i7-860
+// test machine.
+const DefaultCPUParallelism = 4
+
+// Model describes the non-storage resources of the system.
+type Model struct {
+	// CPUPerPageAccess is the CPU time charged per buffer-pool access.
+	CPUPerPageAccess time.Duration
+	// CPUParallelism is the number of cores available to overlap CPU work.
+	CPUParallelism int
+}
+
+// DefaultModel returns the model used throughout the benchmarks.
+func DefaultModel() Model {
+	return Model{CPUPerPageAccess: DefaultCPUPerPageAccess, CPUParallelism: DefaultCPUParallelism}
+}
+
+func (m Model) normalized() Model {
+	if m.CPUPerPageAccess <= 0 {
+		m.CPUPerPageAccess = DefaultCPUPerPageAccess
+	}
+	if m.CPUParallelism <= 0 {
+		m.CPUParallelism = DefaultCPUParallelism
+	}
+	return m
+}
+
+// Resource is one contributor to elapsed time.
+type Resource struct {
+	Name string
+	// Busy is the total service time accumulated by the resource.
+	Busy time.Duration
+	// Parallelism is the number of requests the resource serves
+	// concurrently (e.g. the number of member disks in a RAID-0 array).
+	Parallelism int
+}
+
+// Elapsed returns the modelled elapsed time for a workload that performed
+// pageAccesses buffer-pool accesses and kept the given resources busy.
+func (m Model) Elapsed(pageAccesses int64, resources ...Resource) time.Duration {
+	m = m.normalized()
+	cpu := time.Duration(pageAccesses) * m.CPUPerPageAccess / time.Duration(m.CPUParallelism)
+	elapsed := cpu
+	for _, r := range resources {
+		par := r.Parallelism
+		if par < 1 {
+			par = 1
+		}
+		if t := r.Busy / time.Duration(par); t > elapsed {
+			elapsed = t
+		}
+	}
+	return elapsed
+}
+
+// DeviceResource builds a Resource from a device.
+func DeviceResource(d device.Dev) Resource {
+	if d == nil {
+		return Resource{}
+	}
+	return Resource{Name: d.Name(), Busy: d.BusyTime(), Parallelism: d.Parallelism()}
+}
+
+// Utilization returns busy/elapsed clamped to [0, 1].
+func Utilization(busy, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	u := float64(busy) / float64(elapsed)
+	if u > 1 {
+		u = 1
+	}
+	if u < 0 {
+		u = 0
+	}
+	return u
+}
+
+// IOPS returns operations per second of elapsed time.
+func IOPS(ops int64, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(ops) / elapsed.Seconds()
+}
+
+// PerMinute returns events per minute of elapsed time (the tpmC analog).
+func PerMinute(events int64, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(events) / elapsed.Minutes()
+}

@@ -1,0 +1,152 @@
+package recovery
+
+import (
+	"testing"
+
+	"github.com/reprolab/face/internal/device"
+	"github.com/reprolab/face/internal/page"
+	"github.com/reprolab/face/internal/wal"
+)
+
+// fakePager is an in-memory page store for driving Run directly.
+type fakePager struct {
+	pages map[page.ID]page.Buf
+	dirty map[page.ID]bool
+	gets  int
+}
+
+func newFakePager() *fakePager {
+	return &fakePager{pages: make(map[page.ID]page.Buf), dirty: make(map[page.ID]bool)}
+}
+
+func (p *fakePager) Get(id page.ID) (page.Buf, error) {
+	p.gets++
+	buf, ok := p.pages[id]
+	if !ok {
+		buf = page.NewBuf()
+		buf.SetID(id)
+		p.pages[id] = buf
+	}
+	return buf, nil
+}
+
+func (p *fakePager) Unpin(id page.ID) error     { return nil }
+func (p *fakePager) MarkDirty(id page.ID) error { p.dirty[id] = true; return nil }
+
+func newLog(t *testing.T) *wal.Manager {
+	t.Helper()
+	m, err := wal.Open(device.New("log", device.ProfileCheetah15K, 4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestRedoAppliesMissingUpdates(t *testing.T) {
+	log := newLog(t)
+	pager := newFakePager()
+
+	// Committed transaction 1 updates page 5 twice.
+	log.Append(&wal.Record{Type: wal.TypeUpdate, TxID: 1, PageID: 5, Offset: 100, Before: []byte{0}, After: []byte{1}})
+	log.Append(&wal.Record{Type: wal.TypeUpdate, TxID: 1, PageID: 5, Offset: 200, Before: []byte{0}, After: []byte{2}})
+	log.Append(&wal.Record{Type: wal.TypeCommit, TxID: 1})
+	// Loser transaction 2 updates page 6 but never commits.
+	log.Append(&wal.Record{Type: wal.TypeUpdate, TxID: 2, PageID: 6, Offset: 300, Before: []byte{9}, After: []byte{7}})
+	if err := log.ForceAll(); err != nil {
+		t.Fatal(err)
+	}
+	// Page 6 already contains the loser's change (it reached disk).
+	buf, _ := pager.Get(6)
+	buf[300] = 7
+	buf.SetLSN(1 << 30)
+
+	rep, err := Run(log, pager)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RedoApplied != 2 || rep.RedoSkipped != 1 {
+		t.Fatalf("redo applied/skipped = %d/%d, want 2/1", rep.RedoApplied, rep.RedoSkipped)
+	}
+	if rep.WinnerTxns != 1 || rep.LoserTxns != 1 || rep.UndoApplied != 1 {
+		t.Fatalf("winners/losers/undo = %d/%d/%d", rep.WinnerTxns, rep.LoserTxns, rep.UndoApplied)
+	}
+	p5, _ := pager.Get(5)
+	if p5[100] != 1 || p5[200] != 2 {
+		t.Fatal("committed updates not redone")
+	}
+	p6, _ := pager.Get(6)
+	if p6[300] != 9 {
+		t.Fatalf("loser update not undone: byte = %d", p6[300])
+	}
+	if !pager.dirty[5] || !pager.dirty[6] {
+		t.Fatal("recovered pages not marked dirty")
+	}
+	if rep.MaxPageID != 6 || rep.RecordsScanned != 4 {
+		t.Fatalf("report: %+v", rep)
+	}
+}
+
+func TestRedoIsIdempotent(t *testing.T) {
+	log := newLog(t)
+	pager := newFakePager()
+	// A leading system record keeps the update off LSN 0, which redo treats
+	// as "page never written".
+	log.Append(&wal.Record{Type: wal.TypeCommit, TxID: 0})
+	log.Append(&wal.Record{Type: wal.TypeUpdate, TxID: 1, PageID: 3, Offset: 64, Before: []byte{0}, After: []byte{5}})
+	log.Append(&wal.Record{Type: wal.TypeCommit, TxID: 1})
+	log.ForceAll()
+
+	if _, err := Run(log, pager); err != nil {
+		t.Fatal(err)
+	}
+	firstGets := pager.gets
+	rep, err := Run(log, pager)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RedoApplied != 0 || rep.RedoSkipped != 1 {
+		t.Fatalf("second run applied %d, skipped %d", rep.RedoApplied, rep.RedoSkipped)
+	}
+	if pager.gets <= firstGets {
+		t.Fatal("second run did not scan the log")
+	}
+	buf, _ := pager.Get(3)
+	if buf[64] != 5 {
+		t.Fatal("value changed by repeated recovery")
+	}
+}
+
+func TestFullPageRedoAndCheckpointStart(t *testing.T) {
+	log := newLog(t)
+	pager := newFakePager()
+
+	// Records before the checkpoint must not be replayed.
+	log.Append(&wal.Record{Type: wal.TypeUpdate, TxID: 1, PageID: 2, Offset: 50, Before: []byte{0}, After: []byte{9}})
+	log.Append(&wal.Record{Type: wal.TypeCommit, TxID: 1})
+	begin, _ := log.LogCheckpointBegin()
+	if err := log.LogCheckpointEnd(begin); err != nil {
+		t.Fatal(err)
+	}
+
+	img := page.NewBuf()
+	img.Init(7, page.TypeHeap)
+	img.Payload()[0] = 0xEE
+	log.Append(&wal.Record{Type: wal.TypeFullPage, TxID: 2, PageID: 7, After: img})
+	log.Append(&wal.Record{Type: wal.TypeCommit, TxID: 2})
+	log.ForceAll()
+
+	rep, err := Run(log, pager)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.StartLSN != begin {
+		t.Fatalf("StartLSN = %d, want %d", rep.StartLSN, begin)
+	}
+	if _, touched := pager.dirty[2]; touched {
+		t.Fatal("pre-checkpoint record replayed")
+	}
+	p7, _ := pager.Get(7)
+	if p7.Payload()[0] != 0xEE || p7.Type() != page.TypeHeap {
+		t.Fatal("full-page image not restored")
+	}
+}

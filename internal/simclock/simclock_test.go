@@ -1,0 +1,82 @@
+package simclock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestZeroValueStartsAtZero(t *testing.T) {
+	var c Clock
+	if got := c.Now(); got != 0 {
+		t.Fatalf("zero clock Now() = %v, want 0", got)
+	}
+}
+
+func TestAdvance(t *testing.T) {
+	c := New()
+	c.Advance(5 * time.Millisecond)
+	c.Advance(7 * time.Millisecond)
+	if got, want := c.Now(), 12*time.Millisecond; got != want {
+		t.Fatalf("Now() = %v, want %v", got, want)
+	}
+}
+
+func TestAdvanceIgnoresNegative(t *testing.T) {
+	c := New()
+	c.Advance(3 * time.Second)
+	c.Advance(-time.Second)
+	if got, want := c.Now(), 3*time.Second; got != want {
+		t.Fatalf("Now() = %v, want %v", got, want)
+	}
+}
+
+func TestAdvanceToIsMonotonic(t *testing.T) {
+	c := New()
+	c.AdvanceTo(10 * time.Second)
+	c.AdvanceTo(4 * time.Second) // stale estimate, ignored
+	if got, want := c.Now(), 10*time.Second; got != want {
+		t.Fatalf("Now() = %v, want %v", got, want)
+	}
+	c.AdvanceTo(11 * time.Second)
+	if got, want := c.Now(), 11*time.Second; got != want {
+		t.Fatalf("Now() = %v, want %v", got, want)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New()
+	c.Advance(time.Hour)
+	c.Reset()
+	if got := c.Now(); got != 0 {
+		t.Fatalf("Now() after Reset = %v, want 0", got)
+	}
+}
+
+func TestConcurrentAdvance(t *testing.T) {
+	c := New()
+	const workers = 8
+	const perWorker = 1000
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perWorker; j++ {
+				c.Advance(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := c.Now(), workers*perWorker*time.Microsecond; got != want {
+		t.Fatalf("Now() = %v, want %v", got, want)
+	}
+}
+
+func TestString(t *testing.T) {
+	c := New()
+	c.Advance(time.Second)
+	if got := c.String(); got == "" {
+		t.Fatal("String() returned empty")
+	}
+}

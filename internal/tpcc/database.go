@@ -1,0 +1,330 @@
+package tpcc
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/reprolab/face/internal/btree"
+	"github.com/reprolab/face/internal/engine"
+	"github.com/reprolab/face/internal/heap"
+	"github.com/reprolab/face/internal/page"
+)
+
+// Database holds the TPC-C tables and indexes.  It does not hold a
+// reference to the engine: every operation takes a transaction, so the same
+// Database value can be reused after the engine is crashed and reopened (the
+// catalog is the workload driver's in-memory state, as described in
+// DESIGN.md).
+type Database struct {
+	cfg Config
+
+	warehouse *heap.Table
+	district  *heap.Table
+	customer  *heap.Table
+	history   *heap.Table
+	order     *heap.Table
+	newOrder  *heap.Table
+	orderLine *heap.Table
+	item      *heap.Table
+	stock     *heap.Table
+
+	// Direct RIDs for the tiny warehouse and district tables.
+	warehouseRID map[int]page.RID
+	districtRID  map[uint64]page.RID
+
+	customerIdx  *btree.Tree
+	itemIdx      *btree.Tree
+	stockIdx     *btree.Tree
+	orderIdx     *btree.Tree
+	newOrderIdx  *btree.Tree
+	orderLineIdx *btree.Tree
+	custOrderIdx *btree.Tree
+
+	// nextOrderHint mirrors the districts' next order ids so the loader
+	// and driver can allocate order numbers without extra reads.
+	nextOrderHint map[uint64]int
+}
+
+// Config returns the configuration the database was loaded with.
+func (d *Database) Config() Config { return d.cfg }
+
+// Load populates a freshly opened engine with the TPC-C schema and initial
+// data.  It commits in chunks to bound transaction size, and finishes with
+// a checkpoint so the loaded database is fully persistent.
+func Load(eng *engine.DB, cfg Config) (*Database, error) {
+	cfg.normalize()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	db := &Database{
+		cfg:           cfg,
+		warehouseRID:  make(map[int]page.RID),
+		districtRID:   make(map[uint64]page.RID),
+		nextOrderHint: make(map[uint64]int),
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	if err := db.createSchema(eng); err != nil {
+		return nil, err
+	}
+	if err := db.loadItems(eng); err != nil {
+		return nil, err
+	}
+	for w := 1; w <= cfg.Warehouses; w++ {
+		if err := db.loadWarehouse(eng, rng, w); err != nil {
+			return nil, err
+		}
+	}
+	if err := eng.Checkpoint(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+func (d *Database) createSchema(eng *engine.DB) error {
+	tx, err := eng.Begin()
+	if err != nil {
+		return err
+	}
+	create := func(name string) *heap.Table {
+		if err != nil {
+			return nil
+		}
+		var t *heap.Table
+		t, err = heap.Create(tx, name)
+		return t
+	}
+	index := func(name string) *btree.Tree {
+		if err != nil {
+			return nil
+		}
+		var t *btree.Tree
+		t, err = btree.Create(tx, name)
+		return t
+	}
+	d.warehouse = create("warehouse")
+	d.district = create("district")
+	d.customer = create("customer")
+	d.history = create("history")
+	d.order = create("orders")
+	d.newOrder = create("new_order")
+	d.orderLine = create("order_line")
+	d.item = create("item")
+	d.stock = create("stock")
+	d.customerIdx = index("customer_pk")
+	d.itemIdx = index("item_pk")
+	d.stockIdx = index("stock_pk")
+	d.orderIdx = index("orders_pk")
+	d.newOrderIdx = index("new_order_pk")
+	d.orderLineIdx = index("order_line_pk")
+	d.custOrderIdx = index("orders_by_customer")
+	if err != nil {
+		return fmt.Errorf("tpcc: creating schema: %w", err)
+	}
+	return tx.Commit()
+}
+
+func (d *Database) loadItems(eng *engine.DB) error {
+	tx, err := eng.Begin()
+	if err != nil {
+		return err
+	}
+	for i := 1; i <= d.cfg.Items; i++ {
+		rid, err := d.item.Insert(tx, newItemRec(i))
+		if err != nil {
+			return fmt.Errorf("tpcc: loading item %d: %w", i, err)
+		}
+		if err := d.itemIdx.Insert(tx, itemKey(i), rid); err != nil {
+			return err
+		}
+		if i%2000 == 0 {
+			if err := tx.Commit(); err != nil {
+				return err
+			}
+			if tx, err = eng.Begin(); err != nil {
+				return err
+			}
+		}
+	}
+	return tx.Commit()
+}
+
+func (d *Database) loadWarehouse(eng *engine.DB, rng *rand.Rand, w int) error {
+	tx, err := eng.Begin()
+	if err != nil {
+		return err
+	}
+	rid, err := d.warehouse.Insert(tx, newWarehouseRec(w))
+	if err != nil {
+		return err
+	}
+	d.warehouseRID[w] = rid
+
+	// Stock: one row per item.
+	for i := 1; i <= d.cfg.Items; i++ {
+		rid, err := d.stock.Insert(tx, newStockRec(i))
+		if err != nil {
+			return fmt.Errorf("tpcc: loading stock (%d,%d): %w", w, i, err)
+		}
+		if err := d.stockIdx.Insert(tx, stockKey(w, i), rid); err != nil {
+			return err
+		}
+		if i%2000 == 0 {
+			if err := tx.Commit(); err != nil {
+				return err
+			}
+			if tx, err = eng.Begin(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		return err
+	}
+
+	for dI := 1; dI <= d.cfg.DistrictsPerWarehouse; dI++ {
+		if err := d.loadDistrict(eng, rng, w, dI); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (d *Database) loadDistrict(eng *engine.DB, rng *rand.Rand, w, dist int) error {
+	cfg := d.cfg
+	tx, err := eng.Begin()
+	if err != nil {
+		return err
+	}
+	firstFree := cfg.InitialOrdersPerDistrict + 1
+	rid, err := d.district.Insert(tx, newDistrictRec(dist, firstFree))
+	if err != nil {
+		return err
+	}
+	dk := districtKey(w, dist)
+	d.districtRID[dk] = rid
+	d.nextOrderHint[dk] = firstFree
+
+	// Customers.
+	for c := 1; c <= cfg.CustomersPerDistrict; c++ {
+		rid, err := d.customer.Insert(tx, newCustomerRec(c))
+		if err != nil {
+			return fmt.Errorf("tpcc: loading customer (%d,%d,%d): %w", w, dist, c, err)
+		}
+		if err := d.customerIdx.Insert(tx, customerKey(w, dist, c), rid); err != nil {
+			return err
+		}
+		// History row for the initial payment.
+		if _, err := d.history.Insert(tx, newHistoryRec(w, dist, c, 1000)); err != nil {
+			return err
+		}
+		if c%500 == 0 {
+			if err := tx.Commit(); err != nil {
+				return err
+			}
+			if tx, err = eng.Begin(); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Initial orders: one per customer (permuted), the most recent third
+	// still undelivered (rows in NEW-ORDER), as in the specification.
+	perm := rng.Perm(cfg.CustomersPerDistrict)
+	for o := 1; o <= cfg.InitialOrdersPerDistrict; o++ {
+		c := perm[(o-1)%len(perm)] + 1
+		lines := randInt(rng, 5, 15)
+		orid, err := d.order.Insert(tx, newOrderRec(c, lines, o))
+		if err != nil {
+			return err
+		}
+		if err := d.orderIdx.Insert(tx, orderKey(w, dist, o), orid); err != nil {
+			return err
+		}
+		if err := d.custOrderIdx.Insert(tx, customerOrderKey(w, dist, c, o), orid); err != nil {
+			return err
+		}
+		for ol := 1; ol <= lines; ol++ {
+			item := randItem(rng, cfg.Items)
+			olrid, err := d.orderLine.Insert(tx, newOrderLineRec(item, randInt(rng, 1, 10), uint64(randInt(rng, 10, 9999))))
+			if err != nil {
+				return err
+			}
+			if err := d.orderLineIdx.Insert(tx, orderLineKey(w, dist, o, ol), olrid); err != nil {
+				return err
+			}
+		}
+		if o > cfg.InitialOrdersPerDistrict*2/3 {
+			norid, err := d.newOrder.Insert(tx, newNewOrderRec(o))
+			if err != nil {
+				return err
+			}
+			if err := d.newOrderIdx.Insert(tx, orderKey(w, dist, o), norid); err != nil {
+				return err
+			}
+		}
+		if o%200 == 0 {
+			if err := tx.Commit(); err != nil {
+				return err
+			}
+			if tx, err = eng.Begin(); err != nil {
+				return err
+			}
+		}
+	}
+	return tx.Commit()
+}
+
+// Tables returns the names and page counts of all tables (diagnostics).
+func (d *Database) Tables() map[string]int {
+	return map[string]int{
+		"warehouse":  d.warehouse.NumPages(),
+		"district":   d.district.NumPages(),
+		"customer":   d.customer.NumPages(),
+		"history":    d.history.NumPages(),
+		"orders":     d.order.NumPages(),
+		"new_order":  d.newOrder.NumPages(),
+		"order_line": d.orderLine.NumPages(),
+		"item":       d.item.NumPages(),
+		"stock":      d.stock.NumPages(),
+	}
+}
+
+// Clone returns an independent copy of the catalog (table page lists,
+// index roots, direct RIDs).  The benchmark harness pairs a cloned catalog
+// with a cloned device image so that every experiment configuration starts
+// from the same freshly loaded database without reloading it.
+func (d *Database) Clone() *Database {
+	cp := &Database{
+		cfg:           d.cfg,
+		warehouse:     heap.Attach(d.warehouse.Name(), d.warehouse.Pages()),
+		district:      heap.Attach(d.district.Name(), d.district.Pages()),
+		customer:      heap.Attach(d.customer.Name(), d.customer.Pages()),
+		history:       heap.Attach(d.history.Name(), d.history.Pages()),
+		order:         heap.Attach(d.order.Name(), d.order.Pages()),
+		newOrder:      heap.Attach(d.newOrder.Name(), d.newOrder.Pages()),
+		orderLine:     heap.Attach(d.orderLine.Name(), d.orderLine.Pages()),
+		item:          heap.Attach(d.item.Name(), d.item.Pages()),
+		stock:         heap.Attach(d.stock.Name(), d.stock.Pages()),
+		customerIdx:   btree.Attach(d.customerIdx.Name(), d.customerIdx.Root()),
+		itemIdx:       btree.Attach(d.itemIdx.Name(), d.itemIdx.Root()),
+		stockIdx:      btree.Attach(d.stockIdx.Name(), d.stockIdx.Root()),
+		orderIdx:      btree.Attach(d.orderIdx.Name(), d.orderIdx.Root()),
+		newOrderIdx:   btree.Attach(d.newOrderIdx.Name(), d.newOrderIdx.Root()),
+		orderLineIdx:  btree.Attach(d.orderLineIdx.Name(), d.orderLineIdx.Root()),
+		custOrderIdx:  btree.Attach(d.custOrderIdx.Name(), d.custOrderIdx.Root()),
+		warehouseRID:  make(map[int]page.RID, len(d.warehouseRID)),
+		districtRID:   make(map[uint64]page.RID, len(d.districtRID)),
+		nextOrderHint: make(map[uint64]int, len(d.nextOrderHint)),
+	}
+	for k, v := range d.warehouseRID {
+		cp.warehouseRID[k] = v
+	}
+	for k, v := range d.districtRID {
+		cp.districtRID[k] = v
+	}
+	for k, v := range d.nextOrderHint {
+		cp.nextOrderHint[k] = v
+	}
+	return cp
+}

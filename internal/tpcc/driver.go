@@ -1,0 +1,164 @@
+package tpcc
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"github.com/reprolab/face/internal/engine"
+)
+
+// Kind identifies a TPC-C transaction type.
+type Kind int
+
+// Transaction kinds.
+const (
+	KindNewOrder Kind = iota
+	KindPayment
+	KindOrderStatus
+	KindDelivery
+	KindStockLevel
+	numKinds
+)
+
+// String names the transaction type.
+func (k Kind) String() string {
+	switch k {
+	case KindNewOrder:
+		return "NewOrder"
+	case KindPayment:
+		return "Payment"
+	case KindOrderStatus:
+		return "OrderStatus"
+	case KindDelivery:
+		return "Delivery"
+	case KindStockLevel:
+		return "StockLevel"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Mix is the standard TPC-C transaction mix in percent.
+var Mix = map[Kind]int{
+	KindNewOrder:    45,
+	KindPayment:     43,
+	KindOrderStatus: 4,
+	KindDelivery:    4,
+	KindStockLevel:  4,
+}
+
+// Counts tallies executed transactions by kind.
+type Counts struct {
+	Committed  [numKinds]int64
+	RolledBack int64
+}
+
+// Total returns the number of committed transactions of all kinds.
+func (c Counts) Total() int64 {
+	var t int64
+	for _, n := range c.Committed {
+		t += n
+	}
+	return t
+}
+
+// NewOrders returns the number of committed New-Order transactions, the
+// quantity tpmC is based on.
+func (c Counts) NewOrders() int64 { return c.Committed[KindNewOrder] }
+
+// Driver executes the TPC-C transaction mix against an engine.  A driver is
+// bound to one engine instance; after a simulated crash, create a new
+// driver over the reopened engine and the same Database.
+type Driver struct {
+	eng *engine.DB
+	db  *Database
+	rng *rand.Rand
+
+	counts Counts
+}
+
+// NewDriver creates a driver with its own deterministic random stream.
+func NewDriver(eng *engine.DB, db *Database, seed int64) *Driver {
+	return &Driver{eng: eng, db: db, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Counts returns the transactions executed so far.
+func (dr *Driver) Counts() Counts { return dr.counts }
+
+// ResetCounts clears the transaction counters (after warm-up).
+func (dr *Driver) ResetCounts() { dr.counts = Counts{} }
+
+// pick chooses the next transaction kind according to the standard mix.
+func (dr *Driver) pick() Kind {
+	n := dr.rng.Intn(100)
+	acc := 0
+	for _, k := range []Kind{KindNewOrder, KindPayment, KindOrderStatus, KindDelivery, KindStockLevel} {
+		acc += Mix[k]
+		if n < acc {
+			return k
+		}
+	}
+	return KindNewOrder
+}
+
+// RunOne executes one transaction of the standard mix and returns its kind.
+// Expected New-Order rollbacks are aborted and counted, not reported as
+// errors.  The engine clock is ticked afterwards so periodic checkpoints
+// fire on schedule.
+func (dr *Driver) RunOne() (Kind, error) {
+	kind := dr.pick()
+	if err := dr.Run(kind); err != nil {
+		return kind, err
+	}
+	return kind, nil
+}
+
+// Run executes one transaction of the given kind.
+func (dr *Driver) Run(kind Kind) error {
+	w := randInt(dr.rng, 1, dr.db.cfg.Warehouses)
+	tx, err := dr.eng.Begin()
+	if err != nil {
+		return err
+	}
+	switch kind {
+	case KindNewOrder:
+		err = dr.db.NewOrder(tx, dr.rng, w)
+	case KindPayment:
+		err = dr.db.Payment(tx, dr.rng, w)
+	case KindOrderStatus:
+		err = dr.db.OrderStatus(tx, dr.rng, w)
+	case KindDelivery:
+		err = dr.db.Delivery(tx, dr.rng, w)
+	case KindStockLevel:
+		err = dr.db.StockLevel(tx, dr.rng, w)
+	default:
+		err = fmt.Errorf("tpcc: unknown transaction kind %d", kind)
+	}
+	if errors.Is(err, ErrRollback) {
+		dr.counts.RolledBack++
+		if err := tx.Abort(); err != nil {
+			return err
+		}
+		return dr.eng.Tick()
+	}
+	if err != nil {
+		tx.Abort()
+		return fmt.Errorf("tpcc: %s: %w", kind, err)
+	}
+	if err := tx.Commit(); err != nil {
+		return err
+	}
+	dr.counts.Committed[kind]++
+	return dr.eng.Tick()
+}
+
+// RunMany executes n transactions of the standard mix.
+func (dr *Driver) RunMany(n int) error {
+	for i := 0; i < n; i++ {
+		if _, err := dr.RunOne(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,62 @@
+package tpcc
+
+import "math/rand"
+
+// nuRandC holds the per-field constants of the TPC-C non-uniform random
+// function.  The values are fixed (rather than drawn per run) so that runs
+// are reproducible; the skew they induce is what matters for caching.
+type nuRandC struct {
+	cLast, cID, olID int
+}
+
+var defaultC = nuRandC{cLast: 123, cID: 259, olID: 7911}
+
+// nuRand implements the TPC-C NURand(A, x, y) function: a non-uniform
+// random integer in [x, y] with heavy skew toward a subset of values.  It
+// is what makes a minority of customers and items "hot" — the locality the
+// flash cache exploits.
+func nuRand(rng *rand.Rand, a, c, x, y int) int {
+	return (((randInt(rng, 0, a) | randInt(rng, x, y)) + c) % (y - x + 1)) + x
+}
+
+// randInt returns a uniform random integer in [lo, hi].
+func randInt(rng *rand.Rand, lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	return lo + rng.Intn(hi-lo+1)
+}
+
+// randCustomer picks a customer id in [1, n] with NURand(1023) skew,
+// scaling the constant down for scaled-down databases.
+func randCustomer(rng *rand.Rand, n int) int {
+	a := 1023
+	if n < 1024 {
+		a = nextPow2(n/3) - 1
+		if a < 15 {
+			a = 15
+		}
+	}
+	return nuRand(rng, a, defaultC.cID, 1, n)
+}
+
+// randItem picks an item id in [1, n] with NURand(8191) skew, scaled like
+// randCustomer.
+func randItem(rng *rand.Rand, n int) int {
+	a := 8191
+	if n < 8192 {
+		a = nextPow2(n/3) - 1
+		if a < 15 {
+			a = 15
+		}
+	}
+	return nuRand(rng, a, defaultC.olID, 1, n)
+}
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}

@@ -1,0 +1,410 @@
+package tpcc
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"github.com/reprolab/face/internal/btree"
+	"github.com/reprolab/face/internal/engine"
+	"github.com/reprolab/face/internal/page"
+)
+
+// ErrRollback marks an expected transaction rollback (the 1 % of New-Order
+// transactions the specification requires to abort on an unused item id).
+var ErrRollback = errors.New("tpcc: expected rollback")
+
+// errNotFound wraps lookups that should always succeed on a loaded
+// database; hitting it indicates a corrupted database or index.
+func errNotFound(what string, key uint64) error {
+	return fmt.Errorf("tpcc: %s with key %d not found", what, key)
+}
+
+// NewOrder executes the TPC-C New-Order transaction against warehouse w.
+func (d *Database) NewOrder(tx *engine.Tx, rng *rand.Rand, w int) error {
+	cfg := d.cfg
+	dist := randInt(rng, 1, cfg.DistrictsPerWarehouse)
+	cust := randCustomer(rng, cfg.CustomersPerDistrict)
+	lineCount := randInt(rng, 5, 15)
+	rollback := rng.Intn(100) == 0
+
+	// Warehouse tax (read-only).
+	if err := d.warehouse.Get(tx, d.warehouseRID[w], func(rec []byte) error { return nil }); err != nil {
+		return err
+	}
+
+	// District: read and increment the next order id.
+	var orderID int
+	dk := districtKey(w, dist)
+	err := d.district.Update(tx, d.districtRID[dk], func(rec []byte) error {
+		orderID = districtNextOrder(rec)
+		districtSetNextOrder(rec, orderID+1)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	// Customer (read-only: discount, credit).
+	custRID, ok, err := d.customerIdx.Get(tx, customerKey(w, dist, cust))
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return errNotFound("customer", customerKey(w, dist, cust))
+	}
+	if err := d.customer.Get(tx, custRID, func(rec []byte) error { return nil }); err != nil {
+		return err
+	}
+
+	// Order and NEW-ORDER rows.
+	orid, err := d.order.Insert(tx, newOrderRec(cust, lineCount, orderID))
+	if err != nil {
+		return err
+	}
+	if err := d.orderIdx.Insert(tx, orderKey(w, dist, orderID), orid); err != nil {
+		return err
+	}
+	if err := d.custOrderIdx.Insert(tx, customerOrderKey(w, dist, cust, orderID), orid); err != nil {
+		return err
+	}
+	norid, err := d.newOrder.Insert(tx, newNewOrderRec(orderID))
+	if err != nil {
+		return err
+	}
+	if err := d.newOrderIdx.Insert(tx, orderKey(w, dist, orderID), norid); err != nil {
+		return err
+	}
+
+	// Order lines.
+	for ol := 1; ol <= lineCount; ol++ {
+		if rollback && ol == lineCount {
+			// Unused item id: the whole transaction rolls back.
+			return ErrRollback
+		}
+		item := randItem(rng, cfg.Items)
+		supplyW := w
+		remote := false
+		if cfg.Warehouses > 1 && rng.Intn(100) == 0 {
+			supplyW = randInt(rng, 1, cfg.Warehouses)
+			remote = supplyW != w
+		}
+		itemRID, ok, err := d.itemIdx.Get(tx, itemKey(item))
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return errNotFound("item", itemKey(item))
+		}
+		var price uint64
+		if err := d.item.Get(tx, itemRID, func(rec []byte) error {
+			price = itemPrice(rec)
+			return nil
+		}); err != nil {
+			return err
+		}
+
+		quantity := randInt(rng, 1, 10)
+		stockRID, ok, err := d.stockIdx.Get(tx, stockKey(supplyW, item))
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return errNotFound("stock", stockKey(supplyW, item))
+		}
+		if err := d.stock.Update(tx, stockRID, func(rec []byte) error {
+			q := stockQuantity(rec)
+			if q >= quantity+10 {
+				q -= quantity
+			} else {
+				q = q - quantity + 91
+			}
+			stockSetQuantity(rec, q)
+			stockAddOrder(rec, quantity, remote)
+			return nil
+		}); err != nil {
+			return err
+		}
+
+		olrid, err := d.orderLine.Insert(tx, newOrderLineRec(item, quantity, price*uint64(quantity)))
+		if err != nil {
+			return err
+		}
+		if err := d.orderLineIdx.Insert(tx, orderLineKey(w, dist, orderID, ol), olrid); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Payment executes the TPC-C Payment transaction against warehouse w.
+func (d *Database) Payment(tx *engine.Tx, rng *rand.Rand, w int) error {
+	cfg := d.cfg
+	dist := randInt(rng, 1, cfg.DistrictsPerWarehouse)
+	amount := uint64(randInt(rng, 100, 500000))
+
+	// 15 % of payments are made through a remote warehouse/district.
+	custW, custD := w, dist
+	if cfg.Warehouses > 1 && rng.Intn(100) < 15 {
+		for {
+			custW = randInt(rng, 1, cfg.Warehouses)
+			if custW != w || cfg.Warehouses == 1 {
+				break
+			}
+		}
+		custD = randInt(rng, 1, cfg.DistrictsPerWarehouse)
+	}
+	cust := randCustomer(rng, cfg.CustomersPerDistrict)
+
+	if err := d.warehouse.Update(tx, d.warehouseRID[w], func(rec []byte) error {
+		warehouseAddYTD(rec, amount)
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := d.district.Update(tx, d.districtRID[districtKey(w, dist)], func(rec []byte) error {
+		districtAddYTD(rec, amount)
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	custRID, ok, err := d.customerIdx.Get(tx, customerKey(custW, custD, cust))
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return errNotFound("customer", customerKey(custW, custD, cust))
+	}
+	if err := d.customer.Update(tx, custRID, func(rec []byte) error {
+		customerAddBalance(rec, -int64(amount))
+		customerAddPayment(rec, amount)
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	_, err = d.history.Insert(tx, newHistoryRec(custW, custD, cust, amount))
+	return err
+}
+
+// OrderStatus executes the TPC-C Order-Status transaction (read-only).
+func (d *Database) OrderStatus(tx *engine.Tx, rng *rand.Rand, w int) error {
+	cfg := d.cfg
+	dist := randInt(rng, 1, cfg.DistrictsPerWarehouse)
+	cust := randCustomer(rng, cfg.CustomersPerDistrict)
+
+	custRID, ok, err := d.customerIdx.Get(tx, customerKey(w, dist, cust))
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return errNotFound("customer", customerKey(w, dist, cust))
+	}
+	if err := d.customer.Get(tx, custRID, func(rec []byte) error { return nil }); err != nil {
+		return err
+	}
+
+	// Most recent order of the customer.
+	lo := customerOrderKey(w, dist, cust, 0)
+	hi := customerOrderKey(w, dist, cust, orderSpan/100-1)
+	var lastOrder uint64
+	var lastRID page.RID
+	found := false
+	if err := d.custOrderIdx.Scan(tx, lo, hi, func(k uint64, rid page.RID) error {
+		lastOrder = k
+		lastRID = rid
+		found = true
+		return nil
+	}); err != nil {
+		return err
+	}
+	if !found {
+		// A customer without orders is possible at small scales.
+		return nil
+	}
+	orderID := int(lastOrder - lo)
+	var lines int
+	if err := d.order.Get(tx, lastRID, func(rec []byte) error {
+		lines = orderLineCount(rec)
+		return nil
+	}); err != nil {
+		return err
+	}
+	for ol := 1; ol <= lines; ol++ {
+		olRID, ok, err := d.orderLineIdx.Get(tx, orderLineKey(w, dist, orderID, ol))
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue
+		}
+		if err := d.orderLine.Get(tx, olRID, func(rec []byte) error { return nil }); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Delivery executes the TPC-C Delivery transaction: the oldest undelivered
+// order of every district is delivered.
+func (d *Database) Delivery(tx *engine.Tx, rng *rand.Rand, w int) error {
+	cfg := d.cfg
+	carrier := randInt(rng, 1, 10)
+	for dist := 1; dist <= cfg.DistrictsPerWarehouse; dist++ {
+		lo := orderKey(w, dist, 0)
+		hi := orderKey(w, dist, orderSpan-1)
+		var oldestKey uint64
+		var oldestRID page.RID
+		found := false
+		err := d.newOrderIdx.Scan(tx, lo, hi, func(k uint64, rid page.RID) error {
+			oldestKey = k
+			oldestRID = rid
+			found = true
+			return btree.ErrStopScan
+		})
+		if err != nil {
+			return err
+		}
+		if !found {
+			continue
+		}
+		orderID := int(oldestKey - lo)
+
+		// Remove the NEW-ORDER row and its index entry.
+		if err := d.newOrder.Delete(tx, oldestRID); err != nil {
+			return err
+		}
+		if err := d.newOrderIdx.Delete(tx, oldestKey); err != nil {
+			return err
+		}
+
+		// Update the order with the carrier and collect its lines.
+		ordRID, ok, err := d.orderIdx.Get(tx, orderKey(w, dist, orderID))
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return errNotFound("order", orderKey(w, dist, orderID))
+		}
+		var cust, lines int
+		if err := d.order.Update(tx, ordRID, func(rec []byte) error {
+			cust = orderCustomer(rec)
+			lines = orderLineCount(rec)
+			orderSetCarrier(rec, carrier)
+			return nil
+		}); err != nil {
+			return err
+		}
+
+		var total uint64
+		for ol := 1; ol <= lines; ol++ {
+			olRID, ok, err := d.orderLineIdx.Get(tx, orderLineKey(w, dist, orderID, ol))
+			if err != nil {
+				return err
+			}
+			if !ok {
+				continue
+			}
+			if err := d.orderLine.Update(tx, olRID, func(rec []byte) error {
+				total += orderLineAmount(rec)
+				orderLineSetDeliveryDate(rec, orderID)
+				return nil
+			}); err != nil {
+				return err
+			}
+		}
+
+		custRID, ok, err := d.customerIdx.Get(tx, customerKey(w, dist, cust))
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return errNotFound("customer", customerKey(w, dist, cust))
+		}
+		if err := d.customer.Update(tx, custRID, func(rec []byte) error {
+			customerAddBalance(rec, int64(total))
+			customerAddDelivery(rec)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// StockLevel executes the TPC-C Stock-Level transaction (read-only): count
+// the items of the district's last 20 orders whose stock is below a random
+// threshold.
+func (d *Database) StockLevel(tx *engine.Tx, rng *rand.Rand, w int) error {
+	cfg := d.cfg
+	dist := randInt(rng, 1, cfg.DistrictsPerWarehouse)
+	threshold := randInt(rng, 10, 20)
+
+	var nextOrder int
+	if err := d.district.Get(tx, d.districtRID[districtKey(w, dist)], func(rec []byte) error {
+		nextOrder = districtNextOrder(rec)
+		return nil
+	}); err != nil {
+		return err
+	}
+	first := nextOrder - 20
+	if first < 1 {
+		first = 1
+	}
+	seen := make(map[int]bool)
+	low := 0
+	for o := first; o < nextOrder; o++ {
+		ordRID, ok, err := d.orderIdx.Get(tx, orderKey(w, dist, o))
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue
+		}
+		lines := 0
+		if err := d.order.Get(tx, ordRID, func(rec []byte) error {
+			lines = orderLineCount(rec)
+			return nil
+		}); err != nil {
+			return err
+		}
+		for ol := 1; ol <= lines; ol++ {
+			olRID, ok, err := d.orderLineIdx.Get(tx, orderLineKey(w, dist, o, ol))
+			if err != nil {
+				return err
+			}
+			if !ok {
+				continue
+			}
+			var item int
+			if err := d.orderLine.Get(tx, olRID, func(rec []byte) error {
+				item = orderLineItem(rec)
+				return nil
+			}); err != nil {
+				return err
+			}
+			if seen[item] {
+				continue
+			}
+			seen[item] = true
+			stockRID, ok, err := d.stockIdx.Get(tx, stockKey(w, item))
+			if err != nil {
+				return err
+			}
+			if !ok {
+				continue
+			}
+			if err := d.stock.Get(tx, stockRID, func(rec []byte) error {
+				if stockQuantity(rec) < threshold {
+					low++
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	_ = low
+	return nil
+}

@@ -1,0 +1,391 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/reprolab/face/internal/device"
+	"github.com/reprolab/face/internal/page"
+)
+
+// controlBlocks is the number of device blocks reserved at the start of the
+// log device for the control block (last checkpoint LSN, durable log end).
+const controlBlocks = 1
+
+// controlMagic identifies an initialised control block.
+const controlMagic = 0xFACE10C0
+
+// Manager is the write-ahead log manager.
+//
+// Records are appended to an in-memory tail and become durable when Force
+// is called (commit, page eviction, checkpoint).  Log writes are strictly
+// sequential; the log device is typically a dedicated disk, as in the
+// paper's experimental setup.
+type Manager struct {
+	mu sync.Mutex
+
+	dev device.Dev
+
+	// base is the LSN assigned to the first byte of the log data region.
+	// A freshly initialised log normally starts at 0; SetStart raises the
+	// base so LSNs stay monotonic when a new log is attached to a
+	// database whose pages already carry LSNs from an earlier log (e.g. a
+	// database image cloned by the benchmark harness).
+	base page.LSN
+	// next is the LSN that will be assigned to the next record.
+	next page.LSN
+	// durable is the LSN up to which the log is on the device.
+	durable page.LSN
+	// pending holds encoded records in [durable, next).
+	pending []byte
+	// partial holds the bytes of the last durable block that precede
+	// offset durable (so the block can be rewritten when more data is
+	// appended to it).
+	partial []byte
+
+	// lastCheckpoint is the LSN of the begin record of the most recent
+	// completed checkpoint.
+	lastCheckpoint page.LSN
+
+	forces int64
+}
+
+// Open creates a manager on the given log device.  If the device contains
+// an initialised control block, the existing log is preserved and the
+// manager resumes appending after its durable end; otherwise a fresh log is
+// initialised.
+func Open(dev device.Dev) (*Manager, error) {
+	m := &Manager{dev: dev}
+	ctrl := make([]byte, device.BlockSize)
+	if err := dev.ReadAt(0, ctrl); err != nil {
+		return nil, fmt.Errorf("wal: reading control block: %w", err)
+	}
+	if binary.LittleEndian.Uint32(ctrl[0:]) == controlMagic {
+		m.lastCheckpoint = page.LSN(binary.LittleEndian.Uint64(ctrl[4:]))
+		m.base = page.LSN(binary.LittleEndian.Uint64(ctrl[20:]))
+		// The control block is only rewritten at checkpoints (real systems
+		// do not touch their control file on every commit), so the durable
+		// end of the log is found by scanning forward from the last known
+		// record boundary until the records stop decoding.
+		scanFrom := m.lastCheckpoint
+		if scanFrom < m.base {
+			scanFrom = m.base
+		}
+		m.durable = page.LSN(binary.LittleEndian.Uint64(ctrl[12:]))
+		if m.durable < scanFrom {
+			m.durable = scanFrom
+		}
+		end, err := m.scanDurableEnd(scanFrom)
+		if err != nil {
+			return nil, err
+		}
+		m.durable = end
+		m.next = end
+		if err := m.loadPartial(); err != nil {
+			return nil, err
+		}
+		return m, nil
+	}
+	// Fresh log.
+	if err := m.writeControl(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// scanDurableEnd walks the log from a known record boundary and returns the
+// LSN just past the last intact record.
+func (m *Manager) scanDurableEnd(from page.LSN) (page.LSN, error) {
+	end := from
+	startBlk := int64(m.off(from)/device.BlockSize) + controlBlocks
+	nextBlk := startBlk
+	skip := int(m.off(from) % device.BlockSize)
+	var stream []byte
+	buf := make([]byte, device.BlockSize)
+
+	readMore := func() (bool, error) {
+		if nextBlk >= m.dev.NumBlocks() {
+			return false, nil
+		}
+		if err := m.dev.ReadAt(nextBlk, buf); err != nil {
+			return false, fmt.Errorf("wal: scanning for log end: %w", err)
+		}
+		stream = append(stream, buf...)
+		nextBlk++
+		return true, nil
+	}
+
+	for {
+		// A record needs at least its 4-byte length field; the length field
+		// being zero marks the zero-filled tail of the log.
+		for len(stream)-skip < 4 {
+			ok, err := readMore()
+			if err != nil {
+				return 0, err
+			}
+			if !ok {
+				return end, nil
+			}
+		}
+		length := binary.LittleEndian.Uint32(stream[skip:])
+		if length == 0 {
+			return end, nil
+		}
+		total := 4 + int(length)
+		for len(stream)-skip < total {
+			ok, err := readMore()
+			if err != nil {
+				return 0, err
+			}
+			if !ok {
+				// The record claims more bytes than the device holds: it was
+				// never completely written.
+				return end, nil
+			}
+		}
+		if _, consumed, err := decodeRecord(stream[skip:]); err == nil {
+			skip += consumed
+			end += page.LSN(consumed)
+			continue
+		}
+		// Corrupt record (torn write at the crash): the log ends before it.
+		return end, nil
+	}
+}
+
+// off converts an LSN into a byte offset within the log data region.
+func (m *Manager) off(lsn page.LSN) uint64 { return uint64(lsn - m.base) }
+
+// SetStart raises the LSN of the first log byte of a freshly initialised,
+// still empty log.  It is used when the database pages already carry LSNs
+// from a previous log incarnation: starting above their high-water mark
+// keeps LSN comparisons (redo checks, flash-cache version checks)
+// meaningful.  It fails once anything has been appended.
+func (m *Manager) SetStart(lsn page.LSN) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.next != m.base || m.durable != m.base || len(m.pending) > 0 {
+		return fmt.Errorf("wal: SetStart on a non-empty log (next %d, base %d)", m.next, m.base)
+	}
+	if lsn < m.base {
+		return nil
+	}
+	m.base = lsn
+	m.next = lsn
+	m.durable = lsn
+	return m.writeControl()
+}
+
+// loadPartial reads the partially filled last durable block so appends can
+// rewrite it.
+func (m *Manager) loadPartial() error {
+	rem := int(m.off(m.durable) % device.BlockSize)
+	m.partial = nil
+	if rem == 0 {
+		return nil
+	}
+	blk := int64(m.off(m.durable)/device.BlockSize) + controlBlocks
+	buf := make([]byte, device.BlockSize)
+	if err := m.dev.ReadAt(blk, buf); err != nil {
+		return fmt.Errorf("wal: reading partial tail block: %w", err)
+	}
+	m.partial = buf[:rem]
+	return nil
+}
+
+func (m *Manager) writeControl() error {
+	ctrl := make([]byte, device.BlockSize)
+	binary.LittleEndian.PutUint32(ctrl[0:], controlMagic)
+	binary.LittleEndian.PutUint64(ctrl[4:], uint64(m.lastCheckpoint))
+	binary.LittleEndian.PutUint64(ctrl[12:], uint64(m.durable))
+	binary.LittleEndian.PutUint64(ctrl[20:], uint64(m.base))
+	return m.dev.WriteAt(0, ctrl)
+}
+
+// Append adds a record to the log tail and returns its LSN.  The record is
+// not durable until Force is called with an LSN past it.
+func (m *Manager) Append(r *Record) (page.LSN, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r.LSN = m.next
+	m.pending = r.encode(m.pending)
+	m.next += page.LSN(r.encodedSize())
+	return r.LSN, nil
+}
+
+// Next returns the LSN that will be assigned to the next appended record.
+func (m *Manager) Next() page.LSN {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.next
+}
+
+// Durable returns the LSN up to which the log is persistent.
+func (m *Manager) Durable() page.LSN {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.durable
+}
+
+// Forces returns the number of Force calls that performed device I/O.
+func (m *Manager) Forces() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.forces
+}
+
+// Force makes the log durable at least up to lsn.  It is a no-op when the
+// log is already durable past lsn.
+func (m *Manager) Force(lsn page.LSN) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.forceLocked(lsn)
+}
+
+// ForceAll makes the entire log tail durable.
+func (m *Manager) ForceAll() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.forceLocked(m.next)
+}
+
+func (m *Manager) forceLocked(lsn page.LSN) error {
+	if lsn > m.next {
+		lsn = m.next
+	}
+	if lsn <= m.durable {
+		return nil
+	}
+	// Flush the whole pending tail: records are appended as units, so
+	// flushing to m.next always lands on a record boundary, and a larger
+	// sequential write costs essentially the same as a partial one.
+	n := len(m.pending)
+	data := append(append([]byte(nil), m.partial...), m.pending[:n]...)
+	startBlk := int64(m.off(m.durable-page.LSN(len(m.partial)))/device.BlockSize) + controlBlocks
+	nBlocks := (len(data) + device.BlockSize - 1) / device.BlockSize
+	pages := make([][]byte, nBlocks)
+	for i := 0; i < nBlocks; i++ {
+		blkData := make([]byte, device.BlockSize)
+		end := (i + 1) * device.BlockSize
+		if end > len(data) {
+			end = len(data)
+		}
+		copy(blkData, data[i*device.BlockSize:end])
+		pages[i] = blkData
+	}
+	if startBlk+int64(nBlocks) > m.dev.NumBlocks() {
+		return fmt.Errorf("wal: log device full (%d blocks)", m.dev.NumBlocks())
+	}
+	if err := m.dev.WriteRun(startBlk, pages); err != nil {
+		return fmt.Errorf("wal: flushing log: %w", err)
+	}
+	m.durable += page.LSN(n)
+	m.pending = append([]byte(nil), m.pending[n:]...)
+	rem := int(m.off(m.durable) % device.BlockSize)
+	if rem == 0 {
+		m.partial = nil
+	} else {
+		last := pages[nBlocks-1]
+		m.partial = append([]byte(nil), last[:rem]...)
+	}
+	m.forces++
+	return nil
+}
+
+// LogCheckpointBegin appends a checkpoint-begin record and returns its LSN.
+func (m *Manager) LogCheckpointBegin() (page.LSN, error) {
+	return m.Append(&Record{Type: TypeCheckpointBegin})
+}
+
+// LogCheckpointEnd appends a checkpoint-end record referring to beginLSN,
+// forces the log, and durably records beginLSN as the most recent completed
+// checkpoint in the control block.
+func (m *Manager) LogCheckpointEnd(beginLSN page.LSN) error {
+	if _, err := m.Append(&Record{Type: TypeCheckpointEnd, After: EncodeLSN(beginLSN)}); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.forceLocked(m.next); err != nil {
+		return err
+	}
+	m.lastCheckpoint = beginLSN
+	return m.writeControl()
+}
+
+// LastCheckpoint returns the LSN of the begin record of the most recent
+// completed checkpoint, or 0 when no checkpoint has completed.
+func (m *Manager) LastCheckpoint() page.LSN {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lastCheckpoint
+}
+
+// Crash simulates a process failure: all non-durable log records are lost.
+// The manager must not be used afterwards; reopen the log with Open.
+func (m *Manager) Crash() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.pending = nil
+	m.partial = nil
+	m.next = m.durable
+}
+
+// Iterate replays durable log records with LSN >= from, in order.  The
+// callback receives each decoded record; iteration stops at the durable end
+// of the log or when the callback returns an error.
+func (m *Manager) Iterate(from page.LSN, fn func(*Record) error) error {
+	m.mu.Lock()
+	durable := m.durable
+	m.mu.Unlock()
+	if from < m.base {
+		from = m.base
+	}
+	if from >= durable {
+		return nil
+	}
+
+	startBlk := int64(m.off(from)/device.BlockSize) + controlBlocks
+	endBlk := int64((m.off(durable)+device.BlockSize-1)/device.BlockSize) + controlBlocks
+	// Read the durable region sequentially in one run (recovery reads the
+	// log front to back, as a real system would).
+	var stream []byte
+	n := int(endBlk - startBlk)
+	err := m.dev.ReadRun(startBlk, n, func(i int, p []byte) error {
+		stream = append(stream, p...)
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("wal: reading log: %w", err)
+	}
+	// Clip to the durable byte range.
+	skip := int(m.off(from) % device.BlockSize)
+	limit := int(durable - from)
+	if skip >= len(stream) {
+		return nil
+	}
+	stream = stream[skip:]
+	if limit < len(stream) {
+		stream = stream[:limit]
+	}
+
+	offset := from
+	for len(stream) > 0 {
+		rec, consumed, err := decodeRecord(stream)
+		if errors.Is(err, ErrTruncated) {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("wal: at LSN %d: %w", offset, err)
+		}
+		rec.LSN = offset
+		if err := fn(rec); err != nil {
+			return err
+		}
+		stream = stream[consumed:]
+		offset += page.LSN(consumed)
+	}
+	return nil
+}

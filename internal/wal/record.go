@@ -1,0 +1,190 @@
+// Package wal implements the write-ahead log used by the engine for
+// transaction atomicity and durability.
+//
+// The two recovery principles the paper relies on (Section 4) are enforced
+// here: write-ahead logging (a page may only be evicted after its log
+// records are durable) and commit-time force-write of the log tail.  The
+// log lives on its own device and is written strictly sequentially; the
+// log sequence number (LSN) of a record is its byte offset in the log.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"github.com/reprolab/face/internal/page"
+)
+
+// TxID identifies a transaction.  TxID 0 is reserved for system activity
+// (checkpoints, loading) that is not subject to undo.
+type TxID uint64
+
+// RecordType enumerates log record kinds.
+type RecordType uint8
+
+// Log record types.
+const (
+	// TypeUpdate records a byte-range change to a page: offset, before
+	// image and after image.  It supports both redo and undo.
+	TypeUpdate RecordType = iota + 1
+	// TypeFullPage records a complete page image (used for page
+	// formatting and B-tree structure changes).  Redo-only.
+	TypeFullPage
+	// TypeCommit marks a transaction as committed.
+	TypeCommit
+	// TypeAbort marks a transaction as rolled back.
+	TypeAbort
+	// TypeCheckpointBegin marks the start of a fuzzy checkpoint.
+	TypeCheckpointBegin
+	// TypeCheckpointEnd marks the end of a checkpoint; its payload is the
+	// LSN of the matching TypeCheckpointBegin record.
+	TypeCheckpointEnd
+)
+
+// String names the record type.
+func (t RecordType) String() string {
+	switch t {
+	case TypeUpdate:
+		return "update"
+	case TypeFullPage:
+		return "full-page"
+	case TypeCommit:
+		return "commit"
+	case TypeAbort:
+		return "abort"
+	case TypeCheckpointBegin:
+		return "checkpoint-begin"
+	case TypeCheckpointEnd:
+		return "checkpoint-end"
+	default:
+		return fmt.Sprintf("record(%d)", uint8(t))
+	}
+}
+
+// Record is a single log record.  Not every field is meaningful for every
+// type; see the type constants.
+type Record struct {
+	// LSN is assigned by the log manager when the record is appended.
+	LSN page.LSN
+	// Type is the record kind.
+	Type RecordType
+	// TxID is the owning transaction (0 for system records).
+	TxID TxID
+	// PageID is the affected page for update and full-page records.
+	PageID page.ID
+	// Offset is the byte offset of the change within the page.
+	Offset uint16
+	// Before and After are the byte-range images for update records.
+	// For full-page records, After holds the page image and Before is
+	// empty.  For checkpoint-end records, After holds the encoded LSN of
+	// the checkpoint-begin record.
+	Before []byte
+	After  []byte
+}
+
+// Errors returned by record encoding and decoding.
+var (
+	ErrCorrupt   = errors.New("wal: corrupt log record")
+	ErrTruncated = errors.New("wal: truncated log")
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// record wire format:
+//
+//	u32 length of everything after this field
+//	u32 crc of everything after the crc field
+//	u8  type
+//	u64 txid
+//	u64 pageid
+//	u16 offset
+//	u32 before length
+//	u32 after length
+//	... before bytes
+//	... after bytes
+const recordHeaderSize = 4 + 4 + 1 + 8 + 8 + 2 + 4 + 4
+
+// encodedSize returns the full on-log size of the record in bytes.
+func (r *Record) encodedSize() int {
+	return recordHeaderSize + len(r.Before) + len(r.After)
+}
+
+// encode appends the wire form of r to dst and returns the result.
+func (r *Record) encode(dst []byte) []byte {
+	body := make([]byte, recordHeaderSize-8+len(r.Before)+len(r.After))
+	body[0] = byte(r.Type)
+	binary.LittleEndian.PutUint64(body[1:], uint64(r.TxID))
+	binary.LittleEndian.PutUint64(body[9:], uint64(r.PageID))
+	binary.LittleEndian.PutUint16(body[17:], r.Offset)
+	binary.LittleEndian.PutUint32(body[19:], uint32(len(r.Before)))
+	binary.LittleEndian.PutUint32(body[23:], uint32(len(r.After)))
+	copy(body[27:], r.Before)
+	copy(body[27+len(r.Before):], r.After)
+
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(body)+4))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(body, crcTable))
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, body...)
+	return dst
+}
+
+// decodeRecord parses one record from buf.  It returns the record and the
+// number of bytes consumed.  A zero length field signals the end of the
+// log (zero-filled tail); ErrTruncated is returned in that case.
+func decodeRecord(buf []byte) (*Record, int, error) {
+	if len(buf) < 8 {
+		return nil, 0, ErrTruncated
+	}
+	length := binary.LittleEndian.Uint32(buf[0:])
+	if length == 0 {
+		return nil, 0, ErrTruncated
+	}
+	total := 4 + int(length)
+	if total > len(buf) {
+		return nil, 0, ErrTruncated
+	}
+	crc := binary.LittleEndian.Uint32(buf[4:])
+	body := buf[8:total]
+	if crc32.Checksum(body, crcTable) != crc {
+		return nil, 0, fmt.Errorf("%w: crc mismatch", ErrCorrupt)
+	}
+	if len(body) < recordHeaderSize-8 {
+		return nil, 0, fmt.Errorf("%w: short body", ErrCorrupt)
+	}
+	r := &Record{
+		Type:   RecordType(body[0]),
+		TxID:   TxID(binary.LittleEndian.Uint64(body[1:])),
+		PageID: page.ID(binary.LittleEndian.Uint64(body[9:])),
+		Offset: binary.LittleEndian.Uint16(body[17:]),
+	}
+	beforeLen := int(binary.LittleEndian.Uint32(body[19:]))
+	afterLen := int(binary.LittleEndian.Uint32(body[23:]))
+	if recordHeaderSize-8+beforeLen+afterLen != len(body) {
+		return nil, 0, fmt.Errorf("%w: length mismatch", ErrCorrupt)
+	}
+	if beforeLen > 0 {
+		r.Before = append([]byte(nil), body[27:27+beforeLen]...)
+	}
+	if afterLen > 0 {
+		r.After = append([]byte(nil), body[27+beforeLen:27+beforeLen+afterLen]...)
+	}
+	return r, total, nil
+}
+
+// EncodeLSN encodes an LSN as the payload of a checkpoint-end record.
+func EncodeLSN(l page.LSN) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(l))
+	return b[:]
+}
+
+// DecodeLSN decodes an LSN encoded with EncodeLSN.
+func DecodeLSN(b []byte) (page.LSN, error) {
+	if len(b) < 8 {
+		return 0, fmt.Errorf("%w: short LSN payload", ErrCorrupt)
+	}
+	return page.LSN(binary.LittleEndian.Uint64(b)), nil
+}
