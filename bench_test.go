@@ -7,6 +7,7 @@ package face
 // larger default scale.
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -189,6 +190,53 @@ func BenchmarkLCStageIn(b *testing.B) {
 	}
 	b.ResetTimer()
 	stagePages(b, cache, b.N)
+}
+
+// BenchmarkConcurrentViews measures parallel read-only transactions
+// through the public View API: readers share the scheduler's read lock and
+// the latched buffer pool.
+func BenchmarkConcurrentViews(b *testing.B) {
+	db, err := Open(
+		WithDevices(NewDiskArray("data", 8, 1<<16), NewDisk("log", 1<<18)),
+		WithFlashDevice(NewSSD("flash", 4096)),
+		WithPolicy(PolicyFaCEGSC),
+		WithBufferPages(128),
+		WithFlashFrames(1024),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	ctx := context.Background()
+	var ids []PageID
+	err = db.Update(ctx, func(tx *Tx) error {
+		for i := 0; i < 2048; i++ {
+			id, err := tx.Alloc(TypeHeap)
+			if err != nil {
+				return err
+			}
+			ids = append(ids, id)
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			i++
+			id := ids[i%len(ids)]
+			err := db.View(ctx, func(tx *Tx) error {
+				return tx.Read(id, func(buf PageBuf) error { return nil })
+			})
+			if err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
 }
 
 // BenchmarkEngineTransaction measures the end-to-end cost of a small

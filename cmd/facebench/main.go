@@ -16,6 +16,7 @@
 //	table6    restart time after a crash vs checkpoint interval
 //	fig6      post-restart throughput timeline
 //	ablations design-choice ablations (sync policy, group size, segment size)
+//	policies  list the registered cache policies
 //	all       every experiment above, in order
 package main
 
@@ -27,6 +28,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/reprolab/face"
 	"github.com/reprolab/face/internal/bench"
 )
 
@@ -46,7 +48,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		seed       = fs.Int64("seed", 0, "workload random seed (0 = default)")
 	)
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: facebench [flags] <table1|table3|table4|fig4|table5|fig5|table6|fig6|ablations|all>\n")
+		fmt.Fprintf(stderr, "usage: facebench [flags] <table1|table3|table4|fig4|table5|fig5|table6|fig6|ablations|policies|all>\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -78,9 +80,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		opts.Progress = stderr
 	}
 
-	// Table 1 needs no database.
+	// Table 1 and the policy listing need no database.
 	if what == "table1" {
 		fmt.Fprintln(stdout, bench.FormatTable1(bench.Table1DeviceCharacteristics()))
+		return 0
+	}
+	if what == "policies" {
+		printPolicies(stdout)
 		return 0
 	}
 
@@ -181,4 +187,13 @@ func runExperiment(g *bench.Golden, what string, out io.Writer) error {
 		return fmt.Errorf("unknown experiment %q", what)
 	}
 	return nil
+}
+
+// printPolicies lists the cache policies registered with the policy
+// registry, which is also the set of names RunSpec.Policy accepts.
+func printPolicies(out io.Writer) {
+	fmt.Fprintln(out, "Registered cache policies:")
+	for _, name := range face.Policies() {
+		fmt.Fprintf(out, "  %s\n", name)
+	}
 }

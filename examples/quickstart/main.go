@@ -1,5 +1,6 @@
-// Quickstart: open a database with a FaCE flash cache extension, run a few
-// transactions against it, and print the cache statistics.
+// Quickstart: open a database with a FaCE flash cache extension through
+// the public options API, run concurrent View/Update transactions against
+// it, and print the cache statistics.
 //
 // Run with:
 //
@@ -7,82 +8,89 @@
 package main
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"log"
+	"sync"
 
-	"github.com/reprolab/face/internal/device"
-	"github.com/reprolab/face/internal/engine"
-	"github.com/reprolab/face/internal/page"
+	"github.com/reprolab/face"
 )
 
 func main() {
+	ctx := context.Background()
+
 	// Devices: an 8-disk RAID-0 array for the database, one disk for the
 	// write-ahead log and an MLC SSD for the flash cache.  All devices are
 	// calibrated simulators (see internal/device); contents are real,
 	// service times are simulated.
-	dataDev := device.NewArray("data", device.ProfileCheetah15K, 8, 32768)
-	logDev := device.New("log", device.ProfileCheetah15K, 1<<16)
-	flashDev := device.New("flash", device.ProfileSamsung470, 4096)
+	dataDev := face.NewDiskArray("data", 8, 32768)
 
-	db, err := engine.Open(engine.Config{
-		DataDev:     dataDev,
-		LogDev:      logDev,
-		FlashDev:    flashDev,
-		BufferPages: 64,                   // DRAM buffer pool
-		Policy:      engine.PolicyFaCEGSC, // FaCE with Group Second Chance
-		FlashFrames: 1024,                 // flash cache capacity in pages
-	})
+	db, err := face.Open(
+		face.WithDevices(dataDev, face.NewDisk("log", 1<<16)),
+		face.WithFlashDevice(face.NewSSD("flash", 4096)),
+		face.WithPolicy(face.PolicyFaCEGSC), // FaCE with Group Second Chance
+		face.WithBufferPages(64),            // DRAM buffer pool
+		face.WithFlashFrames(1024),          // flash cache capacity in pages
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer db.Close()
 
-	// Allocate a thousand pages and store a counter in each.
-	tx, err := db.Begin()
+	// Allocate a thousand pages and store a counter in each.  Update runs
+	// the closure in a read-write transaction and commits it on nil.
+	var ids []face.PageID
+	err = db.Update(ctx, func(tx *face.Tx) error {
+		for i := 0; i < 1000; i++ {
+			id, err := tx.Alloc(face.TypeHeap)
+			if err != nil {
+				return err
+			}
+			if err := tx.Modify(id, func(buf face.PageBuf) error {
+				binary.LittleEndian.PutUint64(buf.Payload(), uint64(i))
+				return nil
+			}); err != nil {
+				return err
+			}
+			ids = append(ids, id)
+		}
+		return nil
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	var ids []page.ID
-	for i := 0; i < 1000; i++ {
-		id, err := tx.Alloc(page.TypeHeap)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := tx.Modify(id, func(buf page.Buf) error {
-			binary.LittleEndian.PutUint64(buf.Payload(), uint64(i))
-			return nil
-		}); err != nil {
-			log.Fatal(err)
-		}
-		ids = append(ids, id)
-	}
-	if err := tx.Commit(); err != nil {
-		log.Fatal(err)
-	}
 
-	// Read everything back a few times.  The working set does not fit in
-	// the 64-page DRAM buffer, so most reads are served by the flash cache
-	// rather than the disk array.
-	for round := 0; round < 3; round++ {
-		tx, err := db.Begin()
-		if err != nil {
-			log.Fatal(err)
-		}
-		var sum uint64
-		for _, id := range ids {
-			if err := tx.Read(id, func(buf page.Buf) error {
-				sum += binary.LittleEndian.Uint64(buf.Payload())
+	// Read everything back from several goroutines at once: View
+	// transactions share the read side of the transaction scheduler and
+	// run in parallel.  The working set does not fit in the 64-page DRAM
+	// buffer, so most reads are served by the flash cache rather than the
+	// disk array.
+	var wg sync.WaitGroup
+	for round := 1; round <= 3; round++ {
+		round := round
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var sum uint64
+			err := db.View(ctx, func(tx *face.Tx) error {
+				for _, id := range ids {
+					if err := tx.Read(id, func(buf face.PageBuf) error {
+						sum += binary.LittleEndian.Uint64(buf.Payload())
+						return nil
+					}); err != nil {
+						return err
+					}
+				}
 				return nil
-			}); err != nil {
+			})
+			if err != nil {
 				log.Fatal(err)
 			}
-		}
-		if err := tx.Commit(); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("round %d: checksum %d\n", round+1, sum)
+			fmt.Printf("reader %d: checksum %d\n", round, sum)
+		}()
 	}
+	wg.Wait()
 
 	pool := db.Pool().Stats()
 	cache := db.Cache().Stats()

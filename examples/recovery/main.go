@@ -13,8 +13,8 @@ import (
 	"os"
 	"time"
 
+	"github.com/reprolab/face"
 	"github.com/reprolab/face/internal/bench"
-	"github.com/reprolab/face/internal/engine"
 )
 
 func main() {
@@ -29,8 +29,8 @@ func main() {
 	interval := 500 * time.Millisecond
 	fmt.Printf("Crashing the system halfway through a %v checkpoint interval...\n\n", interval)
 
-	face, err := golden.RunRecovery(bench.RunSpec{
-		Policy:          engine.PolicyFaCEGSC,
+	faceRun, err := golden.RunRecovery(bench.RunSpec{
+		Policy:          face.PolicyFaCEGSC,
 		CacheFraction:   opts.RecoveryCacheFraction,
 		BufferPages:     opts.RecoveryBufferPages,
 		CheckpointEvery: interval,
@@ -40,7 +40,7 @@ func main() {
 		log.Fatal(err)
 	}
 	hdd, err := golden.RunRecovery(bench.RunSpec{
-		Policy:          engine.PolicyNone,
+		Policy:          face.PolicyNone,
 		BufferPages:     opts.RecoveryBufferPages,
 		CheckpointEvery: interval,
 		Label:           "HDD-only",
@@ -54,11 +54,11 @@ func main() {
 			r.Label, r.RestartTime.Round(time.Millisecond), r.MetadataRestoreTime.Round(time.Microsecond),
 			r.FlashReads, r.DiskReads, r.RedoApplied)
 	}
-	report(face)
+	report(faceRun)
 	report(hdd)
-	if face.RestartTime > 0 {
+	if faceRun.RestartTime > 0 {
 		fmt.Printf("\nFaCE restarts %.1fx faster: most pages needed during recovery are served\n",
-			float64(hdd.RestartTime)/float64(face.RestartTime))
+			float64(hdd.RestartTime)/float64(faceRun.RestartTime))
 		fmt.Println("from the persistent flash cache instead of random disk reads (paper §5.5).")
 	}
 }

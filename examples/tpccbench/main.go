@@ -12,8 +12,8 @@ import (
 	"log"
 	"os"
 
+	"github.com/reprolab/face"
 	"github.com/reprolab/face/internal/bench"
-	"github.com/reprolab/face/internal/engine"
 )
 
 func main() {
@@ -29,12 +29,14 @@ func main() {
 		opts.Warehouses, golden.DBPages(), float64(golden.DBPages())*4096/1e6)
 
 	var results []bench.Result
+	// Policies are selected by registry name; the face.Policy* constants
+	// name the built-in schemes.
 	for _, spec := range []bench.RunSpec{
-		{Policy: engine.PolicyNone, Label: "HDD-only"},
-		{Policy: engine.PolicyLC, CacheFraction: 0.15, Label: "LC (LRU write-back)"},
-		{Policy: engine.PolicyFaCE, CacheFraction: 0.15, Label: "FaCE (mvFIFO)"},
-		{Policy: engine.PolicyFaCEGSC, CacheFraction: 0.15, Label: "FaCE+GSC"},
-		{Policy: engine.PolicyNone, DataOnFlash: true, Label: "SSD-only"},
+		{Policy: face.PolicyNone, Label: "HDD-only"},
+		{Policy: face.PolicyLC, CacheFraction: 0.15, Label: "LC (LRU write-back)"},
+		{Policy: face.PolicyFaCE, CacheFraction: 0.15, Label: "FaCE (mvFIFO)"},
+		{Policy: face.PolicyFaCEGSC, CacheFraction: 0.15, Label: "FaCE+GSC"},
+		{Policy: face.PolicyNone, DataOnFlash: true, Label: "SSD-only"},
 	} {
 		res, err := golden.Run(spec)
 		if err != nil {

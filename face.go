@@ -9,48 +9,77 @@
 // recovery reads the pages it needs from the flash cache instead of the
 // disk array.
 //
-// The package is a thin facade over the implementation packages:
+// # Opening a database
 //
-//   - internal/device:   calibrated simulated block devices (Table 1)
-//   - internal/buffer:   DRAM buffer pool with dirty/fdirty flags
-//   - internal/face:     the flash cache managers (FaCE, GR, GSC, LC, WT)
-//   - internal/wal:      write-ahead log
-//   - internal/engine:   the transactional engine tying them together
-//   - internal/heap, internal/btree: record layer used by the workload
-//   - internal/tpcc:     scaled TPC-C workload generator
-//   - internal/bench:    harness that regenerates every paper table/figure
+// A database is opened with functional options; the cache policy is
+// selected by name through the policy registry:
 //
-// The types exported here are aliases of the engine, device and bench
-// types, so the facade can be used without importing internal packages:
+//	db, err := face.Open(
+//	    face.WithDevices(face.NewDiskArray("data", 8, 1<<16), face.NewDisk("log", 1<<16)),
+//	    face.WithFlashDevice(face.NewSSD("flash", 8192)),
+//	    face.WithPolicy(face.PolicyFaCEGSC),
+//	    face.WithBufferPages(256),
+//	    face.WithFlashFrames(4096),
+//	)
 //
-//	db, err := face.Open(face.Config{
-//	    DataDev:     face.NewDiskArray("data", 8, 1<<16),
-//	    LogDev:      face.NewDisk("log", 1<<16),
-//	    FlashDev:    face.NewSSD("flash", 8192),
-//	    BufferPages: 256,
-//	    Policy:      face.PolicyFaCEGSC,
-//	    FlashFrames: 4096,
+// # Transactions
+//
+// Work happens in closure transactions.  Any number of View transactions
+// run concurrently; Update transactions are serialized and exclusive with
+// every View:
+//
+//	err = db.Update(ctx, func(tx *face.Tx) error {
+//	    id, err := tx.Alloc(face.TypeHeap)
+//	    if err != nil {
+//	        return err
+//	    }
+//	    return tx.Modify(id, func(buf face.PageBuf) error {
+//	        copy(buf.Payload(), payload)
+//	        return nil
+//	    })
 //	})
+//
+//	err = db.View(ctx, func(tx *face.Tx) error {
+//	    return tx.Read(id, func(buf face.PageBuf) error { ... })
+//	})
+//
+// A nil return commits (with a commit-time log force for Update); an error
+// rolls back and is propagated.  The context is checked at the transaction
+// boundaries, so a cancelled context never commits.  Writes inside View
+// fail with ErrConflict.
+//
+// # Cache policies
+//
+// The paper's schemes — FaCE ("face"), FaCE with Group Replacement
+// ("face+gr"), FaCE with Group Second Chance ("face+gsc"), Lazy Cleaning
+// ("lc"), write-through ("wt") and "none" — self-register in the policy
+// registry.  Policies() lists them, and RegisterPolicy adds custom ones:
+//
+//	face.RegisterPolicy("mine", func(p face.PolicyParams) (face.Extension, error) {
+//	    return face.NewPolicy("face+gsc", p) // or any Extension implementation
+//	})
+//
+// The implementation lives in the internal packages: device (calibrated
+// simulated block devices), buffer (DRAM buffer pool), face (the cache
+// managers), wal, engine, heap/btree, tpcc, and bench (the harness that
+// regenerates every paper table and figure; see cmd/facebench).
 package face
 
 import (
 	"github.com/reprolab/face/internal/bench"
 	"github.com/reprolab/face/internal/device"
 	"github.com/reprolab/face/internal/engine"
+	intface "github.com/reprolab/face/internal/face"
 	"github.com/reprolab/face/internal/page"
 )
 
 // Core engine types.
 type (
 	// DB is a transactional page store with an optional flash cache
-	// extension.
+	// extension.  View and Update run concurrent closure transactions.
 	DB = engine.DB
 	// Tx is a transaction.
 	Tx = engine.Tx
-	// Config describes a database instance.
-	Config = engine.Config
-	// CachePolicy selects the flash cache scheme.
-	CachePolicy = engine.CachePolicy
 	// RecoveryReport describes a completed restart.
 	RecoveryReport = engine.RecoveryReport
 
@@ -58,9 +87,22 @@ type (
 	PageID = page.ID
 	// PageBuf is a raw 4 KiB page image.
 	PageBuf = page.Buf
+	// PageType tags the content of a page.
+	PageType = page.Type
 
+	// Dev is a simulated block device (a single Device or an Array).
+	Dev = device.Dev
 	// DeviceProfile describes a simulated storage device.
 	DeviceProfile = device.Profile
+
+	// Extension is the interface a flash cache manager implements; custom
+	// policies registered with RegisterPolicy return one.
+	Extension = intface.Extension
+	// PolicyParams carries the engine wiring handed to a policy
+	// constructor.
+	PolicyParams = intface.PolicyParams
+	// CacheStats is a snapshot of flash cache activity.
+	CacheStats = intface.Stats
 
 	// BenchOptions scales the paper-reproduction experiments.
 	BenchOptions = bench.Options
@@ -68,21 +110,81 @@ type (
 	Golden = bench.Golden
 )
 
-// Cache policies (see the paper's Table 2 and Section 3).
+// Built-in cache policy names (see the paper's Table 2 and Section 3).
+// The constants are untyped strings: they are accepted by WithPolicy and
+// anywhere else a policy name is expected.
 const (
-	PolicyNone         = engine.PolicyNone
-	PolicyFaCE         = engine.PolicyFaCE
-	PolicyFaCEGR       = engine.PolicyFaCEGR
-	PolicyFaCEGSC      = engine.PolicyFaCEGSC
-	PolicyLC           = engine.PolicyLC
-	PolicyWriteThrough = engine.PolicyWriteThrough
+	PolicyNone         = "none"
+	PolicyFaCE         = "face"
+	PolicyFaCEGR       = "face+gr"
+	PolicyFaCEGSC      = "face+gsc"
+	PolicyLC           = "lc"
+	PolicyWriteThrough = "wt"
 )
 
 // PageSize is the database page size in bytes (4 KiB).
 const PageSize = page.Size
 
-// Open creates or reopens a database on the given devices.
-func Open(cfg Config) (*DB, error) { return engine.Open(cfg) }
+// TypeHeap tags a heap page; it is the page type application transactions
+// allocate.
+const TypeHeap = page.TypeHeap
+
+// Sentinel errors, matched with errors.Is.
+var (
+	// ErrClosed is returned by operations on a closed database.
+	ErrClosed = engine.ErrClosed
+	// ErrCrashed is returned after Crash until the database is reopened.
+	ErrCrashed = engine.ErrCrashed
+	// ErrNoDevice is returned by Open when a required device is missing.
+	ErrNoDevice = engine.ErrNoDevice
+	// ErrTxDone is returned by operations on a finished transaction.
+	ErrTxDone = engine.ErrTxDone
+	// ErrConflict is returned for writes attempted inside a read-only
+	// (View) transaction.
+	ErrConflict = engine.ErrConflict
+	// ErrTxManaged is returned by manual Commit/Abort of a transaction
+	// managed by View or Update.
+	ErrTxManaged = engine.ErrTxManaged
+)
+
+// Open creates or reopens a database configured by the given options.  At
+// minimum the data and log devices must be provided with WithDevices.
+func Open(opts ...Option) (*DB, error) {
+	cfg := engine.Config{
+		BufferPages: DefaultBufferPages,
+		Policy:      engine.PolicyNone,
+	}
+	for _, opt := range opts {
+		if opt == nil {
+			continue
+		}
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	return engine.Open(cfg)
+}
+
+// RegisterPolicy makes a cache policy selectable by name through
+// WithPolicy.  The built-in schemes register themselves; registering an
+// empty or duplicate name panics.  A nil constructor registers a policy
+// that runs without a flash cache.
+func RegisterPolicy(name string, ctor func(PolicyParams) (Extension, error)) {
+	if ctor == nil {
+		intface.RegisterPolicy(name, nil)
+		return
+	}
+	intface.RegisterPolicy(name, intface.PolicyConstructor(ctor))
+}
+
+// Policies returns the registered cache policy names in sorted order.
+func Policies() []string { return intface.Policies() }
+
+// NewPolicy constructs the named policy's cache manager; it is the hook
+// custom constructors use to wrap or delegate to built-in policies.
+func NewPolicy(name string, p PolicyParams) (Extension, error) {
+	return intface.NewPolicy(name, p)
+}
 
 // NewDisk creates a simulated enterprise 15k-RPM disk drive with the given
 // capacity in 4 KiB blocks.

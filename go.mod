@@ -1,0 +1,3 @@
+module github.com/reprolab/face
+
+go 1.24

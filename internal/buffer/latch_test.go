@@ -1,0 +1,137 @@
+package buffer
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/reprolab/face/internal/page"
+)
+
+// lockedBacking is a thread-safe backing store whose pages carry a
+// deterministic fill pattern, so torn fetches are detectable.
+type lockedBacking struct {
+	mu    sync.Mutex
+	pages map[page.ID]byte
+}
+
+func (b *lockedBacking) fetch(id page.ID, buf page.Buf) (bool, error) {
+	b.mu.Lock()
+	v := b.pages[id]
+	b.mu.Unlock()
+	buf.Init(id, page.TypeHeap)
+	for i := page.HeaderSize; i < len(buf); i++ {
+		buf[i] = v
+	}
+	return false, nil
+}
+
+func (b *lockedBacking) evict(v Victim) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if v.Dirty {
+		b.pages[v.ID] = v.Data[page.HeaderSize]
+	}
+	return nil
+}
+
+// TestConcurrentGetUnpin hammers a small pool from many goroutines so that
+// concurrent misses, evictions and re-fetches of the same pages overlap.
+// Run under -race it verifies the frame latching: no goroutine may observe
+// a half-loaded frame (the fill pattern would be torn) and pin accounting
+// must stay balanced.
+func TestConcurrentGetUnpin(t *testing.T) {
+	const (
+		pages      = 64
+		capacity   = 8
+		goroutines = 16
+		iterations = 400
+	)
+	b := &lockedBacking{pages: make(map[page.ID]byte)}
+	for i := 1; i <= pages; i++ {
+		b.pages[page.ID(i)] = byte(i)
+	}
+	p, err := New(capacity, b.fetch, b.evict)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iterations; i++ {
+				id := page.ID((g*7+i)%pages + 1)
+				buf, err := p.Get(id)
+				if err != nil {
+					t.Errorf("Get(%d): %v", id, err)
+					return
+				}
+				want := buf[page.HeaderSize]
+				for j := page.HeaderSize; j < len(buf); j += 512 {
+					if buf[j] != want {
+						t.Errorf("page %d: torn read at offset %d: %d != %d", id, j, buf[j], want)
+						break
+					}
+				}
+				if buf.ID() != id {
+					t.Errorf("Get(%d) returned page %d", id, buf.ID())
+				}
+				if err := p.Unpin(id); err != nil {
+					t.Errorf("Unpin(%d): %v", id, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// All pins released: every resident page must be evictable again.
+	for _, id := range p.ResidentIDs() {
+		if _, err := p.Get(id); err != nil {
+			t.Fatalf("Get(%d) after drain: %v", id, err)
+		}
+		if err := p.Unpin(id); err != nil {
+			t.Fatalf("Unpin(%d) after drain: %v", id, err)
+		}
+	}
+	s := p.Stats()
+	if s.Misses == 0 || s.Evictions == 0 {
+		t.Fatalf("workload did not exercise misses/evictions: %+v", s)
+	}
+}
+
+// TestConcurrentSameMissLoadsOnce checks that concurrent Gets for the same
+// absent page coalesce on one fetch rather than racing the frame.
+func TestConcurrentSameMissLoadsOnce(t *testing.T) {
+	var mu sync.Mutex
+	fetches := 0
+	fetch := func(id page.ID, buf page.Buf) (bool, error) {
+		mu.Lock()
+		fetches++
+		mu.Unlock()
+		buf.Init(id, page.TypeHeap)
+		return false, nil
+	}
+	p, err := New(4, fetch, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := p.Get(7); err != nil {
+				t.Error(err)
+				return
+			}
+			p.Unpin(7)
+		}()
+	}
+	wg.Wait()
+	if fetches != 1 {
+		t.Fatalf("page 7 fetched %d times, want 1", fetches)
+	}
+}

@@ -78,15 +78,22 @@ type frame struct {
 }
 
 // Pool is an LRU buffer pool of fixed capacity.  It is safe for concurrent
-// use, though the engine in this repository drives it from one goroutine.
+// use: frames are latched while their fetch or eviction I/O is in flight,
+// so concurrent Get calls for the same page wait for a single load instead
+// of racing it, and a page being evicted cannot be re-fetched from the
+// backing store until its eviction (and therefore its write-back) has
+// completed.
 type Pool struct {
 	mu       sync.Mutex
 	capacity int
 	frames   map[page.ID]*frame
 	lru      *list.List // front = most recently used
-	fetch    FetchFunc
-	evict    EvictFunc
-	stats    Stats
+	// busy latches pages with in-flight fetch or eviction I/O: the channel
+	// is closed when the I/O completes and the page may be (re)examined.
+	busy  map[page.ID]chan struct{}
+	fetch FetchFunc
+	evict EvictFunc
+	stats Stats
 }
 
 // New creates a pool holding up to capacity pages.
@@ -98,6 +105,7 @@ func New(capacity int, fetch FetchFunc, evict EvictFunc) (*Pool, error) {
 		capacity: capacity,
 		frames:   make(map[page.ID]*frame, capacity),
 		lru:      list.New(),
+		busy:     make(map[page.ID]chan struct{}),
 		fetch:    fetch,
 		evict:    evict,
 	}, nil
@@ -143,10 +151,23 @@ func (p *Pool) Contains(id page.ID) bool {
 //
 // The fetch and evict callbacks are invoked without holding the pool lock,
 // so they may call back into the pool (Group Second Chance pulls extra
-// victims with EvictBatch from inside the eviction path).
+// victims with EvictBatch from inside the eviction path).  While a fetch or
+// eviction is in flight the page stays latched: concurrent Gets for it wait
+// on the latch rather than observing a half-loaded frame or re-reading a
+// page whose write-back has not yet reached the backing store.
 func (p *Pool) Get(id page.ID) (page.Buf, error) {
 	p.mu.Lock()
-	if f, ok := p.frames[id]; ok {
+	for {
+		if ch, ok := p.busy[id]; ok {
+			p.mu.Unlock()
+			<-ch
+			p.mu.Lock()
+			continue
+		}
+		f, ok := p.frames[id]
+		if !ok {
+			break
+		}
 		f.pins++
 		p.lru.MoveToFront(f.elem)
 		p.stats.Hits++
@@ -154,8 +175,12 @@ func (p *Pool) Get(id page.ID) (page.Buf, error) {
 		return f.data, nil
 	}
 	p.stats.Misses++
+	ch := make(chan struct{})
+	p.busy[id] = ch
 	f, err := p.allocateFrame(id)
 	if err != nil {
+		delete(p.busy, id)
+		close(ch)
 		p.mu.Unlock()
 		return nil, err
 	}
@@ -163,6 +188,8 @@ func (p *Pool) Get(id page.ID) (page.Buf, error) {
 
 	dirty, err := p.fetch(id, f.data)
 	p.mu.Lock()
+	delete(p.busy, id)
+	close(ch)
 	if err != nil {
 		p.removeLocked(f)
 		p.mu.Unlock()
@@ -178,7 +205,17 @@ func (p *Pool) Get(id page.ID) (page.Buf, error) {
 // fetch callback (used when allocating fresh pages).  The page is pinned.
 func (p *Pool) Put(id page.ID, init func(buf page.Buf)) (page.Buf, error) {
 	p.mu.Lock()
-	if f, ok := p.frames[id]; ok {
+	for {
+		if ch, ok := p.busy[id]; ok {
+			p.mu.Unlock()
+			<-ch
+			p.mu.Lock()
+			continue
+		}
+		f, ok := p.frames[id]
+		if !ok {
+			break
+		}
 		f.pins++
 		p.lru.MoveToFront(f.elem)
 		if init != nil {
@@ -189,7 +226,14 @@ func (p *Pool) Put(id page.ID, init func(buf page.Buf)) (page.Buf, error) {
 		p.mu.Unlock()
 		return f.data, nil
 	}
+	// Latch the id across allocateFrame: the lock is released around
+	// eviction callbacks, and a concurrent Get or Put for the same id must
+	// not allocate a second frame in that window.
+	ch := make(chan struct{})
+	p.busy[id] = ch
 	f, err := p.allocateFrame(id)
+	delete(p.busy, id)
+	close(ch)
 	if err != nil {
 		p.mu.Unlock()
 		return nil, err
@@ -205,7 +249,10 @@ func (p *Pool) Put(id page.ID, init func(buf page.Buf)) (page.Buf, error) {
 
 // allocateFrame finds or creates a free frame for id, evicting if
 // necessary.  The caller holds p.mu on entry and on return; the lock is
-// released around the eviction callback.  The returned frame is pinned.
+// released around the eviction callback, during which the victim page is
+// latched in p.busy so a concurrent Get cannot re-fetch it from the
+// backing store before its write-back lands.  The returned frame is
+// pinned.
 func (p *Pool) allocateFrame(id page.ID) (*frame, error) {
 	for len(p.frames) >= p.capacity {
 		victim := p.pickVictimLocked()
@@ -218,10 +265,14 @@ func (p *Pool) allocateFrame(id page.ID) (*frame, error) {
 		}
 		p.removeLocked(victim)
 		if p.evict != nil {
+			ch := make(chan struct{})
+			p.busy[victim.id] = ch
 			v := Victim{ID: victim.id, Data: victim.data, Dirty: victim.dirty, FDirty: victim.fdirty}
 			p.mu.Unlock()
 			err := p.evict(v)
 			p.mu.Lock()
+			delete(p.busy, victim.id)
+			close(ch)
 			if err != nil {
 				return nil, fmt.Errorf("buffer: evicting page %d: %w", victim.id, err)
 			}

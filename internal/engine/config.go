@@ -8,6 +8,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"time"
 
 	"github.com/reprolab/face/internal/device"
@@ -15,11 +16,13 @@ import (
 	"github.com/reprolab/face/internal/metrics"
 )
 
-// CachePolicy selects the flash cache manager, mirroring the schemes
-// compared in the paper's evaluation.
+// CachePolicy names the flash cache manager.  Policies are resolved
+// through the registry in internal/face, where the paper's schemes
+// register themselves at init time; the constants below name the built-in
+// set but any registered name is valid.
 type CachePolicy string
 
-// Cache policies.
+// Built-in cache policies.
 const (
 	// PolicyNone disables the flash cache (HDD-only or SSD-only setups).
 	PolicyNone CachePolicy = "none"
@@ -36,7 +39,7 @@ const (
 )
 
 // UsesFlash reports whether the policy needs a flash device.
-func (p CachePolicy) UsesFlash() bool { return p != PolicyNone && p != "" }
+func (p CachePolicy) UsesFlash() bool { return face.PolicyUsesFlash(p.String()) }
 
 // String returns the policy name.
 func (p CachePolicy) String() string {
@@ -46,24 +49,27 @@ func (p CachePolicy) String() string {
 	return string(p)
 }
 
-// ParsePolicy converts a string (as used by the CLI) into a CachePolicy.
+// ParsePolicy converts a string (as used by the CLI and the public options
+// API) into a CachePolicy, rejecting names absent from the registry.
 func ParsePolicy(s string) (CachePolicy, error) {
-	switch CachePolicy(s) {
-	case PolicyNone, PolicyFaCE, PolicyFaCEGR, PolicyFaCEGSC, PolicyLC, PolicyWriteThrough:
-		return CachePolicy(s), nil
-	case "":
+	if s == "" {
 		return PolicyNone, nil
-	default:
-		return "", fmt.Errorf("engine: unknown cache policy %q", s)
 	}
+	if !face.PolicyRegistered(s) {
+		return "", fmt.Errorf("engine: unknown cache policy %q (registered: %s)",
+			s, strings.Join(face.Policies(), ", "))
+	}
+	return CachePolicy(s), nil
 }
 
 // Errors returned by the engine.
 var (
-	ErrClosed   = errors.New("engine: database is closed")
-	ErrCrashed  = errors.New("engine: database has crashed; reopen it to recover")
-	ErrNoDevice = errors.New("engine: missing required device")
-	ErrTxDone   = errors.New("engine: transaction already finished")
+	ErrClosed    = errors.New("engine: database is closed")
+	ErrCrashed   = errors.New("engine: database has crashed; reopen it to recover")
+	ErrNoDevice  = errors.New("engine: missing required device")
+	ErrTxDone    = errors.New("engine: transaction already finished")
+	ErrConflict  = errors.New("engine: conflicting access: write in a read-only transaction")
+	ErrTxManaged = errors.New("engine: manual Commit/Abort of a managed transaction")
 )
 
 // Config describes a database instance.
@@ -116,6 +122,9 @@ func (c *Config) validate() error {
 	if c.BufferPages < 1 {
 		return fmt.Errorf("engine: BufferPages must be at least 1")
 	}
+	if _, err := ParsePolicy(string(c.Policy)); err != nil {
+		return err
+	}
 	if c.Policy.UsesFlash() {
 		if c.FlashDev == nil {
 			return fmt.Errorf("%w: FlashDev (policy %s)", ErrNoDevice, c.Policy)
@@ -127,42 +136,16 @@ func (c *Config) validate() error {
 	return nil
 }
 
-// buildCache constructs the flash cache manager for the configured policy.
+// buildCache constructs the flash cache manager for the configured policy
+// through the registry; policies without a flash cache yield (nil, nil).
 func (c *Config) buildCache(diskWrite face.DiskWriteFunc, pull face.PullFunc) (face.Extension, error) {
-	if !c.Policy.UsesFlash() {
-		return nil, nil
-	}
-	group := c.GroupSize
-	if group <= 0 {
-		group = face.DefaultGroupSize
-	}
-	switch c.Policy {
-	case PolicyFaCE:
-		return face.NewMVFIFO(face.MVFIFOConfig{
-			Dev: c.FlashDev, Frames: c.FlashFrames, GroupSize: 1,
-			SegmentEntries: c.SegmentEntries, DiskWrite: diskWrite,
-		})
-	case PolicyFaCEGR:
-		return face.NewMVFIFO(face.MVFIFOConfig{
-			Dev: c.FlashDev, Frames: c.FlashFrames, GroupSize: group,
-			SegmentEntries: c.SegmentEntries, DiskWrite: diskWrite,
-		})
-	case PolicyFaCEGSC:
-		return face.NewMVFIFO(face.MVFIFOConfig{
-			Dev: c.FlashDev, Frames: c.FlashFrames, GroupSize: group, SecondChance: true,
-			SegmentEntries: c.SegmentEntries, DiskWrite: diskWrite, Pull: pull,
-		})
-	case PolicyLC:
-		return face.NewLC(face.LCConfig{
-			Dev: c.FlashDev, Frames: c.FlashFrames, DiskWrite: diskWrite,
-			CleanThreshold: c.CleanThreshold,
-		})
-	case PolicyWriteThrough:
-		return face.NewLC(face.LCConfig{
-			Dev: c.FlashDev, Frames: c.FlashFrames, DiskWrite: diskWrite,
-			WriteThrough: true,
-		})
-	default:
-		return nil, fmt.Errorf("engine: unknown cache policy %q", c.Policy)
-	}
+	return face.NewPolicy(c.Policy.String(), face.PolicyParams{
+		Dev:            c.FlashDev,
+		Frames:         c.FlashFrames,
+		GroupSize:      c.GroupSize,
+		SegmentEntries: c.SegmentEntries,
+		CleanThreshold: c.CleanThreshold,
+		DiskWrite:      diskWrite,
+		Pull:           pull,
+	})
 }

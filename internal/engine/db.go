@@ -21,9 +21,18 @@ import (
 const superblockMagic = 0xFACEDB01
 
 // DB is a transactional page store with an optional flash cache extension.
-// It is driven single-threaded: one transaction at a time, as the benchmark
-// harness models client concurrency analytically (see the metrics package).
+// It is safe for concurrent use: View transactions run in parallel with
+// each other, Update transactions are serialized by the transaction
+// scheduler (sched.go).  Unscheduled transactions from Begin remain
+// single-threaded, as the benchmark harness drives them.
 type DB struct {
+	// txMu is the transaction scheduler lock: View transactions hold the
+	// read side, Update transactions and lifecycle operations (Checkpoint,
+	// Close, Crash) the write side.  Lifecycle methods must therefore not
+	// be called from inside a View/Update closure.
+	txMu sync.RWMutex
+
+	// mu guards the counters and lifecycle flags below.
 	mu sync.Mutex
 
 	cfg   Config
@@ -236,8 +245,11 @@ func (db *DB) writeSuperblock() error {
 // --- lifecycle -----------------------------------------------------------
 
 // Close checkpoints the database and flushes all cached dirty pages to
-// disk, leaving the data device self-contained.
+// disk, leaving the data device self-contained.  It waits for in-flight
+// View/Update transactions to finish first.
 func (db *DB) Close() error {
+	db.txMu.Lock()
+	defer db.txMu.Unlock()
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {
@@ -270,8 +282,11 @@ func (db *DB) Close() error {
 // Crash simulates a process failure: every volatile structure (DRAM buffer
 // pool, unforced log tail, in-memory cache metadata) is lost; device
 // contents survive.  Reopen the same devices with Config.Recover set to
-// restart.
+// restart.  In-flight View/Update transactions complete before the crash
+// takes effect.
 func (db *DB) Crash() {
+	db.txMu.Lock()
+	defer db.txMu.Unlock()
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	db.pool.DropAll()
@@ -355,8 +370,12 @@ func (p dbPager) MarkDirty(id page.ID) error       { return p.db.pool.MarkDirty(
 
 // Checkpoint performs a database checkpoint: dirty DRAM pages are flushed
 // into the persistent database (the flash cache under FaCE and LC, disk
-// otherwise) and the flash cache checkpoints its own metadata.
+// otherwise) and the flash cache checkpoints its own metadata.  It is
+// exclusive with in-flight View/Update transactions and must not be called
+// from inside their closures.
 func (db *DB) Checkpoint() error {
+	db.txMu.Lock()
+	defer db.txMu.Unlock()
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {
@@ -414,8 +433,12 @@ func (db *DB) checkpointLocked() error {
 
 // Tick advances the simulated clock to the modelled elapsed time and runs a
 // periodic checkpoint when the configured interval has passed.  The
-// benchmark harness calls it between transactions.
+// benchmark harness calls it between transactions.  Like Checkpoint it is
+// exclusive with in-flight View/Update transactions and must not be called
+// from inside their closures.
 func (db *DB) Tick() error {
+	db.txMu.Lock()
+	defer db.txMu.Unlock()
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {

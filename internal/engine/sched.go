@@ -1,0 +1,73 @@
+package engine
+
+import (
+	"context"
+	"errors"
+)
+
+// This file is the transaction scheduler: bolt-style closure transactions
+// with multi-reader/single-writer concurrency.  View transactions share a
+// read lock and run in parallel; Update transactions take the write lock
+// and run exclusively.  The layers below tolerate that parallelism: the
+// DRAM buffer pool latches frames during fetch and eviction I/O, and the
+// cache managers, WAL and devices serialize internally.
+//
+// The context is checked at the transaction boundaries — before the
+// transaction begins and again before it commits — so a cancelled context
+// never commits; it does not interrupt a closure mid-flight.
+
+// View runs fn in a read-only transaction.  Any number of View
+// transactions run concurrently with each other.  The transaction is
+// managed: fn must not call Commit or Abort, and any error it returns is
+// propagated after rollback.  Writes inside fn fail with ErrConflict.
+func (db *DB) View(ctx context.Context, fn func(*Tx) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	db.txMu.RLock()
+	defer db.txMu.RUnlock()
+	return db.runManaged(ctx, true, fn)
+}
+
+// Update runs fn in a read-write transaction.  Update transactions are
+// serialized with each other and exclusive with every View.  If fn returns
+// nil the transaction is committed (with a commit-time log force); if fn
+// returns an error or the context is cancelled, the transaction is rolled
+// back and the page images it changed are restored.
+func (db *DB) Update(ctx context.Context, fn func(*Tx) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	db.txMu.Lock()
+	defer db.txMu.Unlock()
+	return db.runManaged(ctx, false, fn)
+}
+
+// runManaged executes fn in a managed transaction under whichever side of
+// the scheduler lock the caller holds.
+func (db *DB) runManaged(ctx context.Context, readonly bool, fn func(*Tx) error) error {
+	tx, err := db.beginTx(readonly)
+	if err != nil {
+		return err
+	}
+	tx.managed = true
+	defer func() {
+		// Safety net: roll back if fn panicked past the paths below.
+		if !tx.done {
+			tx.abort()
+		}
+	}()
+	if err := fn(tx); err != nil {
+		if aerr := tx.abort(); aerr != nil {
+			return errors.Join(err, aerr)
+		}
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		if aerr := tx.abort(); aerr != nil {
+			return errors.Join(err, aerr)
+		}
+		return err
+	}
+	return tx.commit()
+}

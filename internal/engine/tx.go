@@ -7,13 +7,21 @@ import (
 	"github.com/reprolab/face/internal/wal"
 )
 
-// Tx is a transaction.  The engine executes one transaction at a time; the
-// concurrency of the paper's 50 clients is modelled analytically by the
-// metrics package rather than executed.
+// Tx is a transaction.  Transactions started with Begin are unscheduled:
+// the caller is responsible for running one at a time, as the benchmark
+// harness does.  Transactions started with View and Update go through the
+// RWMutex transaction scheduler (see sched.go) and may run concurrently:
+// any number of View transactions in parallel, Update transactions
+// serialized and exclusive with every View.
 type Tx struct {
 	db   *DB
 	id   wal.TxID
 	done bool
+	// readonly rejects Modify and Alloc with ErrConflict (View).
+	readonly bool
+	// managed rejects manual Commit/Abort: the scheduler that created the
+	// transaction finishes it (View/Update closures).
+	managed bool
 
 	// undo keeps the before images of this transaction's changes so Abort
 	// can roll them back without reading the log backwards.
@@ -26,8 +34,12 @@ type undoRecord struct {
 	before []byte
 }
 
-// Begin starts a new transaction.
-func (db *DB) Begin() (*Tx, error) {
+// Begin starts a new unscheduled read-write transaction.  Most callers
+// should prefer View or Update, which schedule concurrent transactions and
+// finish them automatically.
+func (db *DB) Begin() (*Tx, error) { return db.beginTx(false) }
+
+func (db *DB) beginTx(readonly bool) (*Tx, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.crashed {
@@ -36,10 +48,13 @@ func (db *DB) Begin() (*Tx, error) {
 	if db.closed {
 		return nil, ErrClosed
 	}
-	tx := &Tx{db: db, id: db.nextTx}
+	tx := &Tx{db: db, id: db.nextTx, readonly: readonly}
 	db.nextTx++
 	return tx, nil
 }
+
+// ReadOnly reports whether the transaction rejects writes.
+func (tx *Tx) ReadOnly() bool { return tx.readonly }
 
 // ID returns the transaction id.
 func (tx *Tx) ID() uint64 { return uint64(tx.id) }
@@ -64,6 +79,9 @@ func (tx *Tx) Read(id page.ID, fn func(buf page.Buf) error) error {
 func (tx *Tx) Modify(id page.ID, fn func(buf page.Buf) error) error {
 	if tx.done {
 		return ErrTxDone
+	}
+	if tx.readonly {
+		return fmt.Errorf("%w: Modify of page %d", ErrConflict, id)
 	}
 	buf, err := tx.db.pool.Get(id)
 	if err != nil {
@@ -109,6 +127,9 @@ func (tx *Tx) Alloc(t page.Type) (page.ID, error) {
 	if tx.done {
 		return page.InvalidID, ErrTxDone
 	}
+	if tx.readonly {
+		return page.InvalidID, fmt.Errorf("%w: Alloc", ErrConflict)
+	}
 	db := tx.db
 	db.mu.Lock()
 	id := db.nextPage
@@ -139,19 +160,31 @@ func (tx *Tx) Alloc(t page.Type) (page.ID, error) {
 
 // Commit makes the transaction durable: a commit record is appended and the
 // log is forced (commit-time force-write, Section 4 of the paper).
+// Read-only transactions commit without touching the log.  Transactions
+// managed by View/Update are committed by their scheduler and reject a
+// manual Commit with ErrTxManaged.
 func (tx *Tx) Commit() error {
+	if tx.managed {
+		return ErrTxManaged
+	}
+	return tx.commit()
+}
+
+func (tx *Tx) commit() error {
 	if tx.done {
 		return ErrTxDone
 	}
 	tx.done = true
 	db := tx.db
-	rec := &wal.Record{Type: wal.TypeCommit, TxID: tx.id}
-	lsn, err := db.log.Append(rec)
-	if err != nil {
-		return err
-	}
-	if err := db.log.Force(lsn + 1); err != nil {
-		return err
+	if !tx.readonly {
+		rec := &wal.Record{Type: wal.TypeCommit, TxID: tx.id}
+		lsn, err := db.log.Append(rec)
+		if err != nil {
+			return err
+		}
+		if err := db.log.Force(lsn + 1); err != nil {
+			return err
+		}
 	}
 	db.mu.Lock()
 	db.committed++
@@ -162,13 +195,27 @@ func (tx *Tx) Commit() error {
 // Abort rolls the transaction back by restoring the before images of its
 // changes in reverse order.  The compensating changes are logged as system
 // records (TxID 0) so redo replays them and the transaction needs no undo
-// after a crash.
+// after a crash.  Transactions managed by View/Update reject a manual
+// Abort with ErrTxManaged.
 func (tx *Tx) Abort() error {
+	if tx.managed {
+		return ErrTxManaged
+	}
+	return tx.abort()
+}
+
+func (tx *Tx) abort() error {
 	if tx.done {
 		return ErrTxDone
 	}
 	tx.done = true
 	db := tx.db
+	if tx.readonly {
+		db.mu.Lock()
+		db.aborted++
+		db.mu.Unlock()
+		return nil
+	}
 	for i := len(tx.undo) - 1; i >= 0; i-- {
 		u := tx.undo[i]
 		buf, err := db.pool.Get(u.pageID)

@@ -67,6 +67,29 @@ func (c *MVFIFOConfig) name() string {
 	}
 }
 
+// The three FaCE variants compared in the paper register themselves with
+// the policy registry so the engine and CLI can select them by name.
+func init() {
+	RegisterPolicy("face", func(p PolicyParams) (Extension, error) {
+		return NewMVFIFO(MVFIFOConfig{
+			Dev: p.Dev, Frames: p.Frames, GroupSize: 1,
+			SegmentEntries: p.SegmentEntries, DiskWrite: p.DiskWrite,
+		})
+	})
+	RegisterPolicy("face+gr", func(p PolicyParams) (Extension, error) {
+		return NewMVFIFO(MVFIFOConfig{
+			Dev: p.Dev, Frames: p.Frames, GroupSize: groupOrDefault(p.GroupSize),
+			SegmentEntries: p.SegmentEntries, DiskWrite: p.DiskWrite,
+		})
+	})
+	RegisterPolicy("face+gsc", func(p PolicyParams) (Extension, error) {
+		return NewMVFIFO(MVFIFOConfig{
+			Dev: p.Dev, Frames: p.Frames, GroupSize: groupOrDefault(p.GroupSize), SecondChance: true,
+			SegmentEntries: p.SegmentEntries, DiskWrite: p.DiskWrite, Pull: p.Pull,
+		})
+	})
+}
+
 // frameMeta is the in-memory metadata of one flash frame.
 type frameMeta struct {
 	id    page.ID

@@ -1,0 +1,114 @@
+package face
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/reprolab/face/internal/device"
+)
+
+// PolicyParams carries the engine-supplied wiring and sizing a cache
+// policy constructor may use.  Constructors are free to ignore fields that
+// do not apply to their scheme (mvFIFO ignores CleanThreshold, LC ignores
+// GroupSize, and so on).
+type PolicyParams struct {
+	// Dev is the flash device dedicated to the cache.
+	Dev device.Dev
+	// Frames is the cache capacity in 4 KiB page frames.
+	Frames int
+	// GroupSize is the replacement batch size for the group optimizations
+	// (0 = DefaultGroupSize where grouping applies).
+	GroupSize int
+	// SegmentEntries sizes the persistent metadata segments (0 = default).
+	SegmentEntries int
+	// CleanThreshold is the lazy-cleaner dirty fraction (0 = default).
+	CleanThreshold float64
+	// DiskWrite writes a dirty page back to the database on disk.
+	DiskWrite DiskWriteFunc
+	// Pull, when non-nil, lets Group Second Chance top up a write group
+	// with victims pulled from the DRAM buffer's LRU tail.
+	Pull PullFunc
+}
+
+// PolicyConstructor builds a cache manager from the engine wiring.  A
+// policy registered with a nil constructor runs without a flash cache
+// (the "none" policy).
+type PolicyConstructor func(PolicyParams) (Extension, error)
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]PolicyConstructor{}
+)
+
+// RegisterPolicy makes a cache policy selectable by name.  The built-in
+// schemes (face, face+gr, face+gsc, lc, wt, none) register themselves at
+// init time; external packages may add their own policies the same way.
+// Registering an empty name or the same name twice panics, mirroring
+// database/sql.Register.
+func RegisterPolicy(name string, ctor PolicyConstructor) {
+	if name == "" {
+		panic("face: RegisterPolicy with an empty policy name")
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("face: RegisterPolicy called twice for policy %q", name))
+	}
+	registry[name] = ctor
+}
+
+// PolicyRegistered reports whether name names a registered policy.
+func PolicyRegistered(name string) bool {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	_, ok := registry[name]
+	return ok
+}
+
+// PolicyUsesFlash reports whether the named policy needs a flash device.
+// Unknown names report false; use PolicyRegistered to distinguish them.
+func PolicyUsesFlash(name string) bool {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	return registry[name] != nil
+}
+
+// Policies returns the registered policy names in sorted order.
+func Policies() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// NewPolicy constructs the named policy's cache manager.  Policies
+// registered with a nil constructor (such as "none") yield a nil Extension
+// and nil error: the engine runs without a flash cache.
+func NewPolicy(name string, p PolicyParams) (Extension, error) {
+	registryMu.RLock()
+	ctor, ok := registry[name]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("face: unknown cache policy %q (registered: %v)", name, Policies())
+	}
+	if ctor == nil {
+		return nil, nil
+	}
+	return ctor(p)
+}
+
+func groupOrDefault(n int) int {
+	if n <= 0 {
+		return DefaultGroupSize
+	}
+	return n
+}
+
+func init() {
+	RegisterPolicy("none", nil)
+}

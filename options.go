@@ -1,0 +1,132 @@
+package face
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/reprolab/face/internal/engine"
+)
+
+// DefaultBufferPages is the DRAM buffer pool capacity Open uses when
+// WithBufferPages is not given.
+const DefaultBufferPages = 256
+
+// Option configures a database being opened.  Options are applied in
+// order; later options override earlier ones.  The engine configuration
+// they build is an internal detail of the package.
+type Option func(*engine.Config) error
+
+// WithDevices sets the data device (database pages) and the log device
+// (write-ahead log).  Both are required.
+func WithDevices(data, log Dev) Option {
+	return func(c *engine.Config) error {
+		c.DataDev = data
+		c.LogDev = log
+		return nil
+	}
+}
+
+// WithFlashDevice sets the flash device holding the cache extension.  It
+// is required by every policy except "none".
+func WithFlashDevice(flash Dev) Option {
+	return func(c *engine.Config) error {
+		c.FlashDev = flash
+		return nil
+	}
+}
+
+// WithPolicy selects the flash cache policy by registry name — one of the
+// Policy* constants or any name added with RegisterPolicy.  Unknown names
+// fail at Open.
+func WithPolicy(name string) Option {
+	return func(c *engine.Config) error {
+		p, err := engine.ParsePolicy(name)
+		if err != nil {
+			return err
+		}
+		c.Policy = p
+		return nil
+	}
+}
+
+// WithBufferPages sets the DRAM buffer pool capacity in 4 KiB pages
+// (default DefaultBufferPages).
+func WithBufferPages(n int) Option {
+	return func(c *engine.Config) error {
+		if n < 1 {
+			return fmt.Errorf("face: WithBufferPages(%d): must be at least 1", n)
+		}
+		c.BufferPages = n
+		return nil
+	}
+}
+
+// WithFlashFrames sets the flash cache capacity in 4 KiB page frames.  It
+// is required by every policy that uses flash.
+func WithFlashFrames(n int) Option {
+	return func(c *engine.Config) error {
+		if n < 1 {
+			return fmt.Errorf("face: WithFlashFrames(%d): must be at least 1", n)
+		}
+		c.FlashFrames = n
+		return nil
+	}
+}
+
+// WithGroupSize overrides the replacement batch size used by the FaCE
+// group optimizations (default: the flash block size, 64 pages).
+func WithGroupSize(n int) Option {
+	return func(c *engine.Config) error {
+		if n < 1 {
+			return fmt.Errorf("face: WithGroupSize(%d): must be at least 1", n)
+		}
+		c.GroupSize = n
+		return nil
+	}
+}
+
+// WithSegmentEntries overrides the persistent metadata segment size of the
+// FaCE metadata directory (Section 4.1 of the paper).
+func WithSegmentEntries(n int) Option {
+	return func(c *engine.Config) error {
+		if n < 1 {
+			return fmt.Errorf("face: WithSegmentEntries(%d): must be at least 1", n)
+		}
+		c.SegmentEntries = n
+		return nil
+	}
+}
+
+// WithCleanThreshold sets the Lazy Cleaning dirty-frame fraction that
+// triggers the lazy cleaner (policy "lc" only; default 0.75).
+func WithCleanThreshold(t float64) Option {
+	return func(c *engine.Config) error {
+		if t <= 0 || t > 1 {
+			return fmt.Errorf("face: WithCleanThreshold(%g): must be in (0, 1]", t)
+		}
+		c.CleanThreshold = t
+		return nil
+	}
+}
+
+// WithCheckpointInterval enables periodic database checkpoints every d of
+// simulated time (zero disables them, the default).
+func WithCheckpointInterval(d time.Duration) Option {
+	return func(c *engine.Config) error {
+		if d < 0 {
+			return fmt.Errorf("face: WithCheckpointInterval(%v): must not be negative", d)
+		}
+		c.CheckpointEvery = d
+		return nil
+	}
+}
+
+// WithRecovery runs crash recovery during Open.  Use it when reopening
+// devices after a crash; the restart report is available from
+// DB.RecoveryReport.
+func WithRecovery() Option {
+	return func(c *engine.Config) error {
+		c.Recover = true
+		return nil
+	}
+}
