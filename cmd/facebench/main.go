@@ -15,9 +15,16 @@
 //	fig5      throughput vs number of RAID-0 disks
 //	table6    restart time after a crash vs checkpoint interval
 //	fig6      post-restart throughput timeline
-//	ablations design-choice ablations (sync policy, group size, segment size)
+//	ablations design-choice ablations (sync policy, async I/O, group size,
+//	          segment size)
 //	policies  list the registered cache policies
 //	all       every experiment above, in order
+//
+// With -json the results are emitted as one machine-readable JSON document
+// (schema "facebench/v1") instead of text tables, so a perf trajectory can
+// be tracked across commits, e.g.:
+//
+//	facebench -quick -json ablations > BENCH_ablations.json
 package main
 
 import (
@@ -46,6 +53,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		measure    = fs.Int("measure", 0, "measured transactions per configuration (0 = default)")
 		verbose    = fs.Bool("v", false, "print one progress line per completed run")
 		seed       = fs.Int64("seed", 0, "workload random seed (0 = default)")
+		jsonOut    = fs.Bool("json", false, "emit machine-readable JSON instead of text tables")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: facebench [flags] <table1|table3|table4|fig4|table5|fig5|table6|fig6|ablations|policies|all>\n")
@@ -80,13 +88,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 		opts.Progress = stderr
 	}
 
-	// Table 1 and the policy listing need no database.
-	if what == "table1" {
-		fmt.Fprintln(stdout, bench.FormatTable1(bench.Table1DeviceCharacteristics()))
-		return 0
-	}
-	if what == "policies" {
-		printPolicies(stdout)
+	// Table 1 and the policy listing need no database; with -json they
+	// still use the same facebench/v1 envelope as every other experiment.
+	if what == "table1" || what == "policies" {
+		if *jsonOut {
+			rep := bench.NewStaticReport(opts)
+			if what == "table1" {
+				rep.Add("table1", bench.Table1DeviceCharacteristics())
+			} else {
+				rep.Add("policies", face.Policies())
+			}
+			if err := rep.Write(stdout); err != nil {
+				fmt.Fprintf(stderr, "facebench: %v\n", err)
+				return 1
+			}
+			return 0
+		}
+		if what == "table1" {
+			fmt.Fprintln(stdout, bench.FormatTable1(bench.Table1DeviceCharacteristics()))
+		} else {
+			printPolicies(stdout)
+		}
 		return 0
 	}
 
@@ -100,13 +122,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "golden database built in %v\n", time.Since(start).Round(time.Millisecond))
 	}
 
+	var report *bench.Report
+	if *jsonOut {
+		report = bench.NewReport(golden)
+	}
+
 	experiments := []string{what}
 	if what == "all" {
 		experiments = []string{"table1", "table3", "table4", "fig4", "table5", "fig5", "table6", "fig6", "ablations"}
 	}
 	for _, exp := range experiments {
-		if err := runExperiment(golden, exp, stdout); err != nil {
+		if err := runExperiment(golden, exp, stdout, report); err != nil {
 			fmt.Fprintf(stderr, "facebench %s: %v\n", exp, err)
+			return 1
+		}
+	}
+	if report != nil {
+		if err := report.Write(stdout); err != nil {
+			fmt.Fprintf(stderr, "facebench: %v\n", err)
 			return 1
 		}
 	}
@@ -116,73 +149,94 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-func runExperiment(g *bench.Golden, what string, out io.Writer) error {
+// runExperiment executes one experiment.  With a non-nil report the raw
+// result structs are recorded there; otherwise the text tables are printed.
+func runExperiment(g *bench.Golden, what string, out io.Writer, report *bench.Report) error {
+	record := func(name string, data any, text func() string) {
+		if report != nil {
+			report.Add(name, data)
+			return
+		}
+		fmt.Fprintln(out, text())
+	}
 	switch what {
 	case "table1":
-		fmt.Fprintln(out, bench.FormatTable1(bench.Table1DeviceCharacteristics()))
+		rows := bench.Table1DeviceCharacteristics()
+		record("table1", rows, func() string { return bench.FormatTable1(rows) })
 	case "table3", "table4", "table3+4":
 		sweep, err := g.CacheSweep(nil, nil)
 		if err != nil {
 			return err
 		}
 		if what != "table4" {
-			fmt.Fprintln(out, bench.FormatTable3(sweep))
+			record("table3", sweep, func() string { return bench.FormatTable3(sweep) })
 		}
 		if what != "table3" {
-			fmt.Fprintln(out, bench.FormatTable4(sweep))
+			record("table4", sweep, func() string { return bench.FormatTable4(sweep) })
 		}
 	case "fig4":
-		for _, ssd := range []struct{ name string }{{"mlc"}, {"slc"}} {
+		for _, ssd := range []string{"mlc", "slc"} {
 			profile := g.Options().MLCProfile
-			if ssd.name == "slc" {
+			if ssd == "slc" {
 				profile = g.Options().SLCProfile
 			}
 			fig, err := g.Figure4Throughput(profile)
 			if err != nil {
 				return err
 			}
-			fmt.Fprintln(out, bench.FormatFigure4(fig))
+			record("fig4_"+ssd, fig, func() string { return bench.FormatFigure4(fig) })
 		}
 	case "table5":
 		rows, err := g.Table5DRAMvsFlash(5)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintln(out, bench.FormatTable5(rows))
+		record("table5", rows, func() string { return bench.FormatTable5(rows) })
 	case "fig5":
 		fig, err := g.Figure5DiskScaling(0)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintln(out, bench.FormatFigure5(fig))
+		record("fig5", fig, func() string { return bench.FormatFigure5(fig) })
 	case "table6":
 		rows, err := g.Table6RecoveryTime(0)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintln(out, bench.FormatTable6(rows))
+		record("table6", rows, func() string { return bench.FormatTable6(rows) })
 	case "fig6":
 		fig, err := g.Figure6PostRestartThroughput(0)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintln(out, bench.FormatFigure6(fig))
+		record("fig6", fig, func() string { return bench.FormatFigure6(fig) })
 	case "ablations":
 		sync, err := g.AblationSyncPolicy(0)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintln(out, bench.FormatResults("Ablation: write-back vs write-through (Section 3.2)", sync))
+		record("ablation_sync_policy", sync, func() string {
+			return bench.FormatResults("Ablation: write-back vs write-through (Section 3.2)", sync)
+		})
+		async, err := g.AblationAsyncIO(0)
+		if err != nil {
+			return err
+		}
+		record("ablation_async_io", async, func() string { return bench.FormatAsyncAblation(async) })
 		groups, err := g.AblationGroupSize(0, nil)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintln(out, bench.FormatResults("Ablation: replacement group size (Section 3.3)", groups))
+		record("ablation_group_size", groups, func() string {
+			return bench.FormatResults("Ablation: replacement group size (Section 3.3)", groups)
+		})
 		segs, err := g.AblationSegmentSize(0, nil)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintln(out, bench.FormatResults("Ablation: metadata segment size (Section 4.1)", segs))
+		record("ablation_segment_size", segs, func() string {
+			return bench.FormatResults("Ablation: metadata segment size (Section 4.1)", segs)
+		})
 	default:
 		return fmt.Errorf("unknown experiment %q", what)
 	}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestPoliciesText(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"policies"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	for _, p := range []string{"face", "face+gr", "face+gsc", "lc", "wt", "none"} {
+		if !strings.Contains(out.String(), p) {
+			t.Fatalf("policies output missing %q:\n%s", p, out.String())
+		}
+	}
+}
+
+func TestPoliciesJSON(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-json", "policies"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	// Every -json invocation emits the same facebench/v1 envelope.
+	var doc struct {
+		Schema      string `json:"schema"`
+		Experiments struct {
+			Policies []string `json:"policies"`
+		} `json:"experiments"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out.String())
+	}
+	if doc.Schema != "facebench/v1" {
+		t.Fatalf("schema = %q", doc.Schema)
+	}
+	if len(doc.Experiments.Policies) < 6 {
+		t.Fatalf("policies = %v", doc.Experiments.Policies)
+	}
+}
+
+func TestTable1JSONUsesEnvelope(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-json", "table1"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	var doc struct {
+		Schema      string         `json:"schema"`
+		Experiments map[string]any `json:"experiments"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out.String())
+	}
+	if doc.Schema != "facebench/v1" || doc.Experiments["table1"] == nil {
+		t.Fatalf("envelope malformed: schema=%q keys=%v", doc.Schema, doc.Experiments)
+	}
+}
+
+func TestTable1Text(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"table1"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "Table 1") {
+		t.Fatalf("table1 output malformed:\n%s", out.String())
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-quick", "nope"}, &out, &errOut); code == 0 {
+		t.Fatal("unknown experiment accepted")
+	}
+}

@@ -70,6 +70,7 @@ import (
 	"github.com/reprolab/face/internal/device"
 	"github.com/reprolab/face/internal/engine"
 	intface "github.com/reprolab/face/internal/face"
+	"github.com/reprolab/face/internal/metrics"
 	"github.com/reprolab/face/internal/page"
 )
 
@@ -103,6 +104,9 @@ type (
 	PolicyParams = intface.PolicyParams
 	// CacheStats is a snapshot of flash cache activity.
 	CacheStats = intface.Stats
+	// PipelineStats is a snapshot of the asynchronous I/O pipeline
+	// enabled by WithAsyncIO; it is part of DB.Snapshot.
+	PipelineStats = metrics.PipelineStats
 
 	// BenchOptions scales the paper-reproduction experiments.
 	BenchOptions = bench.Options

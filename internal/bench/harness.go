@@ -96,6 +96,11 @@ type RunSpec struct {
 	GroupSize int
 	// SegmentEntries overrides Options.SegmentEntries (0 = default).
 	SegmentEntries int
+	// AsyncDepth enables the asynchronous I/O pipeline with the given
+	// staging ring depth (0 = synchronous, negative = default depth).
+	AsyncDepth int
+	// IOWriters is the number of destager workers under async I/O.
+	IOWriters int
 	// WarmupTx/MeasureTx override the option values when non-zero.
 	WarmupTx  int
 	MeasureTx int
@@ -145,6 +150,12 @@ type Result struct {
 	DiskReads   int64
 	DiskWrites  int64
 	Checkpoints int64
+
+	// AsyncDepth echoes the configured staging ring depth (0 = sync) and
+	// Pipeline the background pipeline activity over the measurement
+	// window.
+	AsyncDepth int
+	Pipeline   metrics.PipelineStats
 }
 
 // runEnv is a fully constructed experiment instance.
@@ -224,6 +235,8 @@ func (g *Golden) build(spec RunSpec, recoverMode bool, reuse *runEnv) (*runEnv, 
 		GroupSize:       groupSize,
 		SegmentEntries:  segEntries,
 		CheckpointEvery: spec.CheckpointEvery,
+		AsyncIODepth:    spec.AsyncDepth,
+		IOWriters:       spec.IOWriters,
 		Recover:         recoverMode,
 	}
 	if !spec.Policy.UsesFlash() {
@@ -265,6 +278,11 @@ func (g *Golden) Run(spec RunSpec) (Result, error) {
 	afterCounts := env.driver.Counts()
 
 	res := g.summarize(env, spec, before, after, beforeCounts, afterCounts)
+	// Close the instance so background pipeline goroutines (async I/O) are
+	// drained and stopped; the devices are discarded with the env.
+	if err := env.eng.Close(); err != nil {
+		return Result{}, fmt.Errorf("bench: closing %s: %w", spec.label(), err)
+	}
 	g.progress("%-12s cache=%4.0f%%  tpmC=%8.0f  flash-hit=%5.1f%%  wr-red=%5.1f%%  util=%5.1f%%",
 		res.Label, res.CacheFraction*100, res.TpmC, res.FlashHitRate*100, res.WriteReduction*100, res.FlashUtilization*100)
 	return res, nil
@@ -308,6 +326,8 @@ func (g *Golden) summarize(env *runEnv, spec RunSpec, before, after engine.Snaps
 		res.FlashUtilization = metrics.Utilization(flashDelta.Busy, elapsed)
 		res.FlashIOPS = metrics.IOPS(flashDelta.Ops(), elapsed)
 	}
+	res.AsyncDepth = spec.AsyncDepth
+	res.Pipeline = after.Pipeline.Sub(before.Pipeline)
 	return res
 }
 
@@ -435,6 +455,9 @@ func (g *Golden) RunRecovery(spec RunSpec, buckets int, bucketWidth time.Duratio
 		for i := range counts {
 			run.Timeline[i] = metrics.PerMinute(counts[i], bucketWidth)
 		}
+	}
+	if err := env2.eng.Close(); err != nil {
+		return RecoveryRun{}, fmt.Errorf("bench: closing restarted %s: %w", spec.label(), err)
 	}
 	g.progress("%-12s interval=%-6v restart=%v (metadata %v, flash reads %d, disk reads %d)",
 		run.Label, run.CheckpointInterval, run.RestartTime, run.MetadataRestoreTime, run.FlashReads, run.DiskReads)

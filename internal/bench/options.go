@@ -72,8 +72,9 @@ type Options struct {
 	SLCProfile device.Profile
 	// Seed makes runs deterministic.
 	Seed int64
-	// Progress, when non-nil, receives one line per completed run.
-	Progress io.Writer
+	// Progress, when non-nil, receives one line per completed run.  It is
+	// excluded from JSON reports.
+	Progress io.Writer `json:"-"`
 }
 
 // DefaultOptions returns the scale used by the facebench CLI.

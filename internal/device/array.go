@@ -2,7 +2,7 @@ package device
 
 import (
 	"fmt"
-	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -14,10 +14,19 @@ import (
 // Parallelism equals the member count: member devices serve independent
 // requests concurrently, so the elapsed-time model divides the array's
 // aggregate busy time across members (see the metrics package).
+//
+// Locking is strictly per member: the array itself holds no lock, and the
+// hot paths consult a cached capacity instead of summing member capacities
+// under their locks, so concurrent requests for different members never
+// serialize on shared state — Parallelism() == n holds for concurrent
+// callers, not just for the time model.
 type Array struct {
-	mu      sync.Mutex
 	name    string
 	members []*Device
+	// total caches the array capacity; it only changes through the bulk
+	// content-loading paths (RestoreContent, LoadLogical), which must not
+	// run concurrently with I/O anyway.
+	total atomic.Int64
 }
 
 // NewArray creates a striped array of n devices with the given profile and
@@ -31,7 +40,9 @@ func NewArray(name string, profile Profile, n int, numBlocks int64) *Array {
 	for i := range members {
 		members[i] = New(fmt.Sprintf("%s[%d]", name, i), profile, perMember)
 	}
-	return &Array{name: name, members: members}
+	a := &Array{name: name, members: members}
+	a.total.Store(perMember * int64(n))
+	return a
 }
 
 // Name returns the array name.
@@ -44,13 +55,7 @@ func (a *Array) Members() []*Device { return a.members }
 func (a *Array) Parallelism() int { return len(a.members) }
 
 // NumBlocks returns the total capacity in blocks.
-func (a *Array) NumBlocks() int64 {
-	var total int64
-	for _, m := range a.members {
-		total += m.NumBlocks()
-	}
-	return total
-}
+func (a *Array) NumBlocks() int64 { return a.total.Load() }
 
 func (a *Array) locate(blk int64) (member *Device, local int64) {
 	n := int64(len(a.members))
@@ -157,10 +162,9 @@ func (d *Device) writeRunPortion(blk int64, p []byte) error {
 	return nil
 }
 
-// Stats returns the aggregate statistics across all members.
+// Stats returns the aggregate statistics across all members.  Each member
+// is snapshotted under its own lock; no array-level lock is taken.
 func (a *Array) Stats() Stats {
-	a.mu.Lock()
-	defer a.mu.Unlock()
 	var total Stats
 	for _, m := range a.members {
 		total = total.Add(m.Stats())
@@ -212,7 +216,17 @@ func (a *Array) RestoreContent(snapshot [][][]byte) error {
 	for i, m := range a.members {
 		m.RestoreContent(snapshot[i])
 	}
+	a.refreshTotal()
 	return nil
+}
+
+// refreshTotal recomputes the cached capacity after a bulk content load.
+func (a *Array) refreshTotal() {
+	var total int64
+	for _, m := range a.members {
+		total += m.NumBlocks()
+	}
+	a.total.Store(total)
 }
 
 // LoadLogical replaces the array contents with the given logical block
@@ -244,4 +258,5 @@ func (a *Array) LoadLogical(blocks [][]byte) {
 	for i := range a.members {
 		a.members[i].RestoreContent(member[i])
 	}
+	a.refreshTotal()
 }

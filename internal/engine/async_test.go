@@ -1,0 +1,296 @@
+package engine
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/reprolab/face/internal/device"
+	"github.com/reprolab/face/internal/page"
+)
+
+// gatedFlash wraps the flash device and blocks writes while the gate is
+// closed, holding a background group write in flight deterministically.
+type gatedFlash struct {
+	device.Dev
+	mu     sync.Mutex
+	gated  bool
+	gate   chan struct{}
+	writes atomic.Int64
+}
+
+func newGatedFlash(inner device.Dev) *gatedFlash {
+	return &gatedFlash{Dev: inner, gate: make(chan struct{})}
+}
+
+func (g *gatedFlash) closeGate() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if !g.gated {
+		g.gated = true
+		g.gate = make(chan struct{})
+	}
+}
+
+func (g *gatedFlash) openGate() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.gated {
+		g.gated = false
+		close(g.gate)
+	}
+}
+
+func (g *gatedFlash) wait() {
+	g.mu.Lock()
+	ch := g.gate
+	gated := g.gated
+	g.mu.Unlock()
+	if gated {
+		<-ch
+	}
+}
+
+func (g *gatedFlash) WriteAt(blk int64, p []byte) error {
+	g.wait()
+	g.writes.Add(1)
+	return g.Dev.WriteAt(blk, p)
+}
+
+func (g *gatedFlash) WriteRun(blk int64, pages [][]byte) error {
+	g.wait()
+	g.writes.Add(int64(len(pages)))
+	return g.Dev.WriteRun(blk, pages)
+}
+
+// TestAsyncPoolGetReturnsWhileGroupWriteInFlight is the acceptance proof
+// of the pipeline: with async I/O enabled, DRAM eviction — and therefore
+// Pool.Get and the transactions driving it — completes while the flash
+// group write it triggered is still blocked inside the device.
+func TestAsyncPoolGetReturnsWhileGroupWriteInFlight(t *testing.T) {
+	r := newRig(t, PolicyFaCEGR)
+	gate := newGatedFlash(r.flash)
+	r.cfg.FlashDev = gate
+	r.cfg.BufferPages = 8
+	r.cfg.AsyncIODepth = 64
+	db := r.open(t, false)
+	ctx := context.Background()
+
+	// Allocate working pages first, with the gate open.
+	var ids []page.ID
+	if err := db.Update(ctx, func(tx *Tx) error {
+		for i := 0; i < 24; i++ {
+			id, err := tx.Alloc(page.TypeHeap)
+			if err != nil {
+				return err
+			}
+			writeValue(t, tx, id, uint64(i))
+			ids = append(ids, id)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Close the gate: every flash frame write now hangs.  Touching three
+	// times the buffer capacity forces a stream of evictions; with the
+	// synchronous path this would deadlock against the gate, with the
+	// pipeline it must finish while the group write is still in flight.
+	gate.closeGate()
+	done := make(chan error, 1)
+	go func() {
+		done <- db.Update(ctx, func(tx *Tx) error {
+			for round := 0; round < 1; round++ {
+				for i, id := range ids {
+					writeValue(t, tx, id, uint64(1000+i))
+				}
+			}
+			return nil
+		})
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("transactions blocked on the gated flash device: eviction waited on a group write")
+	}
+
+	gate.openGate()
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if gate.writes.Load() == 0 {
+		t.Fatal("no flash writes happened; the cache was not exercised")
+	}
+
+	// The data device is self-contained after Close.
+	db2 := r.open(t, false)
+	defer db2.Close()
+	if err := db2.View(ctx, func(tx *Tx) error {
+		for i, id := range ids {
+			if got := readValue(t, tx, id); got != uint64(1000+i) {
+				t.Fatalf("page %d = %d, want %d", id, got, 1000+i)
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAsyncCrashRecoversAllCommits crashes the engine with the staging
+// ring mid-flight and verifies that recovery reproduces every committed
+// update: pages lost from the volatile pipeline are redone from the log,
+// and no dirty page is lost across Crash/Recover.
+func TestAsyncCrashRecoversAllCommits(t *testing.T) {
+	for _, policy := range []CachePolicy{PolicyFaCE, PolicyFaCEGR, PolicyFaCEGSC} {
+		t.Run(policy.String(), func(t *testing.T) {
+			r := newRig(t, policy)
+			r.cfg.AsyncIODepth = 32
+			r.cfg.IOWriters = 2
+			r.cfg.BufferPages = 8
+			db := r.open(t, false)
+			ctx := context.Background()
+
+			var ids []page.ID
+			if err := db.Update(ctx, func(tx *Tx) error {
+				for i := 0; i < 48; i++ {
+					id, err := tx.Alloc(page.TypeHeap)
+					if err != nil {
+						return err
+					}
+					ids = append(ids, id)
+				}
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			// Many small committed transactions keep the pipeline busy so
+			// the crash catches staged pages in flight.
+			for round := 0; round < 6; round++ {
+				for i, id := range ids {
+					if err := db.Update(ctx, func(tx *Tx) error {
+						writeValue(t, tx, id, uint64(round*1000+i))
+						return nil
+					}); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			db.Crash()
+
+			db2 := r.open(t, true)
+			defer db2.Close()
+			if err := db2.View(ctx, func(tx *Tx) error {
+				for i, id := range ids {
+					if got := readValue(t, tx, id); got != uint64(5000+i) {
+						t.Fatalf("page %d = %d, want %d", id, got, 5000+i)
+					}
+				}
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestAsyncCloseDrainsEverything closes an async database and verifies the
+// data device alone reproduces every committed value (the close-side of
+// the "no lost dirty pages" guarantee).
+func TestAsyncCloseDrainsEverything(t *testing.T) {
+	r := newRig(t, PolicyFaCEGSC)
+	r.cfg.AsyncIODepth = 16
+	r.cfg.IOWriters = 2
+	r.cfg.BufferPages = 8
+	db := r.open(t, false)
+	ctx := context.Background()
+
+	var ids []page.ID
+	if err := db.Update(ctx, func(tx *Tx) error {
+		for i := 0; i < 40; i++ {
+			id, err := tx.Alloc(page.TypeHeap)
+			if err != nil {
+				return err
+			}
+			writeValue(t, tx, id, uint64(7000+i))
+			ids = append(ids, id)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen WITHOUT the flash device: only the data device contents count.
+	cfg := r.cfg
+	cfg.Policy = PolicyNone
+	cfg.FlashDev = nil
+	cfg.FlashFrames = 0
+	cfg.AsyncIODepth = 0
+	db2, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if err := db2.View(ctx, func(tx *Tx) error {
+		for i, id := range ids {
+			if got := readValue(t, tx, id); got != uint64(7000+i) {
+				t.Fatalf("page %d = %d, want %d (dirty page lost across Close)", id, got, 7000+i)
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAsyncSnapshotExposesPipelineStats checks the pipeline counters
+// surface through the engine snapshot.
+func TestAsyncSnapshotExposesPipelineStats(t *testing.T) {
+	r := newRig(t, PolicyFaCEGR)
+	r.cfg.AsyncIODepth = 16
+	r.cfg.BufferPages = 8
+	db := r.open(t, false)
+	defer db.Close()
+	ctx := context.Background()
+	if err := db.Update(ctx, func(tx *Tx) error {
+		for i := 0; i < 32; i++ {
+			id, err := tx.Alloc(page.TypeHeap)
+			if err != nil {
+				return err
+			}
+			writeValue(t, tx, id, uint64(i))
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	s := db.Snapshot()
+	if s.Pipeline.Staged == 0 || s.Pipeline.Batches == 0 {
+		t.Fatalf("pipeline stats not surfaced: %+v", s.Pipeline)
+	}
+}
+
+// TestSyncConfigStillSynchronous pins the default: without WithAsyncIO the
+// cache manager has no background machinery.
+func TestSyncConfigStillSynchronous(t *testing.T) {
+	r := newRig(t, PolicyFaCEGR)
+	db := r.open(t, false)
+	defer db.Close()
+	if _, ok := db.Cache().(interface{ PipelineStats() any }); ok {
+		t.Fatal("sync config produced an async cache")
+	}
+	if s := db.Snapshot(); s.Pipeline.Staged != 0 {
+		t.Fatalf("sync config reports pipeline activity: %+v", s.Pipeline)
+	}
+}

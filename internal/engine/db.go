@@ -125,13 +125,23 @@ func Open(cfg Config) (*DB, error) {
 		return nil, err
 	}
 
+	// From here on a failed Open must stop the cache's background
+	// pipeline, or its goroutines would outlive the aborted instance.
+	abortCache := func() {
+		if s, ok := db.cache.(face.Shutdowner); ok {
+			s.Abort()
+		}
+	}
+
 	db.pool, err = buffer.New(cfg.BufferPages, db.fetchPage, db.evictPage)
 	if err != nil {
+		abortCache()
 		return nil, err
 	}
 
 	if cfg.Recover {
 		if err := db.recover(); err != nil {
+			abortCache()
 			return nil, err
 		}
 	}
@@ -259,6 +269,23 @@ func (db *DB) Close() error {
 		db.closed = true
 		return nil
 	}
+	if err := db.closeFlushLocked(); err != nil {
+		// The caller is abandoning the instance: stop the cache's
+		// background pipeline even on a failed close so its goroutines do
+		// not leak and keep touching the devices.
+		if s, ok := db.cache.(face.Shutdowner); ok {
+			s.Abort()
+		}
+		return err
+	}
+	db.closed = true
+	return nil
+}
+
+// closeFlushLocked performs the flush side of Close: checkpoint, drain
+// the cache to disk, write back dirty DRAM pages, and stop the cache's
+// background pipeline (everything in flight was drained by FlushAll).
+func (db *DB) closeFlushLocked() error {
 	if err := db.checkpointLocked(); err != nil {
 		return err
 	}
@@ -275,7 +302,11 @@ func (db *DB) Close() error {
 	}, true); err != nil {
 		return err
 	}
-	db.closed = true
+	if s, ok := db.cache.(face.Shutdowner); ok {
+		if err := s.Shutdown(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -291,6 +322,12 @@ func (db *DB) Crash() {
 	defer db.mu.Unlock()
 	db.pool.DropAll()
 	db.log.Crash()
+	// The cache's background pipeline is volatile: abort it without
+	// draining, losing staged pages exactly as a crash would.  Whatever
+	// already reached the devices stays.
+	if s, ok := db.cache.(face.Shutdowner); ok {
+		s.Abort()
+	}
 	db.crashed = true
 	db.closed = true
 }
@@ -487,6 +524,7 @@ type Snapshot struct {
 	Checkpoints  int64
 	Pool         buffer.Stats
 	Cache        face.Stats
+	Pipeline     metrics.PipelineStats
 	Data         device.Stats
 	Log          device.Stats
 	Flash        device.Stats
@@ -509,6 +547,9 @@ func (db *DB) Snapshot() Snapshot {
 	}
 	if db.cache != nil {
 		s.Cache = db.cache.Stats()
+	}
+	if p, ok := db.cache.(face.PipelineReporter); ok {
+		s.Pipeline = p.PipelineStats()
 	}
 	if db.flashDev != nil {
 		s.Flash = db.flashDev.Stats()

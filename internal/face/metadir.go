@@ -79,25 +79,28 @@ func newMetaDirectory(dev device.Dev, lay layout, segEntries int) *metaDirectory
 }
 
 // appendEntry records the metadata of the page enqueued at position pos.
-// When the entry completes a segment, the segment is flushed to flash.
-func (d *metaDirectory) appendEntry(e metaEntry, pos, front uint64, stats *Stats) error {
+// When the entry completes a segment, the segment is flushed to flash.  It
+// returns the number of segment flushes performed.
+func (d *metaDirectory) appendEntry(e metaEntry, pos, front uint64) (int, error) {
 	d.cur[pos] = e
 	if (pos+1)%uint64(d.segEntries) == 0 {
-		return d.flush(pos+1, front, stats)
+		return d.flush(pos+1, front)
 	}
-	return nil
+	return 0, nil
 }
 
 // flush writes all entries in [persisted, seq) to their segment slots,
 // then persists the queue pointers in the superblock.  A partially filled
 // segment may be written (e.g. at a database checkpoint); its remaining
-// entries are rewritten when the segment completes.
-func (d *metaDirectory) flush(seq, front uint64, stats *Stats) error {
+// entries are rewritten when the segment completes.  It returns the number
+// of segment flushes performed.
+func (d *metaDirectory) flush(seq, front uint64) (int, error) {
 	if seq <= d.persisted {
 		// Nothing new; still persist the pointers so front advances are
 		// not lost across a crash.
-		return d.writeSuperblock(front, d.persisted)
+		return 0, d.writeSuperblock(front, d.persisted)
 	}
+	flushes := 0
 	segEntries := uint64(d.segEntries)
 	firstSeg := d.persisted / segEntries
 	lastSeg := (seq - 1) / segEntries
@@ -126,11 +129,9 @@ func (d *metaDirectory) flush(seq, front uint64, stats *Stats) error {
 			blocks[i] = img[i*device.BlockSize : (i+1)*device.BlockSize]
 		}
 		if err := d.dev.WriteRun(d.layout.segBlock(slot), blocks); err != nil {
-			return fmt.Errorf("face: writing metadata segment %d: %w", seg, err)
+			return flushes, fmt.Errorf("face: writing metadata segment %d: %w", seg, err)
 		}
-		if stats != nil {
-			stats.MetadataFlushes++
-		}
+		flushes++
 		// Entries of completed segments are no longer needed in memory.
 		if segEnd == segStart+segEntries {
 			for pos := segStart; pos < segEnd; pos++ {
@@ -139,7 +140,7 @@ func (d *metaDirectory) flush(seq, front uint64, stats *Stats) error {
 		}
 	}
 	d.persisted = seq
-	return d.writeSuperblock(front, seq)
+	return flushes, d.writeSuperblock(front, seq)
 }
 
 // writeSuperblock persists the queue pointers and cache geometry.

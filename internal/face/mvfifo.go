@@ -103,11 +103,32 @@ type frameMeta struct {
 // MVFIFO is the FaCE cache manager: a multi-version FIFO queue of page
 // frames on flash with optional group replacement and group second chance,
 // plus a persistent metadata directory for recovery.
+//
+// Concurrency is split between two locks so that lookups never wait on
+// group writes:
+//
+//   - mu guards the queue metadata (front, seq, meta, dir, stats) and is
+//     never held across device I/O.  Lookup resolves a frame under mu,
+//     reads the frame with mu released, and revalidates under mu — a frame
+//     recycled mid-read fails revalidation and the lookup retries.
+//   - wrMu serializes the writer path (StageIn/StageBatch, Checkpoint,
+//     Recover, FlushAll) and protects the metadata directory; the device
+//     I/O of a group write happens under wrMu alone, so concurrent
+//     Lookup/Contains proceed while a group write is in flight.
+//
+// Torn reads cannot escape: a writer only reuses a frame slot after
+// makeRoom cleared that slot's metadata under mu, so a reader racing the
+// rewrite always fails revalidation.
 type MVFIFO struct {
-	mu  sync.Mutex
-	cfg MVFIFOConfig
-
+	cfg    MVFIFOConfig
 	layout layout
+
+	// wrMu serializes the writer path; see the type comment.
+	wrMu sync.Mutex
+
+	// mu guards the fields below and is never held across device I/O
+	// (except during Recover, which runs before any concurrency).
+	mu sync.Mutex
 
 	// Queue state.  front and seq are absolute (monotonically increasing)
 	// positions; the frame slot of position p is p % capacity.
@@ -117,10 +138,31 @@ type MVFIFO struct {
 	meta []frameMeta
 	dir  map[page.ID]uint64 // page id -> absolute position of the valid copy
 
-	metadir *metaDirectory
+	// transit holds pages that are momentarily in neither the queue nor
+	// the DRAM buffer: second-chance survivors between makeRoom clearing
+	// their old frame and the re-enqueue publishing the new one, and DRAM
+	// victims pulled into a write group.  Lookups are served from it so a
+	// dirty page can never miss into a stale disk copy mid-group-write.
+	transit map[page.ID]stageItem
 
 	stats  Stats
 	closed bool
+
+	// metadir is writer-path state, protected by wrMu.
+	metadir *metaDirectory
+
+	// Asynchronous destage hooks, nil in synchronous mode.  enableAsync
+	// installs them before the manager is shared, so they are read without
+	// synchronization afterwards.
+	//
+	// destage hands a dirty page leaving the queue to the destager instead
+	// of writing it to disk inline; waitReuse blocks until the destage for
+	// the given position has landed (the frame slot may then be rewritten);
+	// persistFront clamps the front pointer recorded in the persistent
+	// superblock so it never advances past an un-landed destage.
+	destage      func(pos uint64, id page.ID, data page.Buf) error
+	waitReuse    func(pos uint64)
+	persistFront func(front uint64) uint64
 }
 
 // NewMVFIFO creates a FaCE cache manager on the given flash device.  The
@@ -143,10 +185,11 @@ func NewMVFIFO(cfg MVFIFOConfig) (*MVFIFO, error) {
 			cfg.Dev.NumBlocks(), lay.totalBlocks(), cfg.Frames, lay.metaBlocks)
 	}
 	m := &MVFIFO{
-		cfg:    cfg,
-		layout: lay,
-		meta:   make([]frameMeta, cfg.Frames),
-		dir:    make(map[page.ID]uint64, cfg.Frames),
+		cfg:     cfg,
+		layout:  lay,
+		meta:    make([]frameMeta, cfg.Frames),
+		dir:     make(map[page.ID]uint64, cfg.Frames),
+		transit: make(map[page.ID]stageItem),
 	}
 	// The persistent superblock is written lazily (on the first metadata
 	// flush or checkpoint) so that constructing a manager over a device
@@ -161,6 +204,9 @@ func (m *MVFIFO) Name() string { return m.cfg.name() }
 
 // Capacity returns the number of data frames.
 func (m *MVFIFO) Capacity() int { return m.cfg.Frames }
+
+// GroupSize returns the replacement batch size.
+func (m *MVFIFO) GroupSize() int { return m.cfg.GroupSize }
 
 // Len returns the number of occupied frames, including invalid duplicates.
 func (m *MVFIFO) Len() int {
@@ -185,74 +231,136 @@ func (m *MVFIFO) ResetStats() {
 	m.stats = Stats{}
 }
 
+// noteDiskWrite records a completed asynchronous destage disk write.
+func (m *MVFIFO) noteDiskWrite() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stats.DiskPageWrites++
+}
+
 // Contains reports whether a valid copy of the page is cached.
 func (m *MVFIFO) Contains(id page.ID) bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	_, ok := m.dir[id]
+	if _, ok := m.dir[id]; ok {
+		return true
+	}
+	_, ok := m.transit[id]
 	return ok
 }
 
 // Lookup searches the cache for the page and, on a hit, copies the frame
 // into buf and sets the frame's reference bit (used by second chance).
+//
+// The frame is read from the device without holding the metadata lock, so
+// lookups proceed while a group write is in flight.  If the frame is
+// recycled during the read (directory entry moved, slot reused) the stale
+// image is discarded and the lookup retries from the directory.
 func (m *MVFIFO) Lookup(id page.ID, buf page.Buf) (bool, bool, error) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if m.closed {
+		m.mu.Unlock()
 		return false, false, ErrClosed
 	}
 	m.stats.Lookups++
-	pos, ok := m.dir[id]
+	for {
+		pos, ok := m.dir[id]
+		if !ok {
+			found, dirty := m.transitLookupLocked(id, buf)
+			m.mu.Unlock()
+			return found, dirty, nil
+		}
+		slot := pos % uint64(m.cfg.Frames)
+		fm := m.meta[slot]
+		if !fm.valid || fm.id != id {
+			// A stale directory entry should never survive invalidation.
+			delete(m.dir, id)
+			found, dirty := m.transitLookupLocked(id, buf)
+			m.mu.Unlock()
+			return found, dirty, nil
+		}
+		m.mu.Unlock()
+		if err := m.cfg.Dev.ReadAt(m.layout.frameBlock(slot), buf); err != nil {
+			return false, false, fmt.Errorf("face: reading frame %d: %w", slot, err)
+		}
+		m.mu.Lock()
+		m.stats.FlashPageReads++
+		if cur, ok := m.dir[id]; ok && cur == pos && m.meta[slot].valid && m.meta[slot].id == id {
+			m.stats.Hits++
+			m.meta[slot].ref = true
+			dirty := m.meta[slot].dirty
+			m.mu.Unlock()
+			return true, dirty, nil
+		}
+		// The frame was replaced while we read it; resolve again.
+	}
+}
+
+// transitLookupLocked serves a page from the in-transit map.  The caller
+// holds mu.
+func (m *MVFIFO) transitLookupLocked(id page.ID, buf page.Buf) (bool, bool) {
+	t, ok := m.transit[id]
 	if !ok {
-		return false, false, nil
+		return false, false
 	}
-	slot := pos % uint64(m.cfg.Frames)
-	fm := &m.meta[slot]
-	if !fm.valid || fm.id != id {
-		// A stale directory entry should never survive invalidation.
-		delete(m.dir, id)
-		return false, false, nil
-	}
-	if err := m.cfg.Dev.ReadAt(m.layout.frameBlock(slot), buf); err != nil {
-		return false, false, fmt.Errorf("face: reading frame %d: %w", slot, err)
-	}
-	m.stats.FlashPageReads++
+	copy(buf, t.data)
 	m.stats.Hits++
-	fm.ref = true
-	return true, fm.dirty, nil
+	return true, t.dirty
+}
+
+// StageItem is a page offered to the cache, as StageBatch consumes them.
+// Data must be a private copy the cache may retain.
+type StageItem struct {
+	ID     page.ID
+	Data   page.Buf
+	Dirty  bool // newer than the disk copy
+	FDirty bool // newer than the flash copy
+	Ref    bool // referenced while staged (async ring hit)
 }
 
 // StageIn offers a page evicted from the DRAM buffer to the cache,
 // implementing Algorithm 1 of the paper: unconditional enqueue when fdirty,
 // conditional enqueue (skip when an identical copy is cached) otherwise.
 func (m *MVFIFO) StageIn(id page.ID, data page.Buf, dirty, fdirty bool) error {
+	return m.StageBatch([]StageItem{{ID: id, Data: data, Dirty: dirty, FDirty: fdirty}})
+}
+
+// StageBatch offers several evicted pages at once.  The async group writer
+// drains its staging ring in batches so that one sequential flash group
+// write covers all of them; each item still gets the per-page treatment of
+// Algorithm 1.
+func (m *MVFIFO) StageBatch(in []StageItem) error {
+	m.wrMu.Lock()
+	defer m.wrMu.Unlock()
+
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if m.closed {
+		m.mu.Unlock()
 		return ErrClosed
 	}
-	m.stats.StageIns++
-	if dirty {
-		m.stats.DirtyStageIns++
-	} else {
-		m.stats.CleanStageIns++
-	}
-	if !fdirty {
-		if _, cached := m.dir[id]; cached {
-			// An identical copy is already in the flash cache.
-			return nil
+	items := make([]stageItem, 0, len(in))
+	for _, it := range in {
+		m.stats.StageIns++
+		if it.Dirty {
+			m.stats.DirtyStageIns++
+		} else {
+			m.stats.CleanStageIns++
 		}
-		if dirty && !fdirty {
-			// The page is newer than disk but identical to a flash copy
-			// that no longer exists (it was staged out).  Enqueue it so
-			// the persistent database keeps the newest version.
-			return m.enqueue([]stageItem{{id: id, data: data, dirty: true, lsn: data.LSN()}})
+		if !it.FDirty {
+			if _, cached := m.dir[it.ID]; cached {
+				// An identical copy is already in the flash cache.
+				continue
+			}
+			// Not cached: enqueue.  A dirty page whose flash copy was
+			// staged out must be re-enqueued so the persistent database
+			// keeps the newest version; a clean page is enqueued as clean.
 		}
-		// Clean page, not cached: enqueue as clean.
-		return m.enqueue([]stageItem{{id: id, data: data, dirty: false, lsn: data.LSN()}})
+		items = append(items, stageItem{
+			id: it.ID, data: it.Data, dirty: it.Dirty, lsn: it.Data.LSN(), ref: it.Ref,
+		})
 	}
-	// fdirty: unconditional enqueue of the newest version.
-	return m.enqueue([]stageItem{{id: id, data: data, dirty: dirty, lsn: data.LSN()}})
+	m.mu.Unlock()
+	return m.enqueue(items)
 }
 
 // stageItem is a page about to be enqueued.
@@ -261,354 +369,10 @@ type stageItem struct {
 	data  page.Buf
 	dirty bool
 	lsn   page.LSN
-}
-
-// enqueue appends the items to the rear of the queue, making room first if
-// necessary.  Items are written to flash as one sequential run.
-func (m *MVFIFO) enqueue(items []stageItem) error {
-	if len(items) == 0 {
-		return nil
-	}
-	capacity := uint64(m.cfg.Frames)
-	// Make room.  Group replacement frees GroupSize frames at a time and
-	// may append survivors and pulled DRAM victims to the write group.
-	for m.seq-m.front+uint64(len(items)) > capacity {
-		extra, err := m.makeRoom(len(items))
-		if err != nil {
-			return err
-		}
-		items = append(items, extra...)
-	}
-	// Assign consecutive positions and write the run (split at wrap).
-	start := m.seq
-	images := make([]page.Buf, len(items))
-	for i, it := range items {
-		pos := start + uint64(i)
-		img := it.data.Clone()
-		img.SetCacheStamp(uint32(pos))
-		images[i] = img
-	}
-	if err := m.writeFrames(start, images); err != nil {
-		return err
-	}
-	m.stats.FlashPageWrites += int64(len(items))
-	for i, it := range items {
-		pos := start + uint64(i)
-		slot := pos % capacity
-		// Decide whether this item becomes the valid copy of the page.  A
-		// write group may contain two versions of the same page — e.g. a
-		// second-chance survivor re-enqueued after a newer incoming
-		// version — so the page LSN decides which copy stays valid.
-		newest := true
-		if old, ok := m.dir[it.id]; ok {
-			oldSlot := old % capacity
-			if m.meta[oldSlot].valid && m.meta[oldSlot].id == it.id {
-				if m.meta[oldSlot].lsn > it.lsn {
-					newest = false
-				} else if old >= m.front && old < pos {
-					m.meta[oldSlot].valid = false
-					m.stats.Invalidations++
-				}
-			}
-		}
-		m.meta[slot] = frameMeta{id: it.id, lsn: it.lsn, valid: newest, dirty: it.dirty, used: true}
-		if newest {
-			m.dir[it.id] = pos
-		} else {
-			m.stats.Invalidations++
-		}
-		m.seq = pos + 1
-		if err := m.metadir.appendEntry(metaEntry{id: it.id, lsn: it.lsn, dirty: it.dirty}, pos, m.front, &m.stats); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// writeFrames writes consecutive queue positions starting at start,
-// splitting the run where the circular queue wraps around.
-func (m *MVFIFO) writeFrames(start uint64, images []page.Buf) error {
-	capacity := uint64(m.cfg.Frames)
-	i := 0
-	for i < len(images) {
-		slot := (start + uint64(i)) % capacity
-		run := int(capacity - slot)
-		if run > len(images)-i {
-			run = len(images) - i
-		}
-		pages := make([][]byte, run)
-		for j := 0; j < run; j++ {
-			pages[j] = images[i+j]
-		}
-		if run == 1 {
-			if err := m.cfg.Dev.WriteAt(m.layout.frameBlock(slot), pages[0]); err != nil {
-				return fmt.Errorf("face: writing frame %d: %w", slot, err)
-			}
-		} else {
-			if err := m.cfg.Dev.WriteRun(m.layout.frameBlock(slot), pages); err != nil {
-				return fmt.Errorf("face: writing frames at %d: %w", slot, err)
-			}
-		}
-		i += run
-	}
-	return nil
-}
-
-// makeRoom frees at least GroupSize frames (or one frame when grouping is
-// disabled) from the front of the queue.  With second chance enabled it
-// returns referenced frames and pulled DRAM victims to be appended to the
-// caller's write group; reserve tells it how many slots the caller already
-// needs so the group is not overfilled.
-func (m *MVFIFO) makeRoom(reserve int) ([]stageItem, error) {
-	group := m.cfg.GroupSize
-	count := int(m.seq - m.front)
-	if group > count {
-		group = count
-	}
-	if group < 1 {
-		return nil, fmt.Errorf("face: internal error: empty queue in makeRoom")
-	}
-	capacity := uint64(m.cfg.Frames)
-
-	// Determine which frames in the group need their data read: valid
-	// dirty frames (for the disk write) and, with second chance,
-	// referenced valid frames (for re-enqueueing).
-	needData := false
-	for i := 0; i < group; i++ {
-		fm := &m.meta[(m.front+uint64(i))%capacity]
-		if fm.valid && (fm.dirty || (m.cfg.SecondChance && fm.ref)) {
-			needData = true
-			break
-		}
-	}
-	var frames []page.Buf
-	if needData {
-		var err error
-		frames, err = m.readFrames(m.front, group)
-		if err != nil {
-			return nil, err
-		}
-		m.stats.FlashPageReads += int64(group)
-	}
-
-	var survivors []stageItem
-	for i := 0; i < group; i++ {
-		pos := m.front + uint64(i)
-		slot := pos % capacity
-		fm := &m.meta[slot]
-		if !fm.valid {
-			*fm = frameMeta{}
-			continue
-		}
-		switch {
-		case m.cfg.SecondChance && fm.ref:
-			// Second chance: re-enqueue regardless of dirtiness.
-			m.stats.SecondChances++
-			survivors = append(survivors, stageItem{id: fm.id, data: frames[i].Clone(), dirty: fm.dirty, lsn: fm.lsn})
-		case fm.dirty:
-			if err := m.cfg.DiskWrite(fm.id, frames[i]); err != nil {
-				return nil, fmt.Errorf("face: staging out page %d: %w", fm.id, err)
-			}
-			m.stats.DiskPageWrites++
-			delete(m.dir, fm.id)
-		default:
-			// Clean and unreferenced: discard.
-			delete(m.dir, fm.id)
-		}
-		*fm = frameMeta{}
-	}
-	m.front += uint64(group)
-
-	// If every frame survived, force the oldest one out to guarantee
-	// progress (paper: "the page at the very front end will be discarded
-	// or flushed to disk").
-	maxKeep := group - reserve
-	if maxKeep < 0 {
-		maxKeep = 0
-	}
-	for len(survivors) > maxKeep {
-		victim := survivors[0]
-		survivors = survivors[1:]
-		if victim.dirty {
-			if err := m.cfg.DiskWrite(victim.id, victim.data); err != nil {
-				return nil, fmt.Errorf("face: staging out page %d: %w", victim.id, err)
-			}
-			m.stats.DiskPageWrites++
-		}
-		delete(m.dir, victim.id)
-	}
-	// Survivors will be re-enqueued by the caller; their directory entries
-	// still point at positions now outside the window, which enqueue will
-	// overwrite.
-
-	// Top up the write group with victims pulled from the DRAM buffer.
-	if m.cfg.SecondChance && m.cfg.Pull != nil {
-		want := group - reserve - len(survivors)
-		if want > 0 {
-			for _, p := range m.cfg.Pull(want) {
-				m.stats.Pulled++
-				m.stats.StageIns++
-				if p.Dirty {
-					m.stats.DirtyStageIns++
-				} else {
-					m.stats.CleanStageIns++
-				}
-				if !p.FDirty {
-					if _, cached := m.dir[p.ID]; cached {
-						continue
-					}
-				}
-				survivors = append(survivors, stageItem{id: p.ID, data: p.Data, dirty: p.Dirty, lsn: p.Data.LSN()})
-			}
-		}
-	}
-	return survivors, nil
-}
-
-// readFrames reads n consecutive queue positions starting at start,
-// splitting the run at the wrap point.
-func (m *MVFIFO) readFrames(start uint64, n int) ([]page.Buf, error) {
-	capacity := uint64(m.cfg.Frames)
-	out := make([]page.Buf, n)
-	i := 0
-	for i < n {
-		slot := (start + uint64(i)) % capacity
-		run := int(capacity - slot)
-		if run > n-i {
-			run = n - i
-		}
-		base := i
-		if run == 1 {
-			buf := page.NewBuf()
-			if err := m.cfg.Dev.ReadAt(m.layout.frameBlock(slot), buf); err != nil {
-				return nil, fmt.Errorf("face: reading frame %d: %w", slot, err)
-			}
-			out[base] = buf
-		} else {
-			err := m.cfg.Dev.ReadRun(m.layout.frameBlock(slot), run, func(j int, p []byte) error {
-				buf := page.NewBuf()
-				copy(buf, p)
-				out[base+j] = buf
-				return nil
-			})
-			if err != nil {
-				return nil, fmt.Errorf("face: reading frames at %d: %w", slot, err)
-			}
-		}
-		i += run
-	}
-	return out, nil
-}
-
-// Checkpoint flushes the current metadata segment and queue pointers to
-// flash.  Data pages in the cache are not written anywhere: they are
-// already part of the persistent database (Section 4.1).
-func (m *MVFIFO) Checkpoint() error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.closed {
-		return ErrClosed
-	}
-	return m.metadir.flush(m.seq, m.front, &m.stats)
-}
-
-// Recover rebuilds the in-memory directory after a crash: the persistent
-// metadata segments are read back and the frames written after the last
-// metadata flush are rediscovered by scanning their headers and enqueue
-// stamps (Section 4.2).
-func (m *MVFIFO) Recover() error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	front, persisted, entries, err := m.metadir.load()
-	if err != nil {
-		return err
-	}
-	capacity := uint64(m.cfg.Frames)
-	m.front = front
-	m.meta = make([]frameMeta, m.cfg.Frames)
-	m.dir = make(map[page.ID]uint64, m.cfg.Frames)
-
-	apply := func(pos uint64, id page.ID, lsn page.LSN, dirty bool) {
-		slot := pos % capacity
-		newest := true
-		if old, ok := m.dir[id]; ok && old >= m.front {
-			oldSlot := old % capacity
-			if m.meta[oldSlot].id == id && m.meta[oldSlot].valid {
-				if m.meta[oldSlot].lsn > lsn {
-					newest = false
-				} else {
-					m.meta[oldSlot].valid = false
-				}
-			}
-		}
-		m.meta[slot] = frameMeta{id: id, lsn: lsn, valid: newest, dirty: dirty, used: true}
-		if newest {
-			m.dir[id] = pos
-		}
-	}
-
-	// Replay persisted entries for positions still inside the queue window.
-	for pos := front; pos < persisted; pos++ {
-		e, ok := entries[pos]
-		if !ok {
-			continue
-		}
-		apply(pos, e.id, e.lsn, e.dirty)
-	}
-
-	// Rescan frames written after the last metadata flush.  The enqueue
-	// stamp distinguishes current-generation frames from stale ones.
-	limit := persisted + 2*uint64(m.cfg.SegmentEntries)
-	if limit > persisted+capacity {
-		limit = persisted + capacity
-	}
-	m.seq = persisted
-	buf := page.NewBuf()
-	for pos := persisted; pos < limit; pos++ {
-		slot := pos % capacity
-		if err := m.cfg.Dev.ReadAt(m.layout.frameBlock(slot), buf); err != nil {
-			return fmt.Errorf("face: recovery scan at frame %d: %w", slot, err)
-		}
-		m.stats.FlashPageReads++
-		if buf.CacheStamp() != uint32(pos) || buf.ID() == page.InvalidID {
-			break
-		}
-		// Conservatively treat rediscovered frames as dirty: at worst this
-		// causes one redundant disk write when the frame is staged out.
-		apply(pos, buf.ID(), buf.LSN(), true)
-		m.metadir.restoreEntry(pos, metaEntry{id: buf.ID(), lsn: buf.LSN(), dirty: true})
-		m.seq = pos + 1
-	}
-	if m.seq < m.front {
-		m.seq = m.front
-	}
-	return nil
-}
-
-// FlushAll writes every valid dirty frame to disk and marks it clean.  It
-// is used for clean shutdown.
-func (m *MVFIFO) FlushAll() error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	capacity := uint64(m.cfg.Frames)
-	for pos := m.front; pos < m.seq; pos++ {
-		slot := pos % capacity
-		fm := &m.meta[slot]
-		if !fm.valid || !fm.dirty {
-			continue
-		}
-		buf := page.NewBuf()
-		if err := m.cfg.Dev.ReadAt(m.layout.frameBlock(slot), buf); err != nil {
-			return fmt.Errorf("face: flush read frame %d: %w", slot, err)
-		}
-		m.stats.FlashPageReads++
-		if err := m.cfg.DiskWrite(fm.id, buf); err != nil {
-			return fmt.Errorf("face: flush write page %d: %w", fm.id, err)
-		}
-		m.stats.DiskPageWrites++
-		fm.dirty = false
-	}
-	return nil
+	ref   bool
+	// pos is the queue position a second-chance survivor came from; it is
+	// only used to order asynchronous destages of forced-out survivors.
+	pos uint64
 }
 
 // DirtyFrames returns the number of valid dirty frames (diagnostics).

@@ -1,0 +1,503 @@
+package face
+
+// The I/O machinery of the mvFIFO cache manager: group writes, group
+// replacement, destaging, checkpointing and recovery.  Everything here
+// runs on the writer path (under wrMu); the metadata lock mu is taken only
+// for the short windows that mutate queue state, never across device I/O,
+// so Lookup and Contains proceed while a group write is in flight.
+
+import (
+	"fmt"
+
+	"github.com/reprolab/face/internal/page"
+)
+
+// enqueue appends the items to the rear of the queue, making room first if
+// necessary.  Items are written to flash as one sequential run.  The
+// caller holds wrMu.
+func (m *MVFIFO) enqueue(items []stageItem) error {
+	if len(items) == 0 {
+		return nil
+	}
+	capacity := uint64(m.cfg.Frames)
+	// Make room.  Group replacement frees GroupSize frames at a time and
+	// may append survivors and pulled DRAM victims to the write group.
+	for {
+		m.mu.Lock()
+		need := m.seq-m.front+uint64(len(items)) > capacity
+		m.mu.Unlock()
+		if !need {
+			break
+		}
+		extra, err := m.makeRoom(len(items))
+		if err != nil {
+			return err
+		}
+		items = append(items, extra...)
+	}
+
+	// Reserve consecutive positions.  The reservation is published to seq
+	// up front so Len reflects in-flight writes; directory entries are
+	// published only after the device write completes, so lookups never
+	// see a frame whose data is not on flash yet.
+	m.mu.Lock()
+	start := m.seq
+	m.seq = start + uint64(len(items))
+	front := m.front
+	m.mu.Unlock()
+
+	images := make([]page.Buf, len(items))
+	for i, it := range items {
+		pos := start + uint64(i)
+		img := it.data.Clone()
+		img.SetCacheStamp(uint32(pos))
+		images[i] = img
+	}
+	// Under asynchronous destaging a frame slot must not be rewritten
+	// until the dirty page that last occupied it has landed on disk.
+	if m.waitReuse != nil && start+uint64(len(items)) > capacity {
+		m.waitReuse(start + uint64(len(items)) - 1 - capacity)
+	}
+	if err := m.writeFrames(start, images); err != nil {
+		return err
+	}
+
+	m.mu.Lock()
+	m.stats.FlashPageWrites += int64(len(items))
+	for i, it := range items {
+		pos := start + uint64(i)
+		slot := pos % capacity
+		// Decide whether this item becomes the valid copy of the page.  A
+		// write group may contain two versions of the same page — e.g. a
+		// second-chance survivor re-enqueued after a newer incoming
+		// version — so the page LSN decides which copy stays valid.
+		newest := true
+		if old, ok := m.dir[it.id]; ok {
+			oldSlot := old % capacity
+			if m.meta[oldSlot].valid && m.meta[oldSlot].id == it.id {
+				if m.meta[oldSlot].lsn > it.lsn {
+					newest = false
+				} else if old >= m.front && old < pos {
+					m.meta[oldSlot].valid = false
+					m.stats.Invalidations++
+				}
+			}
+		}
+		m.meta[slot] = frameMeta{id: it.id, lsn: it.lsn, valid: newest, dirty: it.dirty, ref: it.ref, used: true}
+		if newest {
+			m.dir[it.id] = pos
+		} else {
+			m.stats.Invalidations++
+		}
+		// The page is reachable through the directory again.
+		delete(m.transit, it.id)
+	}
+	m.mu.Unlock()
+
+	// Persist the metadata entries.  The metadata directory is writer-path
+	// state (wrMu), so segment flushes happen without blocking lookups.
+	flushes := 0
+	for i, it := range items {
+		pos := start + uint64(i)
+		n, err := m.metadir.appendEntry(metaEntry{id: it.id, lsn: it.lsn, dirty: it.dirty}, pos, m.clampFront(front))
+		flushes += n
+		if err != nil {
+			return err
+		}
+	}
+	if flushes > 0 {
+		m.mu.Lock()
+		m.stats.MetadataFlushes += int64(flushes)
+		m.mu.Unlock()
+	}
+	return nil
+}
+
+// clampFront bounds the front pointer recorded in the persistent
+// superblock: under asynchronous destaging it must not advance past the
+// oldest un-landed destage, or a crash could lose the only copy of a dirty
+// page.  Recovery then conservatively replays the extra positions as
+// cached dirty pages.
+func (m *MVFIFO) clampFront(front uint64) uint64 {
+	if m.persistFront != nil {
+		return m.persistFront(front)
+	}
+	return front
+}
+
+// makeRoom frees at least GroupSize frames (or one frame when grouping is
+// disabled) from the front of the queue.  With second chance enabled it
+// returns referenced frames and pulled DRAM victims to be appended to the
+// caller's write group; reserve tells it how many slots the caller already
+// needs so the group is not overfilled.  The caller holds wrMu.
+//
+// Dirty pages leaving the queue are destaged (inline or to the destager)
+// BEFORE their directory entries are removed, so a concurrent lookup never
+// misses into a stale disk copy.
+func (m *MVFIFO) makeRoom(reserve int) ([]stageItem, error) {
+	capacity := uint64(m.cfg.Frames)
+
+	m.mu.Lock()
+	group := m.cfg.GroupSize
+	if count := int(m.seq - m.front); group > count {
+		group = count
+	}
+	if group < 1 {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("face: internal error: empty queue in makeRoom")
+	}
+	front := m.front
+	// Snapshot the group's metadata.  Only writers mutate it and they are
+	// serialized by wrMu; concurrent lookups may still set reference bits,
+	// but a reference arriving after this point no longer saves the frame
+	// (the same race exists on a real system between the replacement
+	// decision and the I/O it issues).
+	metas := make([]frameMeta, group)
+	needData := false
+	for i := 0; i < group; i++ {
+		metas[i] = m.meta[(front+uint64(i))%capacity]
+		if metas[i].valid && (metas[i].dirty || (m.cfg.SecondChance && metas[i].ref)) {
+			needData = true
+		}
+	}
+	m.mu.Unlock()
+
+	var frames []page.Buf
+	if needData {
+		var err error
+		frames, err = m.readFrames(front, group)
+		if err != nil {
+			return nil, err
+		}
+		m.mu.Lock()
+		m.stats.FlashPageReads += int64(group)
+		m.mu.Unlock()
+	}
+
+	// Issue the stage-outs.  readFrames returns private buffers, so the
+	// images can be handed to the (possibly asynchronous) destager as-is.
+	var survivors []stageItem
+	for i := 0; i < group; i++ {
+		pos := front + uint64(i)
+		fm := metas[i]
+		if !fm.valid {
+			continue
+		}
+		switch {
+		case m.cfg.SecondChance && fm.ref:
+			// Second chance: re-enqueue regardless of dirtiness.
+			survivors = append(survivors, stageItem{id: fm.id, data: frames[i], dirty: fm.dirty, lsn: fm.lsn, pos: pos})
+		case fm.dirty:
+			if err := m.destageOut(pos, fm.id, frames[i]); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Publish: clear the group's metadata and advance the front.  From
+	// here on the freed slots may be rewritten; a lookup racing a rewrite
+	// fails revalidation because the metadata was cleared first.
+	// Survivors stay reachable through the transit map until the caller's
+	// re-enqueue publishes their new frames.
+	m.mu.Lock()
+	for _, s := range survivors {
+		m.transit[s.id] = s
+	}
+	for i := 0; i < group; i++ {
+		slot := (front + uint64(i)) % capacity
+		fm := &m.meta[slot]
+		if fm.valid {
+			switch {
+			case m.cfg.SecondChance && metas[i].ref:
+				m.stats.SecondChances++
+			default:
+				if cur, ok := m.dir[fm.id]; ok && cur == front+uint64(i) {
+					delete(m.dir, fm.id)
+				}
+			}
+		}
+		*fm = frameMeta{}
+	}
+	m.front = front + uint64(group)
+	m.mu.Unlock()
+
+	// If every frame survived, force the oldest one out to guarantee
+	// progress (paper: "the page at the very front end will be discarded
+	// or flushed to disk").
+	maxKeep := group - reserve
+	if maxKeep < 0 {
+		maxKeep = 0
+	}
+	for len(survivors) > maxKeep {
+		victim := survivors[0]
+		survivors = survivors[1:]
+		if victim.dirty {
+			if err := m.destageOut(victim.pos, victim.id, victim.data); err != nil {
+				return nil, err
+			}
+		}
+		m.mu.Lock()
+		if cur, ok := m.dir[victim.id]; ok && cur == victim.pos {
+			delete(m.dir, victim.id)
+		}
+		// A dirty victim stays visible through the destager until its disk
+		// write lands; a clean one is current on disk.
+		delete(m.transit, victim.id)
+		m.mu.Unlock()
+	}
+	// Survivors will be re-enqueued by the caller; their directory entries
+	// still point at positions now outside the window, which enqueue will
+	// overwrite.
+
+	// Top up the write group with victims pulled from the DRAM buffer.
+	if m.cfg.SecondChance && m.cfg.Pull != nil {
+		want := group - reserve - len(survivors)
+		if want > 0 {
+			pulled := m.cfg.Pull(want)
+			m.mu.Lock()
+			for _, p := range pulled {
+				m.stats.Pulled++
+				m.stats.StageIns++
+				if p.Dirty {
+					m.stats.DirtyStageIns++
+				} else {
+					m.stats.CleanStageIns++
+				}
+				if !p.FDirty {
+					if _, cached := m.dir[p.ID]; cached {
+						continue
+					}
+				}
+				it := stageItem{id: p.ID, data: p.Data, dirty: p.Dirty, lsn: p.Data.LSN()}
+				survivors = append(survivors, it)
+				// The pulled victim has already left the DRAM buffer; keep
+				// it reachable until its new frame is published.
+				m.transit[p.ID] = it
+			}
+			m.mu.Unlock()
+		}
+	}
+	return survivors, nil
+}
+
+// destageOut moves a dirty page leaving the queue towards its disk home:
+// through the asynchronous destager when one is attached, inline through
+// the DiskWrite callback otherwise.
+func (m *MVFIFO) destageOut(pos uint64, id page.ID, data page.Buf) error {
+	if m.destage != nil {
+		if err := m.destage(pos, id, data); err != nil {
+			return fmt.Errorf("face: destaging page %d: %w", id, err)
+		}
+		return nil
+	}
+	if err := m.cfg.DiskWrite(id, data); err != nil {
+		return fmt.Errorf("face: staging out page %d: %w", id, err)
+	}
+	m.mu.Lock()
+	m.stats.DiskPageWrites++
+	m.mu.Unlock()
+	return nil
+}
+
+// writeFrames writes consecutive queue positions starting at start,
+// splitting the run where the circular queue wraps around.
+func (m *MVFIFO) writeFrames(start uint64, images []page.Buf) error {
+	capacity := uint64(m.cfg.Frames)
+	i := 0
+	for i < len(images) {
+		slot := (start + uint64(i)) % capacity
+		run := int(capacity - slot)
+		if run > len(images)-i {
+			run = len(images) - i
+		}
+		pages := make([][]byte, run)
+		for j := 0; j < run; j++ {
+			pages[j] = images[i+j]
+		}
+		if run == 1 {
+			if err := m.cfg.Dev.WriteAt(m.layout.frameBlock(slot), pages[0]); err != nil {
+				return fmt.Errorf("face: writing frame %d: %w", slot, err)
+			}
+		} else {
+			if err := m.cfg.Dev.WriteRun(m.layout.frameBlock(slot), pages); err != nil {
+				return fmt.Errorf("face: writing frames at %d: %w", slot, err)
+			}
+		}
+		i += run
+	}
+	return nil
+}
+
+// readFrames reads n consecutive queue positions starting at start,
+// splitting the run at the wrap point.  The returned buffers are private.
+func (m *MVFIFO) readFrames(start uint64, n int) ([]page.Buf, error) {
+	capacity := uint64(m.cfg.Frames)
+	out := make([]page.Buf, n)
+	i := 0
+	for i < n {
+		slot := (start + uint64(i)) % capacity
+		run := int(capacity - slot)
+		if run > n-i {
+			run = n - i
+		}
+		base := i
+		if run == 1 {
+			buf := page.NewBuf()
+			if err := m.cfg.Dev.ReadAt(m.layout.frameBlock(slot), buf); err != nil {
+				return nil, fmt.Errorf("face: reading frame %d: %w", slot, err)
+			}
+			out[base] = buf
+		} else {
+			err := m.cfg.Dev.ReadRun(m.layout.frameBlock(slot), run, func(j int, p []byte) error {
+				buf := page.NewBuf()
+				copy(buf, p)
+				out[base+j] = buf
+				return nil
+			})
+			if err != nil {
+				return nil, fmt.Errorf("face: reading frames at %d: %w", slot, err)
+			}
+		}
+		i += run
+	}
+	return out, nil
+}
+
+// Checkpoint flushes the current metadata segment and queue pointers to
+// flash.  Data pages in the cache are not written anywhere: they are
+// already part of the persistent database (Section 4.1).
+func (m *MVFIFO) Checkpoint() error {
+	m.wrMu.Lock()
+	defer m.wrMu.Unlock()
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return ErrClosed
+	}
+	seq, front := m.seq, m.front
+	m.mu.Unlock()
+	flushes, err := m.metadir.flush(seq, m.clampFront(front))
+	if flushes > 0 {
+		m.mu.Lock()
+		m.stats.MetadataFlushes += int64(flushes)
+		m.mu.Unlock()
+	}
+	return err
+}
+
+// Recover rebuilds the in-memory directory after a crash: the persistent
+// metadata segments are read back and the frames written after the last
+// metadata flush are rediscovered by scanning their headers and enqueue
+// stamps (Section 4.2).  It runs before the cache is shared, so it holds
+// both locks for its duration.
+func (m *MVFIFO) Recover() error {
+	m.wrMu.Lock()
+	defer m.wrMu.Unlock()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	front, persisted, entries, err := m.metadir.load()
+	if err != nil {
+		return err
+	}
+	capacity := uint64(m.cfg.Frames)
+	m.front = front
+	m.meta = make([]frameMeta, m.cfg.Frames)
+	m.dir = make(map[page.ID]uint64, m.cfg.Frames)
+	m.transit = make(map[page.ID]stageItem)
+
+	apply := func(pos uint64, id page.ID, lsn page.LSN, dirty bool) {
+		slot := pos % capacity
+		newest := true
+		if old, ok := m.dir[id]; ok && old >= m.front {
+			oldSlot := old % capacity
+			if m.meta[oldSlot].id == id && m.meta[oldSlot].valid {
+				if m.meta[oldSlot].lsn > lsn {
+					newest = false
+				} else {
+					m.meta[oldSlot].valid = false
+				}
+			}
+		}
+		m.meta[slot] = frameMeta{id: id, lsn: lsn, valid: newest, dirty: dirty, used: true}
+		if newest {
+			m.dir[id] = pos
+		}
+	}
+
+	// Replay persisted entries for positions still inside the queue window.
+	for pos := front; pos < persisted; pos++ {
+		e, ok := entries[pos]
+		if !ok {
+			continue
+		}
+		apply(pos, e.id, e.lsn, e.dirty)
+	}
+
+	// Rescan frames written after the last metadata flush.  The enqueue
+	// stamp distinguishes current-generation frames from stale ones.
+	limit := persisted + 2*uint64(m.cfg.SegmentEntries)
+	if limit > persisted+capacity {
+		limit = persisted + capacity
+	}
+	m.seq = persisted
+	buf := page.NewBuf()
+	for pos := persisted; pos < limit; pos++ {
+		slot := pos % capacity
+		if err := m.cfg.Dev.ReadAt(m.layout.frameBlock(slot), buf); err != nil {
+			return fmt.Errorf("face: recovery scan at frame %d: %w", slot, err)
+		}
+		m.stats.FlashPageReads++
+		if buf.CacheStamp() != uint32(pos) || buf.ID() == page.InvalidID {
+			break
+		}
+		// Conservatively treat rediscovered frames as dirty: at worst this
+		// causes one redundant disk write when the frame is staged out.
+		apply(pos, buf.ID(), buf.LSN(), true)
+		m.metadir.restoreEntry(pos, metaEntry{id: buf.ID(), lsn: buf.LSN(), dirty: true})
+		m.seq = pos + 1
+	}
+	if m.seq < m.front {
+		m.seq = m.front
+	}
+	return nil
+}
+
+// FlushAll writes every valid dirty frame to disk and marks it clean.  It
+// is used for clean shutdown.
+func (m *MVFIFO) FlushAll() error {
+	m.wrMu.Lock()
+	defer m.wrMu.Unlock()
+	capacity := uint64(m.cfg.Frames)
+
+	type target struct {
+		pos uint64
+		id  page.ID
+	}
+	m.mu.Lock()
+	var targets []target
+	for pos := m.front; pos < m.seq; pos++ {
+		fm := &m.meta[pos%capacity]
+		if fm.valid && fm.dirty {
+			targets = append(targets, target{pos: pos, id: fm.id})
+		}
+	}
+	m.mu.Unlock()
+
+	for _, t := range targets {
+		slot := t.pos % capacity
+		buf := page.NewBuf()
+		if err := m.cfg.Dev.ReadAt(m.layout.frameBlock(slot), buf); err != nil {
+			return fmt.Errorf("face: flush read frame %d: %w", slot, err)
+		}
+		m.mu.Lock()
+		m.stats.FlashPageReads++
+		m.mu.Unlock()
+		if err := m.destageOut(t.pos, t.id, buf); err != nil {
+			return fmt.Errorf("face: flush write page %d: %w", t.id, err)
+		}
+		m.mu.Lock()
+		m.meta[slot].dirty = false
+		m.mu.Unlock()
+	}
+	return nil
+}
