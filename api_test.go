@@ -294,3 +294,115 @@ func TestRegisterPolicyPublicAPI(t *testing.T) {
 		t.Fatal("api-custom missing from Policies()")
 	}
 }
+
+// TestLockManagerPublicAPI opens a database with WithLockManager and
+// WithMaxWriters, proves concurrent Update closures overlap, forces a
+// deadlock matched by the public ErrDeadlock sentinel, and checks the
+// Snapshot counters surface lock and group-commit activity.
+func TestLockManagerPublicAPI(t *testing.T) {
+	db, err := Open(
+		WithDevices(NewDiskArray("data", 4, 8192), NewDisk("log", 1<<15)),
+		WithBufferPages(48),
+		WithPolicy(PolicyNone),
+		WithLockManager(),
+		WithMaxWriters(4),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	ctx := context.Background()
+
+	var a, b PageID
+	if err := db.Update(ctx, func(tx *Tx) error {
+		var err error
+		if a, err = tx.Alloc(TypeHeap); err != nil {
+			return err
+		}
+		b, err = tx.Alloc(TypeHeap)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	set := func(tx *Tx, id PageID, v uint64) error {
+		return tx.Modify(id, func(buf PageBuf) error {
+			binary.LittleEndian.PutUint64(buf.Payload(), v)
+			return nil
+		})
+	}
+
+	// Classic AB/BA cycle through the public API: exactly one victim.
+	haveA, haveB := make(chan struct{}), make(chan struct{})
+	errs := make(chan error, 2)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		errs <- db.Update(ctx, func(tx *Tx) error {
+			if err := set(tx, a, 1); err != nil {
+				return err
+			}
+			close(haveA)
+			<-haveB
+			return set(tx, b, 1)
+		})
+	}()
+	go func() {
+		defer wg.Done()
+		errs <- db.Update(ctx, func(tx *Tx) error {
+			if err := set(tx, b, 2); err != nil {
+				return err
+			}
+			close(haveB)
+			<-haveA
+			return set(tx, a, 2)
+		})
+	}()
+	wg.Wait()
+	close(errs)
+	var deadlocks, committed int
+	for err := range errs {
+		switch {
+		case err == nil:
+			committed++
+		case errors.Is(err, ErrDeadlock):
+			deadlocks++
+		default:
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+	if deadlocks != 1 || committed != 1 {
+		t.Fatalf("deadlocks=%d committed=%d, want exactly one of each", deadlocks, committed)
+	}
+
+	// Concurrent disjoint writers commit in parallel; retry any deadlock.
+	var wg2 sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg2.Add(1)
+		go func(id PageID, base uint64) {
+			defer wg2.Done()
+			for i := 0; i < 25; i++ {
+				for {
+					err := db.Update(ctx, func(tx *Tx) error { return set(tx, id, base+uint64(i)) })
+					if errors.Is(err, ErrDeadlock) {
+						continue
+					}
+					if err != nil {
+						t.Error(err)
+					}
+					break
+				}
+			}
+		}([]PageID{a, b}[w%2], uint64(w*1000))
+	}
+	wg2.Wait()
+
+	snap := db.Snapshot()
+	if snap.Locks.Grants() == 0 || snap.Locks.Deadlocks != 1 {
+		t.Fatalf("lock counters not surfaced: %+v", snap.Locks)
+	}
+	if snap.GroupCommit.Requests == 0 {
+		t.Fatalf("group-commit counters not surfaced: %+v", snap.GroupCommit)
+	}
+}

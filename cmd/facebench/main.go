@@ -15,13 +15,19 @@
 //	fig5      throughput vs number of RAID-0 disks
 //	table6    restart time after a crash vs checkpoint interval
 //	fig6      post-restart throughput timeline
+//	lockmgr   single-writer vs page-level 2PL scheduler at 1/2/4/8 terminals
 //	ablations design-choice ablations (sync policy, async I/O, group size,
-//	          segment size)
+//	          segment size, lock manager)
 //	policies  list the registered cache policies
 //	all       every experiment above, in order
 //
+// With -terminals N the throughput experiments run under the page-lock
+// (2PL) transaction scheduler with N concurrent terminal goroutines,
+// retrying transactions that lose a deadlock; the default keeps the
+// paper-faithful single-stream driver.
+//
 // With -json the results are emitted as one machine-readable JSON document
-// (schema "facebench/v1") instead of text tables, so a perf trajectory can
+// (schema "facebench/v2") instead of text tables, so a perf trajectory can
 // be tracked across commits, e.g.:
 //
 //	facebench -quick -json ablations > BENCH_ablations.json
@@ -54,9 +60,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		verbose    = fs.Bool("v", false, "print one progress line per completed run")
 		seed       = fs.Int64("seed", 0, "workload random seed (0 = default)")
 		jsonOut    = fs.Bool("json", false, "emit machine-readable JSON instead of text tables")
+		terminals  = fs.Int("terminals", 0, "run throughput experiments from N concurrent terminals under the 2PL scheduler (0 = classic single-stream driver)")
 	)
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: facebench [flags] <table1|table3|table4|fig4|table5|fig5|table6|fig6|ablations|policies|all>\n")
+		fmt.Fprintf(stderr, "usage: facebench [flags] <table1|table3|table4|fig4|table5|fig5|table6|fig6|lockmgr|ablations|policies|all>\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -83,6 +90,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *seed != 0 {
 		opts.Seed = *seed
+	}
+	if *terminals > 0 {
+		opts.Terminals = *terminals
 	}
 	if *verbose {
 		opts.Progress = stderr
@@ -129,7 +139,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	experiments := []string{what}
 	if what == "all" {
-		experiments = []string{"table1", "table3", "table4", "fig4", "table5", "fig5", "table6", "fig6", "ablations"}
+		experiments = []string{"table1", "table3", "table4", "fig4", "table5", "fig5", "table6", "fig6", "lockmgr", "ablations"}
 	}
 	for _, exp := range experiments {
 		if err := runExperiment(golden, exp, stdout, report); err != nil {
@@ -210,6 +220,12 @@ func runExperiment(g *bench.Golden, what string, out io.Writer, report *bench.Re
 			return err
 		}
 		record("fig6", fig, func() string { return bench.FormatFigure6(fig) })
+	case "lockmgr":
+		rows, err := g.AblationLockManager(nil)
+		if err != nil {
+			return err
+		}
+		record("ablation_lock_manager", rows, func() string { return bench.FormatLockAblation(rows) })
 	case "ablations":
 		sync, err := g.AblationSyncPolicy(0)
 		if err != nil {

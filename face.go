@@ -48,6 +48,13 @@
 // boundaries, so a cancelled context never commits.  Writes inside View
 // fail with ErrConflict.
 //
+// With WithLockManager, Update transactions run concurrently under
+// page-granularity strict two-phase locking with deadlock detection —
+// transactions returning ErrDeadlock have been rolled back and should be
+// retried — and concurrent commits batch their log forces through the
+// WAL's group-commit protocol.  The default scheduler serializes writers
+// and never deadlocks.
+//
 // # Cache policies
 //
 // The paper's schemes — FaCE ("face"), FaCE with Group Replacement
@@ -107,6 +114,14 @@ type (
 	// PipelineStats is a snapshot of the asynchronous I/O pipeline
 	// enabled by WithAsyncIO; it is part of DB.Snapshot.
 	PipelineStats = metrics.PipelineStats
+	// LockStats is a snapshot of the page lock manager enabled by
+	// WithLockManager (grants, waits, deadlocks); it is part of
+	// DB.Snapshot.
+	LockStats = metrics.LockStats
+	// GroupCommitStats is a snapshot of the write-ahead log's commit
+	// batching (requests, device writes, piggybacked forces); it is part
+	// of DB.Snapshot.
+	GroupCommitStats = metrics.GroupCommitStats
 
 	// BenchOptions scales the paper-reproduction experiments.
 	BenchOptions = bench.Options
@@ -149,6 +164,10 @@ var (
 	// ErrTxManaged is returned by manual Commit/Abort of a transaction
 	// managed by View or Update.
 	ErrTxManaged = engine.ErrTxManaged
+	// ErrDeadlock is returned by View/Update transactions chosen as
+	// deadlock victims under WithLockManager.  The transaction has been
+	// rolled back; retrying it is safe and expected.
+	ErrDeadlock = engine.ErrDeadlock
 )
 
 // Open creates or reopens a database configured by the given options.  At

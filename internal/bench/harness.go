@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -101,6 +102,16 @@ type RunSpec struct {
 	AsyncDepth int
 	// IOWriters is the number of destager workers under async I/O.
 	IOWriters int
+	// PageLocks runs the configuration under the page-granularity 2PL
+	// transaction scheduler (with group commit) instead of the default
+	// single-writer scheduler.
+	PageLocks bool
+	// Terminals issues the workload from this many concurrent terminal
+	// goroutines via Driver.RunTerminals (deadlock victims retried).
+	// Zero selects the classic single-stream driver; 1 runs the same
+	// scheduled workload from one terminal, which is the fair baseline
+	// for multi-terminal comparisons.
+	Terminals int
 	// WarmupTx/MeasureTx override the option values when non-zero.
 	WarmupTx  int
 	MeasureTx int
@@ -156,6 +167,15 @@ type Result struct {
 	// window.
 	AsyncDepth int
 	Pipeline   metrics.PipelineStats
+
+	// PageLocks and Terminals echo the scheduler configuration; Locks,
+	// GroupCommit and DeadlockRetries report its activity over the
+	// measurement window.
+	PageLocks       bool
+	Terminals       int
+	DeadlockRetries int64
+	Locks           metrics.LockStats
+	GroupCommit     metrics.GroupCommitStats
 }
 
 // runEnv is a fully constructed experiment instance.
@@ -237,7 +257,13 @@ func (g *Golden) build(spec RunSpec, recoverMode bool, reuse *runEnv) (*runEnv, 
 		CheckpointEvery: spec.CheckpointEvery,
 		AsyncIODepth:    spec.AsyncDepth,
 		IOWriters:       spec.IOWriters,
+		PageLocks:       spec.PageLocks,
 		Recover:         recoverMode,
+	}
+	if spec.PageLocks && spec.Terminals > 1 {
+		// Bound admission to the terminal count; it doubles as the
+		// group-commit fan-in hint.
+		cfg.MaxWriters = spec.Terminals
 	}
 	if !spec.Policy.UsesFlash() {
 		cfg.FlashDev = nil
@@ -252,8 +278,15 @@ func (g *Golden) build(spec RunSpec, recoverMode bool, reuse *runEnv) (*runEnv, 
 	return env, nil
 }
 
-// Run executes one configuration: clone, warm up, measure.
+// Run executes one configuration: clone, warm up, measure.  With
+// spec.Terminals >= 1 (or the option-level Options.Terminals override) the
+// workload is issued by concurrent terminal goroutines through the
+// View/Update scheduler instead of the classic single-stream driver.
 func (g *Golden) Run(spec RunSpec) (Result, error) {
+	if g.opts.Terminals >= 1 && spec.Terminals == 0 && !spec.PageLocks {
+		spec.Terminals = g.opts.Terminals
+		spec.PageLocks = true
+	}
 	env, err := g.build(spec, false, nil)
 	if err != nil {
 		return Result{}, err
@@ -266,12 +299,18 @@ func (g *Golden) Run(spec RunSpec) (Result, error) {
 	if measure == 0 {
 		measure = g.opts.MeasureTx
 	}
-	if err := env.driver.RunMany(warmup); err != nil {
+	runPhase := func(n int) error {
+		if spec.Terminals >= 1 {
+			return env.driver.RunTerminals(context.Background(), spec.Terminals, n)
+		}
+		return env.driver.RunMany(n)
+	}
+	if err := runPhase(warmup); err != nil {
 		return Result{}, fmt.Errorf("bench: warm-up of %s: %w", spec.label(), err)
 	}
 	before := env.eng.Snapshot()
 	beforeCounts := env.driver.Counts()
-	if err := env.driver.RunMany(measure); err != nil {
+	if err := runPhase(measure); err != nil {
 		return Result{}, fmt.Errorf("bench: measurement of %s: %w", spec.label(), err)
 	}
 	after := env.eng.Snapshot()
@@ -328,6 +367,11 @@ func (g *Golden) summarize(env *runEnv, spec RunSpec, before, after engine.Snaps
 	}
 	res.AsyncDepth = spec.AsyncDepth
 	res.Pipeline = after.Pipeline.Sub(before.Pipeline)
+	res.PageLocks = spec.PageLocks
+	res.Terminals = spec.Terminals
+	res.DeadlockRetries = ac.DeadlockRetries - bc.DeadlockRetries
+	res.Locks = after.Locks.Sub(before.Locks)
+	res.GroupCommit = after.GroupCommit.Sub(before.GroupCommit)
 	return res
 }
 

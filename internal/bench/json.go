@@ -8,7 +8,10 @@ import (
 
 // ReportSchema versions the facebench -json output format so downstream
 // tooling tracking a BENCH_*.json perf trajectory can detect changes.
-const ReportSchema = "facebench/v1"
+// v2 adds the page-lock scheduler fields to Result (PageLocks, Terminals,
+// DeadlockRetries, Locks, GroupCommit), the lock-manager ablation
+// experiment, and the Terminals option.
+const ReportSchema = "facebench/v2"
 
 // Report is the machine-readable form of a facebench run: the options the
 // golden image was built with plus one entry per executed experiment.  The

@@ -66,6 +66,13 @@ type Options struct {
 	// GroupSize and SegmentEntries configure the FaCE cache.
 	GroupSize      int
 	SegmentEntries int
+	// Terminals, when set (1 or more), runs every throughput experiment
+	// with the page-lock (2PL) transaction scheduler and this many
+	// concurrent terminal goroutines instead of the classic single-stream
+	// driver (the facebench -terminals flag); 1 gives the scheduled
+	// single-terminal baseline.  Recovery experiments keep the classic
+	// driver.  Zero preserves the paper-faithful single-stream setup.
+	Terminals int
 	// MLCProfile and SLCProfile are the flash devices for Figure 4(a) and
 	// 4(b).
 	MLCProfile device.Profile

@@ -1,8 +1,10 @@
 package buffer
 
 import (
+	"errors"
 	"sync"
 	"testing"
+	"time"
 
 	"github.com/reprolab/face/internal/page"
 )
@@ -133,5 +135,99 @@ func TestConcurrentSameMissLoadsOnce(t *testing.T) {
 	wg.Wait()
 	if fetches != 1 {
 		t.Fatalf("page 7 fetched %d times, want 1", fetches)
+	}
+}
+
+// TestPinWaitBlocksInsteadOfFailing: with SetPinWait(true) an all-pinned
+// pool parks the allocating goroutine until a pin is released, instead of
+// returning ErrAllPinned.
+func TestPinWaitBlocksInsteadOfFailing(t *testing.T) {
+	b := &lockedBacking{pages: map[page.ID]byte{}}
+	p, err := New(2, b.fetch, b.evict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetPinWait(true)
+
+	if _, err := p.Get(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Get(2); err != nil {
+		t.Fatal(err)
+	}
+
+	got := make(chan error, 1)
+	go func() {
+		_, err := p.Get(3)
+		got <- err
+	}()
+	select {
+	case err := <-got:
+		t.Fatalf("Get on an all-pinned pool returned early: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	if err := p.Unpin(2); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatalf("Get after unpin: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("pin-waiter not woken by Unpin")
+	}
+	if s := p.Stats(); s.PinWaits == 0 {
+		t.Fatalf("PinWaits = 0, want waits recorded: %+v", s)
+	}
+	// Fail-fast behaviour is untouched by default (see
+	// TestPinPreventsEviction) and restorable at runtime.
+	p.SetPinWait(false)
+	if _, err := p.Get(4); !errors.Is(err, ErrAllPinned) {
+		t.Fatalf("got %v, want ErrAllPinned after SetPinWait(false)", err)
+	}
+}
+
+// TestPinWaitManyWaiters: several goroutines wait on a saturated pool and
+// all complete as pins drain.
+func TestPinWaitManyWaiters(t *testing.T) {
+	b := &lockedBacking{pages: map[page.ID]byte{}}
+	p, err := New(4, b.fetch, b.evict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetPinWait(true)
+	for id := page.ID(1); id <= 4; id++ {
+		if _, err := p.Get(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(id page.ID) {
+			defer wg.Done()
+			if _, err := p.Get(id); err != nil {
+				errs <- err
+				return
+			}
+			errs <- p.Unpin(id)
+		}(page.ID(10 + i))
+	}
+	// Release the saturating pins one by one; every waiter must finish.
+	for id := page.ID(1); id <= 4; id++ {
+		time.Sleep(time.Millisecond)
+		if err := p.Unpin(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
 	}
 }

@@ -57,6 +57,10 @@ type Stats struct {
 	Misses         int64
 	Evictions      int64
 	DirtyEvictions int64
+	// PinWaits counts frame allocations that had to wait for a pinned
+	// frame to be released (only under SetPinWait; otherwise an
+	// all-pinned pool fails fast with ErrAllPinned).
+	PinWaits int64
 }
 
 // HitRate returns the fraction of Get calls served from DRAM.
@@ -94,6 +98,11 @@ type Pool struct {
 	fetch FetchFunc
 	evict EvictFunc
 	stats Stats
+
+	// pinWait makes an all-pinned pool wait on unpinned (signalled by
+	// Unpin and frame removal) instead of failing with ErrAllPinned.
+	pinWait  bool
+	unpinned *sync.Cond
 }
 
 // New creates a pool holding up to capacity pages.
@@ -101,14 +110,28 @@ func New(capacity int, fetch FetchFunc, evict EvictFunc) (*Pool, error) {
 	if capacity < 1 {
 		return nil, ErrBadCapacity
 	}
-	return &Pool{
+	p := &Pool{
 		capacity: capacity,
 		frames:   make(map[page.ID]*frame, capacity),
 		lru:      list.New(),
 		busy:     make(map[page.ID]chan struct{}),
 		fetch:    fetch,
 		evict:    evict,
-	}, nil
+	}
+	p.unpinned = sync.NewCond(&p.mu)
+	return p, nil
+}
+
+// SetPinWait selects how an all-pinned pool treats a frame allocation:
+// waiting for a pin to be released (true) or failing fast with
+// ErrAllPinned (false, the default).  The engine enables waiting under the
+// page-lock scheduler, where many concurrent transactions legitimately
+// pin pages at once but every pin is short-held — never across a lock
+// wait, a commit, or a blocking closure — so the wait is bounded.
+func (p *Pool) SetPinWait(wait bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.pinWait = wait
 }
 
 // Capacity returns the pool capacity in pages.
@@ -254,10 +277,22 @@ func (p *Pool) Put(id page.ID, init func(buf page.Buf)) (page.Buf, error) {
 // backing store before its write-back lands.  The returned frame is
 // pinned.
 func (p *Pool) allocateFrame(id page.ID) (*frame, error) {
+	waited := false
 	for len(p.frames) >= p.capacity {
 		victim := p.pickVictimLocked()
 		if victim == nil {
-			return nil, ErrAllPinned
+			if !p.pinWait {
+				return nil, ErrAllPinned
+			}
+			// Every frame is pinned by a concurrent transaction; pins are
+			// short-held, so wait for one to be released and look again.
+			// Count the allocation as waiting once, not once per wakeup.
+			if !waited {
+				waited = true
+				p.stats.PinWaits++
+			}
+			p.unpinned.Wait()
+			continue
 		}
 		p.stats.Evictions++
 		if victim.dirty {
@@ -298,6 +333,8 @@ func (p *Pool) pickVictimLocked() *frame {
 func (p *Pool) removeLocked(f *frame) {
 	p.lru.Remove(f.elem)
 	delete(p.frames, f.id)
+	// A removed frame frees capacity: wake pin-waiters.
+	p.unpinned.Broadcast()
 }
 
 // MarkDirty flags the page as updated: both dirty and fdirty are set, as in
@@ -337,6 +374,9 @@ func (p *Pool) Unpin(id page.ID) error {
 		return fmt.Errorf("buffer: page %d is not pinned", id)
 	}
 	f.pins--
+	if f.pins == 0 {
+		p.unpinned.Broadcast()
+	}
 	return nil
 }
 
@@ -409,6 +449,7 @@ func (p *Pool) DropAll() {
 	defer p.mu.Unlock()
 	p.frames = make(map[page.ID]*frame, p.capacity)
 	p.lru.Init()
+	p.unpinned.Broadcast()
 }
 
 // ResidentIDs returns the ids of all resident pages (for tests and

@@ -13,6 +13,7 @@ import (
 
 	"github.com/reprolab/face/internal/device"
 	"github.com/reprolab/face/internal/face"
+	"github.com/reprolab/face/internal/lock"
 	"github.com/reprolab/face/internal/metrics"
 )
 
@@ -72,6 +73,15 @@ var (
 	ErrTxManaged = errors.New("engine: manual Commit/Abort of a managed transaction")
 )
 
+// ErrDeadlock is returned by transactions refused by the page lock
+// manager because waiting would close a cycle.  The transaction has been
+// rolled back; retrying it is safe and expected.
+var ErrDeadlock = lock.ErrDeadlock
+
+// DefaultGroupCommitWindow is the group-commit collection window used
+// under the page-lock scheduler when Config.GroupCommitWindow is zero.
+const DefaultGroupCommitWindow = 200 * time.Microsecond
+
 // Config describes a database instance.
 type Config struct {
 	// DataDev holds the database pages (a disk array in most experiments,
@@ -109,6 +119,26 @@ type Config struct {
 	// the parallelism of a striped data array.
 	IOWriters int
 
+	// PageLocks replaces the single-writer transaction scheduler with the
+	// page-granularity two-phase lock manager (internal/lock): Update
+	// transactions run concurrently, acquiring shared locks on the pages
+	// they read and exclusive locks on the pages they write at first
+	// touch, held to commit or abort.  Transactions refused by deadlock
+	// detection return ErrDeadlock and should be retried.  Commit-time log
+	// forces from concurrent writers are batched by the WAL's group-commit
+	// protocol.
+	PageLocks bool
+	// MaxWriters caps the number of concurrently admitted Update
+	// transactions under PageLocks (0 = unlimited).  A bound keeps lock
+	// contention and DRAM pin pressure proportionate to small buffer
+	// pools.
+	MaxWriters int
+	// GroupCommitWindow is the leader's collection window for batching
+	// commit-time log forces under PageLocks: zero selects
+	// DefaultGroupCommitWindow, a negative value disables batching.  It
+	// is ignored without PageLocks, where commits cannot overlap.
+	GroupCommitWindow time.Duration
+
 	// CheckpointEvery triggers a database checkpoint whenever this much
 	// simulated time has passed since the previous one.  Zero disables
 	// periodic checkpoints.
@@ -136,6 +166,9 @@ func (c *Config) validate() error {
 	}
 	if _, err := ParsePolicy(string(c.Policy)); err != nil {
 		return err
+	}
+	if c.MaxWriters < 0 {
+		return fmt.Errorf("engine: MaxWriters must not be negative")
 	}
 	if c.Policy.UsesFlash() {
 		if c.FlashDev == nil {

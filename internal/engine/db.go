@@ -9,6 +9,7 @@ import (
 	"github.com/reprolab/face/internal/buffer"
 	"github.com/reprolab/face/internal/device"
 	"github.com/reprolab/face/internal/face"
+	"github.com/reprolab/face/internal/lock"
 	"github.com/reprolab/face/internal/metrics"
 	"github.com/reprolab/face/internal/page"
 	"github.com/reprolab/face/internal/recovery"
@@ -22,15 +23,26 @@ const superblockMagic = 0xFACEDB01
 
 // DB is a transactional page store with an optional flash cache extension.
 // It is safe for concurrent use: View transactions run in parallel with
-// each other, Update transactions are serialized by the transaction
-// scheduler (sched.go).  Unscheduled transactions from Begin remain
-// single-threaded, as the benchmark harness drives them.
+// each other, and Update transactions are scheduled by either the default
+// single-writer scheduler or, with Config.PageLocks, the page-granularity
+// two-phase lock manager that lets them run in parallel too (sched.go).
+// Unscheduled transactions from Begin remain single-threaded, as the
+// benchmark harness drives them.
 type DB struct {
-	// txMu is the transaction scheduler lock: View transactions hold the
-	// read side, Update transactions and lifecycle operations (Checkpoint,
-	// Close, Crash) the write side.  Lifecycle methods must therefore not
-	// be called from inside a View/Update closure.
+	// txMu is the transaction scheduler lock.  View transactions hold the
+	// read side; Update transactions hold the write side under the
+	// single-writer scheduler and the read side under the page-lock
+	// scheduler (page locks provide their mutual exclusion).  Lifecycle
+	// operations (Checkpoint, Close, Crash, Tick) hold the write side and
+	// must therefore not be called from inside a View/Update closure.
 	txMu sync.RWMutex
+
+	// locks is the page lock manager (nil under the single-writer
+	// scheduler).
+	locks *lock.Manager
+	// writerSem, when non-nil, admits at most Config.MaxWriters Update
+	// transactions at a time under the page-lock scheduler.
+	writerSem chan struct{}
 
 	// mu guards the counters and lifecycle flags below.
 	mu sync.Mutex
@@ -101,10 +113,34 @@ func Open(cfg Config) (*DB, error) {
 		nextTx:   1,
 	}
 
+	if cfg.PageLocks {
+		db.locks = lock.New()
+		if cfg.MaxWriters > 0 {
+			db.writerSem = make(chan struct{}, cfg.MaxWriters)
+		}
+	}
+
 	var err error
 	db.log, err = wal.Open(cfg.LogDev)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.PageLocks {
+		// Concurrent committers batch their commit-time forces through
+		// the WAL's leader/follower protocol.
+		window := cfg.GroupCommitWindow
+		if window == 0 {
+			window = DefaultGroupCommitWindow
+		}
+		if window > 0 {
+			db.log.SetGroupCommitWindow(window)
+		}
+		// A writer cap doubles as the expected group-commit fan-in: the
+		// first committer of a batch opens its collection window without
+		// waiting to observe a second one.
+		if cfg.MaxWriters > 1 {
+			db.log.SetCommitters(cfg.MaxWriters)
+		}
 	}
 
 	if err := db.readSuperblock(); err != nil {
@@ -137,6 +173,12 @@ func Open(cfg Config) (*DB, error) {
 	if err != nil {
 		abortCache()
 		return nil, err
+	}
+	if cfg.PageLocks {
+		// Concurrent transactions pin pages in parallel; a transiently
+		// all-pinned pool should wait for an unpin (pins are short-held
+		// and never span a lock wait) rather than fail the transaction.
+		db.pool.SetPinWait(true)
 	}
 
 	if cfg.Recover {
@@ -525,9 +567,13 @@ type Snapshot struct {
 	Pool         buffer.Stats
 	Cache        face.Stats
 	Pipeline     metrics.PipelineStats
-	Data         device.Stats
-	Log          device.Stats
-	Flash        device.Stats
+	// Locks reports page lock manager activity (zero without PageLocks)
+	// and GroupCommit the WAL's commit-force batching.
+	Locks       metrics.LockStats
+	GroupCommit metrics.GroupCommitStats
+	Data        device.Stats
+	Log         device.Stats
+	Flash       device.Stats
 }
 
 // Snapshot returns the current counters.
@@ -542,8 +588,12 @@ func (db *DB) Snapshot() Snapshot {
 		PageAccesses: ps.Hits + ps.Misses,
 		Checkpoints:  db.checkpoints,
 		Pool:         ps,
+		GroupCommit:  db.log.GroupCommitStats(),
 		Data:         db.dataDev.Stats(),
 		Log:          db.logDev.Stats(),
+	}
+	if db.locks != nil {
+		s.Locks = db.locks.Stats()
 	}
 	if db.cache != nil {
 		s.Cache = db.cache.Stats()
@@ -572,6 +622,10 @@ func (db *DB) Pool() *buffer.Pool { return db.pool }
 
 // Log exposes the write-ahead log manager.
 func (db *DB) Log() *wal.Manager { return db.log }
+
+// Locks exposes the page lock manager (nil under the single-writer
+// scheduler).
+func (db *DB) Locks() *lock.Manager { return db.locks }
 
 // Clock returns the simulated clock.
 func (db *DB) Clock() *simclock.Clock { return db.clock }

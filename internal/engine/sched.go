@@ -6,20 +6,34 @@ import (
 )
 
 // This file is the transaction scheduler: bolt-style closure transactions
-// with multi-reader/single-writer concurrency.  View transactions share a
-// read lock and run in parallel; Update transactions take the write lock
-// and run exclusively.  The layers below tolerate that parallelism: the
-// DRAM buffer pool latches frames during fetch and eviction I/O, and the
-// cache managers, WAL and devices serialize internally.
+// with two concurrency regimes.
+//
+// Single-writer (the default): View transactions share the read side of
+// txMu and run in parallel; Update transactions take the write side and
+// run exclusively.  No page locks are needed — exclusion is global.
+//
+// Page locks (Config.PageLocks): both View and Update transactions hold
+// the read side of txMu (which then only fences lifecycle operations:
+// Checkpoint, Close, Crash, Tick take the write side) and isolation moves
+// to the page-granularity lock manager.  Transactions lock pages at first
+// touch — shared for Read, exclusive for Modify and Alloc — and hold them
+// to commit or abort (strict 2PL), so the schedule stays serializable and
+// concurrent writers feed the flash pipeline from multiple cores.  A
+// transaction refused by deadlock detection is rolled back and returns
+// ErrDeadlock; callers retry it.  Commit-time log forces of concurrent
+// writers are batched by the WAL's group-commit protocol.
 //
 // The context is checked at the transaction boundaries — before the
 // transaction begins and again before it commits — so a cancelled context
-// never commits; it does not interrupt a closure mid-flight.
+// never commits; under page locks it also bounds lock waits, unblocking a
+// queued transaction mid-closure.
 
 // View runs fn in a read-only transaction.  Any number of View
 // transactions run concurrently with each other.  The transaction is
 // managed: fn must not call Commit or Abort, and any error it returns is
 // propagated after rollback.  Writes inside fn fail with ErrConflict.
+// Under Config.PageLocks a View acquires shared page locks as it reads
+// and can therefore return ErrDeadlock; retrying is safe.
 func (db *DB) View(ctx context.Context, fn func(*Tx) error) error {
 	if err := ctx.Err(); err != nil {
 		return err
@@ -29,24 +43,45 @@ func (db *DB) View(ctx context.Context, fn func(*Tx) error) error {
 	return db.runManaged(ctx, true, fn)
 }
 
-// Update runs fn in a read-write transaction.  Update transactions are
-// serialized with each other and exclusive with every View.  If fn returns
-// nil the transaction is committed (with a commit-time log force); if fn
-// returns an error or the context is cancelled, the transaction is rolled
-// back and the page images it changed are restored.
+// Update runs fn in a read-write transaction.  If fn returns nil the
+// transaction is committed (with a commit-time log force); if fn returns
+// an error or the context is cancelled, the transaction is rolled back and
+// the page images it changed are restored.
+//
+// Under the default scheduler Update transactions are serialized with each
+// other and exclusive with every View.  Under Config.PageLocks they run
+// concurrently, isolated by page locks, and may return ErrDeadlock after
+// rollback; retrying the closure is safe and expected.
 func (db *DB) Update(ctx context.Context, fn func(*Tx) error) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	db.txMu.Lock()
-	defer db.txMu.Unlock()
+	if db.locks == nil {
+		db.txMu.Lock()
+		defer db.txMu.Unlock()
+		return db.runManaged(ctx, false, fn)
+	}
+	db.txMu.RLock()
+	defer db.txMu.RUnlock()
+	if db.writerSem != nil {
+		select {
+		case db.writerSem <- struct{}{}:
+			defer func() { <-db.writerSem }()
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	// Register as a committer so the WAL's group-commit leader knows how
+	// many concurrent commit forces it may collect.
+	db.log.AddCommitter(1)
+	defer db.log.AddCommitter(-1)
 	return db.runManaged(ctx, false, fn)
 }
 
 // runManaged executes fn in a managed transaction under whichever side of
 // the scheduler lock the caller holds.
 func (db *DB) runManaged(ctx context.Context, readonly bool, fn func(*Tx) error) error {
-	tx, err := db.beginTx(readonly)
+	tx, err := db.beginTx(ctx, readonly)
 	if err != nil {
 		return err
 	}

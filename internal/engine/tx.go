@@ -1,8 +1,10 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
+	"github.com/reprolab/face/internal/lock"
 	"github.com/reprolab/face/internal/page"
 	"github.com/reprolab/face/internal/wal"
 )
@@ -10,9 +12,10 @@ import (
 // Tx is a transaction.  Transactions started with Begin are unscheduled:
 // the caller is responsible for running one at a time, as the benchmark
 // harness does.  Transactions started with View and Update go through the
-// RWMutex transaction scheduler (see sched.go) and may run concurrently:
-// any number of View transactions in parallel, Update transactions
-// serialized and exclusive with every View.
+// transaction scheduler (see sched.go) and may run concurrently: any
+// number of View transactions in parallel, and — under Config.PageLocks —
+// Update transactions in parallel too, isolated by page-granularity
+// strict two-phase locking.
 type Tx struct {
 	db   *DB
 	id   wal.TxID
@@ -22,6 +25,16 @@ type Tx struct {
 	// managed rejects manual Commit/Abort: the scheduler that created the
 	// transaction finishes it (View/Update closures).
 	managed bool
+
+	// locks is the page lock manager for scheduled transactions under
+	// Config.PageLocks: Read takes a shared lock, Modify and Alloc an
+	// exclusive one, all held until commit or abort (strict 2PL).  It is
+	// nil for unscheduled transactions and under the single-writer
+	// scheduler.
+	locks *lock.Manager
+	// ctx bounds lock waits; a cancelled context unblocks a queued
+	// request and the transaction rolls back.
+	ctx context.Context
 
 	// undo keeps the before images of this transaction's changes so Abort
 	// can roll them back without reading the log backwards.
@@ -36,10 +49,14 @@ type undoRecord struct {
 
 // Begin starts a new unscheduled read-write transaction.  Most callers
 // should prefer View or Update, which schedule concurrent transactions and
-// finish them automatically.
-func (db *DB) Begin() (*Tx, error) { return db.beginTx(false) }
+// finish them automatically.  Unscheduled transactions bypass the page
+// lock manager, so they must not run concurrently with anything else.
+func (db *DB) Begin() (*Tx, error) { return db.beginTx(nil, false) }
 
-func (db *DB) beginTx(readonly bool) (*Tx, error) {
+// beginTx starts a transaction.  A nil ctx marks it unscheduled (no page
+// locks); scheduled transactions inherit the lock manager when the
+// database runs under Config.PageLocks.
+func (db *DB) beginTx(ctx context.Context, readonly bool) (*Tx, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.crashed {
@@ -49,8 +66,32 @@ func (db *DB) beginTx(readonly bool) (*Tx, error) {
 		return nil, ErrClosed
 	}
 	tx := &Tx{db: db, id: db.nextTx, readonly: readonly}
+	if ctx != nil {
+		tx.ctx = ctx
+		tx.locks = db.locks
+	}
 	db.nextTx++
 	return tx, nil
+}
+
+// lockPage acquires the page lock in the given mode for scheduled
+// transactions under the page-lock scheduler; elsewhere it is a no-op.
+func (tx *Tx) lockPage(id page.ID, mode lock.Mode) error {
+	if tx.locks == nil {
+		return nil
+	}
+	return tx.locks.Acquire(tx.ctx, uint64(tx.id), id, mode)
+}
+
+// releaseLocks drops every page lock the transaction holds, once: commit
+// releases early (after the commit-record append) and its deferred call
+// must not touch the contended lock-manager mutex again, so the reference
+// is cleared on first use.
+func (tx *Tx) releaseLocks() {
+	if tx.locks != nil {
+		tx.locks.ReleaseAll(uint64(tx.id))
+		tx.locks = nil
+	}
 }
 
 // ReadOnly reports whether the transaction rejects writes.
@@ -60,9 +101,14 @@ func (tx *Tx) ReadOnly() bool { return tx.readonly }
 func (tx *Tx) ID() uint64 { return uint64(tx.id) }
 
 // Read pins the page, passes it to fn for read-only use, and unpins it.
+// Under the page-lock scheduler it first takes a shared lock on the page,
+// which may block behind a writer or fail with ErrDeadlock.
 func (tx *Tx) Read(id page.ID, fn func(buf page.Buf) error) error {
 	if tx.done {
 		return ErrTxDone
+	}
+	if err := tx.lockPage(id, lock.Shared); err != nil {
+		return err
 	}
 	buf, err := tx.db.pool.Get(id)
 	if err != nil {
@@ -82,6 +128,9 @@ func (tx *Tx) Modify(id page.ID, fn func(buf page.Buf) error) error {
 	}
 	if tx.readonly {
 		return fmt.Errorf("%w: Modify of page %d", ErrConflict, id)
+	}
+	if err := tx.lockPage(id, lock.Exclusive); err != nil {
+		return err
 	}
 	buf, err := tx.db.pool.Get(id)
 	if err != nil {
@@ -140,6 +189,11 @@ func (tx *Tx) Alloc(t page.Type) (page.ID, error) {
 	db.nextPage++
 	db.mu.Unlock()
 
+	// The id is fresh, so the exclusive lock is granted immediately; it
+	// keeps the new page invisible to concurrent readers until commit.
+	if err := tx.lockPage(id, lock.Exclusive); err != nil {
+		return page.InvalidID, err
+	}
 	buf, err := db.pool.Put(id, func(buf page.Buf) { buf.Init(id, t) })
 	if err != nil {
 		return page.InvalidID, err
@@ -175,6 +229,7 @@ func (tx *Tx) commit() error {
 		return ErrTxDone
 	}
 	tx.done = true
+	defer tx.releaseLocks()
 	db := tx.db
 	if !tx.readonly {
 		rec := &wal.Record{Type: wal.TypeCommit, TxID: tx.id}
@@ -182,6 +237,14 @@ func (tx *Tx) commit() error {
 		if err != nil {
 			return err
 		}
+		// Early lock release: with the commit record appended, any
+		// transaction that reads our writes appends its own commit after
+		// ours, so a log force that makes it durable makes us durable
+		// first — the classic pairing with group commit.  Releasing
+		// before the force lets the successor reach its own commit inside
+		// our force's collection window instead of after it, which is
+		// what makes batches fill on hot-page workloads.
+		tx.releaseLocks()
 		if err := db.log.Force(lsn + 1); err != nil {
 			return err
 		}
@@ -209,6 +272,7 @@ func (tx *Tx) abort() error {
 		return ErrTxDone
 	}
 	tx.done = true
+	defer tx.releaseLocks()
 	db := tx.db
 	if tx.readonly {
 		db.mu.Lock()

@@ -10,6 +10,7 @@ package heap
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"github.com/reprolab/face/internal/engine"
 	"github.com/reprolab/face/internal/page"
@@ -23,7 +24,15 @@ var (
 // Table is a heap file.  The page list is an in-memory catalog owned by the
 // workload driver; it is rebuilt by the loader, not persisted, because the
 // benchmark keeps its catalog across simulated crashes.
+//
+// The catalog is safe for concurrent transactions (multi-terminal drivers
+// under the engine's page-lock scheduler): the page list is guarded by a
+// mutex, while the page contents themselves are protected by the
+// transactions' page locks.  A page appended by a transaction that later
+// aborts stays in the catalog; it rolls back to an empty formatted page,
+// which inserts simply fill later.
 type Table struct {
+	mu    sync.Mutex
 	name  string
 	pages []page.ID
 }
@@ -48,19 +57,43 @@ func Attach(name string, pages []page.ID) *Table {
 func (t *Table) Name() string { return t.name }
 
 // Pages returns the ids of all pages of the table.
-func (t *Table) Pages() []page.ID { return append([]page.ID(nil), t.pages...) }
+func (t *Table) Pages() []page.ID {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]page.ID(nil), t.pages...)
+}
 
 // NumPages returns the number of pages in the table.
-func (t *Table) NumPages() int { return len(t.pages) }
+func (t *Table) NumPages() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.pages)
+}
+
+// lastPage returns the current tail page of the table.
+func (t *Table) lastPage() page.ID {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.pages[len(t.pages)-1]
+}
+
+// appendPage links a freshly allocated page into the catalog.
+func (t *Table) appendPage(id page.ID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.pages = append(t.pages, id)
+}
 
 // Insert appends a record to the table and returns its RID.  The last page
-// is tried first; a new page is allocated when it is full.
+// is tried first; a new page is allocated when it is full.  Concurrent
+// transactions may race to grow the table; each that finds the tail full
+// appends its own page, so records never collide (the transactions hold
+// exclusive page locks), at worst leaving a page partially filled.
 func (t *Table) Insert(tx *engine.Tx, rec []byte) (page.RID, error) {
 	if len(rec) > page.PayloadSize-8 {
 		return page.RID{}, page.ErrTooLarge
 	}
-	last := t.pages[len(t.pages)-1]
-	rid, err := t.insertInto(tx, last, rec)
+	rid, err := t.insertInto(tx, t.lastPage(), rec)
 	if err == nil {
 		return rid, nil
 	}
@@ -71,7 +104,7 @@ func (t *Table) Insert(tx *engine.Tx, rec []byte) (page.RID, error) {
 	if err != nil {
 		return page.RID{}, fmt.Errorf("heap: growing table %s: %w", t.name, err)
 	}
-	t.pages = append(t.pages, id)
+	t.appendPage(id)
 	return t.insertInto(tx, id, rec)
 }
 
@@ -130,7 +163,7 @@ func (t *Table) Delete(tx *engine.Tx, rid page.RID) error {
 // a non-nil error from fn stops the scan; the sentinel ErrStopScan stops it
 // without reporting an error.
 func (t *Table) Scan(tx *engine.Tx, fn func(rid page.RID, rec []byte) error) error {
-	for _, id := range t.pages {
+	for _, id := range t.Pages() {
 		err := tx.Read(id, func(buf page.Buf) error {
 			for slot := 0; slot < buf.SlotCount(); slot++ {
 				deleted, err := buf.Deleted(slot)

@@ -1,0 +1,352 @@
+// Package lock implements a page-granularity lock manager with shared and
+// exclusive modes, S→X upgrades, context-aware blocking waits, and
+// deadlock detection over a wait-for graph.
+//
+// It is the concurrency substrate of the engine's multi-writer transaction
+// scheduler: Update transactions acquire locks on first touch (shared for
+// reads, exclusive for writes) and hold them to commit or abort — strict
+// two-phase locking, so the schedule is serializable and aborts never
+// cascade.  A request that would close a cycle in the wait-for graph is
+// refused immediately with ErrDeadlock; the transaction is expected to
+// roll back, release everything it holds, and retry.
+//
+// Grant policy is FIFO: a new request is granted only when it is
+// compatible with the current holders and no earlier request is queued, so
+// writers are not starved by a stream of readers.  The one exception is
+// upgrades: a holder converting S→X enters the queue ahead of plain
+// requests (it already blocks everyone behind it anyway), and two holders
+// upgrading the same page deadlock by construction — one of them is
+// refused rather than both waiting forever.
+package lock
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/reprolab/face/internal/metrics"
+	"github.com/reprolab/face/internal/page"
+)
+
+// ErrDeadlock is returned by Acquire when granting the request could never
+// happen because the requester is part of a wait cycle.  The caller should
+// abort the transaction (releasing its locks breaks the cycle) and retry.
+var ErrDeadlock = errors.New("lock: deadlock detected")
+
+// Mode is a lock mode.
+type Mode uint8
+
+// Lock modes, in increasing strength.
+const (
+	// Shared is held by readers; any number of transactions share it.
+	Shared Mode = iota
+	// Exclusive is held by writers; it is incompatible with everything.
+	Exclusive
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == Exclusive {
+		return "X"
+	}
+	return "S"
+}
+
+// compatible reports whether a request of mode b can share the page with a
+// holder of mode a.
+func compatible(a, b Mode) bool { return a == Shared && b == Shared }
+
+// waiter is one blocked Acquire call.
+type waiter struct {
+	tx      uint64
+	mode    Mode
+	upgrade bool
+	// granted is set (under Manager.mu) before ready is closed; the
+	// context-cancellation path checks it to learn whether the lock was
+	// handed over concurrently with the cancellation.
+	granted bool
+	ready   chan struct{}
+}
+
+// entry is the lock state of one page.
+type entry struct {
+	holders map[uint64]Mode
+	queue   []*waiter
+}
+
+// Manager is the lock manager.  All methods are safe for concurrent use.
+// Transactions are identified by caller-chosen uint64 ids; a transaction
+// must issue its Acquire calls from a single goroutine.
+type Manager struct {
+	mu      sync.Mutex
+	entries map[page.ID]*entry
+	// held tracks the pages each transaction holds, for ReleaseAll.
+	held map[uint64]map[page.ID]Mode
+	// waiting maps a blocked transaction to the page it is queued on; it
+	// is the node set of the wait-for graph.
+	waiting map[uint64]page.ID
+	stats   metrics.LockStats
+}
+
+// New creates an empty lock manager.
+func New() *Manager {
+	return &Manager{
+		entries: make(map[page.ID]*entry),
+		held:    make(map[uint64]map[page.ID]Mode),
+		waiting: make(map[uint64]page.ID),
+	}
+}
+
+// Stats returns a snapshot of the lock manager counters.
+func (m *Manager) Stats() metrics.LockStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// Holding returns the mode tx holds on the page and whether it holds one.
+func (m *Manager) Holding(tx uint64, id page.ID) (Mode, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	mode, ok := m.held[tx][id]
+	return mode, ok
+}
+
+// Held returns the number of pages tx currently holds locks on.
+func (m *Manager) Held(tx uint64) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.held[tx])
+}
+
+// Acquire takes the page lock in the given mode on behalf of tx, blocking
+// until it is granted, the context ends, or a deadlock is detected.
+// Requests are re-entrant: holding X satisfies a request for S or X,
+// holding S satisfies S, and S→X is an upgrade.  Locks are held until
+// ReleaseAll.
+func (m *Manager) Acquire(ctx context.Context, tx uint64, id page.ID, mode Mode) error {
+	m.mu.Lock()
+	e := m.entries[id]
+	if e == nil {
+		e = &entry{holders: make(map[uint64]Mode)}
+		m.entries[id] = e
+	}
+
+	var w *waiter
+	if held, ok := e.holders[tx]; ok {
+		if held >= mode {
+			m.mu.Unlock()
+			return nil
+		}
+		// Upgrade S→X.
+		if len(e.holders) == 1 {
+			e.holders[tx] = Exclusive
+			m.held[tx][id] = Exclusive
+			m.stats.Upgrades++
+			m.mu.Unlock()
+			return nil
+		}
+		w = &waiter{tx: tx, mode: Exclusive, upgrade: true, ready: make(chan struct{})}
+		// Upgrades queue ahead of plain requests (but behind earlier
+		// upgrades): the holder already blocks everything queued.
+		i := 0
+		for i < len(e.queue) && e.queue[i].upgrade {
+			i++
+		}
+		e.queue = append(e.queue, nil)
+		copy(e.queue[i+1:], e.queue[i:])
+		e.queue[i] = w
+	} else {
+		if len(e.queue) == 0 && m.grantableLocked(e, mode) {
+			m.grantLocked(e, id, tx, mode)
+			m.mu.Unlock()
+			return nil
+		}
+		w = &waiter{tx: tx, mode: mode, ready: make(chan struct{})}
+		e.queue = append(e.queue, w)
+	}
+
+	// The request blocks: check that granting it could ever happen.
+	m.waiting[tx] = id
+	if m.wouldDeadlockLocked(tx) {
+		delete(m.waiting, tx)
+		m.removeWaiterLocked(e, w)
+		m.promoteLocked(id, e)
+		m.stats.Deadlocks++
+		m.mu.Unlock()
+		return fmt.Errorf("tx %d waiting for %s on page %d: %w", tx, mode, id, ErrDeadlock)
+	}
+	m.stats.Waits++
+	start := time.Now()
+	m.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		m.mu.Lock()
+		delete(m.waiting, tx)
+		m.stats.WaitTime += time.Since(start)
+		m.mu.Unlock()
+		return nil
+	case <-ctx.Done():
+		m.mu.Lock()
+		delete(m.waiting, tx)
+		m.stats.WaitTime += time.Since(start)
+		if w.granted {
+			// The lock was handed over concurrently with the
+			// cancellation; keep it — the caller will abort and
+			// ReleaseAll cleans it up.
+			m.mu.Unlock()
+			return ctx.Err()
+		}
+		m.stats.Cancels++
+		m.removeWaiterLocked(e, w)
+		m.promoteLocked(id, e)
+		m.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// ReleaseAll releases every lock tx holds (strict two-phase locking: call
+// it once, after commit or abort).  Waiters become eligible immediately.
+func (m *Manager) ReleaseAll(tx uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for id := range m.held[tx] {
+		e := m.entries[id]
+		if e == nil {
+			continue
+		}
+		delete(e.holders, tx)
+		m.promoteLocked(id, e)
+	}
+	delete(m.held, tx)
+}
+
+// grantableLocked reports whether a (non-held, non-queued) request of the
+// given mode is compatible with the current holders.
+func (m *Manager) grantableLocked(e *entry, mode Mode) bool {
+	for _, h := range e.holders {
+		if !compatible(h, mode) {
+			return false
+		}
+	}
+	return true
+}
+
+// grantLocked records the grant and updates the counters.
+func (m *Manager) grantLocked(e *entry, id page.ID, tx uint64, mode Mode) {
+	e.holders[tx] = mode
+	h := m.held[tx]
+	if h == nil {
+		h = make(map[page.ID]Mode)
+		m.held[tx] = h
+	}
+	h[id] = mode
+	if mode == Exclusive {
+		m.stats.ExclusiveGrants++
+	} else {
+		m.stats.SharedGrants++
+	}
+}
+
+// promoteLocked grants as many queued requests as the holder set allows,
+// in FIFO order, and drops the entry when it becomes empty.
+func (m *Manager) promoteLocked(id page.ID, e *entry) {
+	for len(e.queue) > 0 {
+		w := e.queue[0]
+		if w.upgrade {
+			// Grantable only once w.tx is the sole remaining holder.
+			if len(e.holders) != 1 {
+				break
+			}
+			if _, ok := e.holders[w.tx]; !ok {
+				break
+			}
+			e.holders[w.tx] = Exclusive
+			m.held[w.tx][id] = Exclusive
+			m.stats.Upgrades++
+		} else {
+			if !m.grantableLocked(e, w.mode) {
+				break
+			}
+			m.grantLocked(e, id, w.tx, w.mode)
+		}
+		e.queue = e.queue[1:]
+		w.granted = true
+		close(w.ready)
+	}
+	if len(e.holders) == 0 && len(e.queue) == 0 {
+		delete(m.entries, id)
+	}
+}
+
+// removeWaiterLocked unlinks w from the entry's queue (no-op if it was
+// already granted and removed).
+func (m *Manager) removeWaiterLocked(e *entry, w *waiter) {
+	for i, q := range e.queue {
+		if q == w {
+			e.queue = append(e.queue[:i], e.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// wouldDeadlockLocked reports whether start is part of a cycle in the
+// wait-for graph.  Edges run from each blocked transaction to every
+// transaction that must release or yield first: the incompatible holders
+// of the page it waits on, and incompatible requests queued ahead of it
+// (the grant order is FIFO, so those really do go first).
+func (m *Manager) wouldDeadlockLocked(start uint64) bool {
+	visited := make(map[uint64]bool)
+	var visit func(tx uint64) bool
+	visit = func(tx uint64) bool {
+		id, blocked := m.waiting[tx]
+		if !blocked {
+			return false
+		}
+		e := m.entries[id]
+		if e == nil {
+			return false
+		}
+		var w *waiter
+		for _, q := range e.queue {
+			if q.tx == tx {
+				w = q
+				break
+			}
+		}
+		if w == nil {
+			return false
+		}
+		check := func(other uint64) bool {
+			if other == tx {
+				return false
+			}
+			if other == start {
+				return true
+			}
+			if visited[other] {
+				return false
+			}
+			visited[other] = true
+			return visit(other)
+		}
+		for htx, hmode := range e.holders {
+			if !compatible(hmode, w.mode) && check(htx) {
+				return true
+			}
+		}
+		for _, q := range e.queue {
+			if q == w {
+				break
+			}
+			if q.tx != tx && !compatible(q.mode, w.mode) && check(q.tx) {
+				return true
+			}
+		}
+		return false
+	}
+	return visit(start)
+}

@@ -162,6 +162,79 @@ func (p PipelineStats) Sub(prior PipelineStats) PipelineStats {
 	}
 }
 
+// LockStats captures the activity of the page-level lock manager
+// (internal/lock) behind the multi-writer transaction scheduler.  All
+// fields are cumulative counters; two snapshots subtract to measure a
+// window of work.
+type LockStats struct {
+	// SharedGrants and ExclusiveGrants count granted lock requests by
+	// mode (re-entrant requests on an already-held lock are not counted).
+	SharedGrants    int64
+	ExclusiveGrants int64
+	// Upgrades counts S→X upgrades granted on a lock the transaction
+	// already held shared.
+	Upgrades int64
+	// Waits counts requests that blocked, and WaitTime the total
+	// wall-clock time they spent blocked.
+	Waits    int64
+	WaitTime time.Duration
+	// Deadlocks counts requests refused with ErrDeadlock.
+	Deadlocks int64
+	// Cancels counts waits abandoned because the caller's context ended.
+	Cancels int64
+}
+
+// Grants returns the total number of granted lock requests.
+func (l LockStats) Grants() int64 { return l.SharedGrants + l.ExclusiveGrants + l.Upgrades }
+
+// Sub returns the counter difference l - prior.
+func (l LockStats) Sub(prior LockStats) LockStats {
+	return LockStats{
+		SharedGrants:    l.SharedGrants - prior.SharedGrants,
+		ExclusiveGrants: l.ExclusiveGrants - prior.ExclusiveGrants,
+		Upgrades:        l.Upgrades - prior.Upgrades,
+		Waits:           l.Waits - prior.Waits,
+		WaitTime:        l.WaitTime - prior.WaitTime,
+		Deadlocks:       l.Deadlocks - prior.Deadlocks,
+		Cancels:         l.Cancels - prior.Cancels,
+	}
+}
+
+// GroupCommitStats captures the batching behaviour of the write-ahead
+// log's leader/follower group-commit protocol: how many Force calls needed
+// log I/O, how many device writes actually happened, and how many callers
+// rode along on another caller's write.
+type GroupCommitStats struct {
+	// Requests counts Force calls that found the log not yet durable at
+	// their LSN (calls satisfied without I/O by an earlier force are not
+	// counted).
+	Requests int64
+	// Forces counts device writes performed (the same quantity as
+	// wal.Manager.Forces).
+	Forces int64
+	// Piggybacked counts requests satisfied by another caller's device
+	// write: the group-commit fan-in is Requests / Forces.
+	Piggybacked int64
+}
+
+// FanIn returns the mean number of force requests satisfied per device
+// write (1.0 = no batching).
+func (g GroupCommitStats) FanIn() float64 {
+	if g.Forces == 0 {
+		return 0
+	}
+	return float64(g.Requests) / float64(g.Forces)
+}
+
+// Sub returns the counter difference g - prior.
+func (g GroupCommitStats) Sub(prior GroupCommitStats) GroupCommitStats {
+	return GroupCommitStats{
+		Requests:    g.Requests - prior.Requests,
+		Forces:      g.Forces - prior.Forces,
+		Piggybacked: g.Piggybacked - prior.Piggybacked,
+	}
+}
+
 // Utilization returns busy/elapsed clamped to [0, 1].
 func Utilization(busy, elapsed time.Duration) float64 {
 	if elapsed <= 0 {

@@ -1,9 +1,13 @@
 package tpcc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"github.com/reprolab/face/internal/engine"
 )
@@ -52,6 +56,10 @@ var Mix = map[Kind]int{
 type Counts struct {
 	Committed  [numKinds]int64
 	RolledBack int64
+	// DeadlockRetries counts transactions re-executed after being chosen
+	// as a deadlock victim by the engine's page lock manager
+	// (multi-terminal runs only).
+	DeadlockRetries int64
 }
 
 // Total returns the number of committed transactions of all kinds.
@@ -70,28 +78,51 @@ func (c Counts) NewOrders() int64 { return c.Committed[KindNewOrder] }
 // Driver executes the TPC-C transaction mix against an engine.  A driver is
 // bound to one engine instance; after a simulated crash, create a new
 // driver over the reopened engine and the same Database.
+//
+// Two execution paths are provided: the classic single-stream path
+// (RunOne/RunMany, unscheduled transactions, one at a time) and the
+// multi-terminal path (RunTerminals), which issues the same mix from N
+// goroutines through the engine's View/Update scheduler and retries
+// transactions chosen as deadlock victims.
 type Driver struct {
-	eng *engine.DB
-	db  *Database
-	rng *rand.Rand
+	eng  *engine.DB
+	db   *Database
+	rng  *rand.Rand
+	seed int64
 
+	// sched is the multi-terminal slot schedule stream.  It persists
+	// across RunTerminals calls so a warm-up phase and a measurement
+	// phase execute disjoint stretches of one stream (as RunMany does
+	// with rng), while staying independent of the terminal count.
+	sched *rand.Rand
+
+	mu     sync.Mutex
 	counts Counts
 }
 
 // NewDriver creates a driver with its own deterministic random stream.
 func NewDriver(eng *engine.DB, db *Database, seed int64) *Driver {
-	return &Driver{eng: eng, db: db, rng: rand.New(rand.NewSource(seed))}
+	return &Driver{eng: eng, db: db, rng: rand.New(rand.NewSource(seed)), seed: seed}
 }
 
 // Counts returns the transactions executed so far.
-func (dr *Driver) Counts() Counts { return dr.counts }
+func (dr *Driver) Counts() Counts {
+	dr.mu.Lock()
+	defer dr.mu.Unlock()
+	return dr.counts
+}
 
 // ResetCounts clears the transaction counters (after warm-up).
-func (dr *Driver) ResetCounts() { dr.counts = Counts{} }
+func (dr *Driver) ResetCounts() {
+	dr.mu.Lock()
+	defer dr.mu.Unlock()
+	dr.counts = Counts{}
+}
 
-// pick chooses the next transaction kind according to the standard mix.
-func (dr *Driver) pick() Kind {
-	n := dr.rng.Intn(100)
+// pickFrom chooses a transaction kind according to the standard mix using
+// the given random stream.
+func pickFrom(rng *rand.Rand) Kind {
+	n := rng.Intn(100)
 	acc := 0
 	for _, k := range []Kind{KindNewOrder, KindPayment, KindOrderStatus, KindDelivery, KindStockLevel} {
 		acc += Mix[k]
@@ -100,6 +131,28 @@ func (dr *Driver) pick() Kind {
 		}
 	}
 	return KindNewOrder
+}
+
+// pick chooses the next transaction kind according to the standard mix.
+func (dr *Driver) pick() Kind { return pickFrom(dr.rng) }
+
+// dispatch executes one transaction body of the given kind against
+// warehouse w inside tx, drawing parameters from rng.
+func (dr *Driver) dispatch(tx *engine.Tx, rng *rand.Rand, kind Kind, w int) error {
+	switch kind {
+	case KindNewOrder:
+		return dr.db.NewOrder(tx, rng, w)
+	case KindPayment:
+		return dr.db.Payment(tx, rng, w)
+	case KindOrderStatus:
+		return dr.db.OrderStatus(tx, rng, w)
+	case KindDelivery:
+		return dr.db.Delivery(tx, rng, w)
+	case KindStockLevel:
+		return dr.db.StockLevel(tx, rng, w)
+	default:
+		return fmt.Errorf("tpcc: unknown transaction kind %d", kind)
+	}
 }
 
 // RunOne executes one transaction of the standard mix and returns its kind.
@@ -121,22 +174,11 @@ func (dr *Driver) Run(kind Kind) error {
 	if err != nil {
 		return err
 	}
-	switch kind {
-	case KindNewOrder:
-		err = dr.db.NewOrder(tx, dr.rng, w)
-	case KindPayment:
-		err = dr.db.Payment(tx, dr.rng, w)
-	case KindOrderStatus:
-		err = dr.db.OrderStatus(tx, dr.rng, w)
-	case KindDelivery:
-		err = dr.db.Delivery(tx, dr.rng, w)
-	case KindStockLevel:
-		err = dr.db.StockLevel(tx, dr.rng, w)
-	default:
-		err = fmt.Errorf("tpcc: unknown transaction kind %d", kind)
-	}
+	err = dr.dispatch(tx, dr.rng, kind, w)
 	if errors.Is(err, ErrRollback) {
+		dr.mu.Lock()
 		dr.counts.RolledBack++
+		dr.mu.Unlock()
 		if err := tx.Abort(); err != nil {
 			return err
 		}
@@ -149,7 +191,9 @@ func (dr *Driver) Run(kind Kind) error {
 	if err := tx.Commit(); err != nil {
 		return err
 	}
+	dr.mu.Lock()
 	dr.counts.Committed[kind]++
+	dr.mu.Unlock()
 	return dr.eng.Tick()
 }
 
@@ -161,4 +205,137 @@ func (dr *Driver) RunMany(n int) error {
 		}
 	}
 	return nil
+}
+
+// maxDeadlockRetries bounds how often a multi-terminal transaction is
+// re-executed after losing a deadlock before the run gives up.
+const maxDeadlockRetries = 1000
+
+// RunTerminals executes total transactions of the standard mix from
+// `terminals` concurrent goroutines, each transaction going through the
+// engine's View (read-only kinds) or Update scheduler.  Transactions
+// chosen as deadlock victims by the page lock manager are retried with a
+// short backoff; expected New-Order rollbacks are counted, not errors.
+//
+// The workload is deterministic in the driver seed and independent of the
+// terminal count: the kind and parameter stream of the i-th transaction
+// are fixed up front, and terminals claim slots from that shared schedule.
+// Only the interleaving changes with the terminal count, which is what
+// makes single-writer and multi-writer runs comparable.
+func (dr *Driver) RunTerminals(ctx context.Context, terminals, total int) error {
+	if terminals < 1 {
+		terminals = 1
+	}
+	if total <= 0 {
+		return nil
+	}
+	if dr.sched == nil {
+		dr.sched = rand.New(rand.NewSource(dr.seed + 0x7e21))
+	}
+	kinds := make([]Kind, total)
+	seeds := make([]int64, total)
+	for i := range kinds {
+		kinds[i] = pickFrom(dr.sched)
+		seeds[i] = dr.sched.Int63()
+	}
+
+	// Tell the WAL's group-commit leader how many committers to expect,
+	// so the first commit force of a batch opens its collection window;
+	// restore whatever hint the engine was opened with afterwards.
+	prevHint := dr.eng.Log().CommittersHint()
+	dr.eng.Log().SetCommitters(terminals)
+	defer dr.eng.Log().SetCommitters(prevHint)
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		next atomic.Int64
+		wg   sync.WaitGroup
+		errs = make(chan error, terminals)
+	)
+	for t := 0; t < terminals; t++ {
+		wg.Add(1)
+		go func(terminal int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= total || ctx.Err() != nil {
+					return
+				}
+				if err := dr.runSlot(ctx, kinds[i], seeds[i]); err != nil {
+					errs <- fmt.Errorf("tpcc: terminal %d: %w", terminal, err)
+					cancel()
+					return
+				}
+				// One terminal advances the engine clock, so periodic
+				// checkpoints keep firing without the other terminals
+				// serializing behind the (exclusive) tick.
+				if terminal == 0 {
+					if err := dr.eng.Tick(); err != nil {
+						errs <- fmt.Errorf("tpcc: terminal %d: %w", terminal, err)
+						cancel()
+						return
+					}
+				}
+			}
+		}(t)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return err
+	default:
+		return nil
+	}
+}
+
+// runSlot executes one scheduled transaction, retrying deadlock victims.
+// The parameter stream is rebuilt from the slot seed on every attempt, so
+// a retry re-executes the identical transaction.
+func (dr *Driver) runSlot(ctx context.Context, kind Kind, seed int64) error {
+	readonly := kind == KindOrderStatus || kind == KindStockLevel
+	for attempt := 0; ; attempt++ {
+		rng := rand.New(rand.NewSource(seed))
+		w := randInt(rng, 1, dr.db.cfg.Warehouses)
+		body := func(tx *engine.Tx) error { return dr.dispatch(tx, rng, kind, w) }
+		var err error
+		if readonly {
+			err = dr.eng.View(ctx, body)
+		} else {
+			err = dr.eng.Update(ctx, body)
+		}
+		switch {
+		case err == nil:
+			dr.mu.Lock()
+			dr.counts.Committed[kind]++
+			dr.mu.Unlock()
+			return nil
+		case errors.Is(err, ErrRollback):
+			// Expected New-Order rollback: already rolled back by Update.
+			dr.mu.Lock()
+			dr.counts.RolledBack++
+			dr.mu.Unlock()
+			return nil
+		case errors.Is(err, engine.ErrDeadlock):
+			if attempt >= maxDeadlockRetries {
+				return fmt.Errorf("tpcc: %s deadlocked %d times: %w", kind, attempt, err)
+			}
+			dr.mu.Lock()
+			dr.counts.DeadlockRetries++
+			dr.mu.Unlock()
+			// Back off so a transaction whose lock order opposes the
+			// prevailing traffic is not re-victimized forever.
+			backoff := time.Duration(attempt+1) * 20 * time.Microsecond
+			if backoff > time.Millisecond {
+				backoff = time.Millisecond
+			}
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		default:
+			return fmt.Errorf("tpcc: %s: %w", kind, err)
+		}
+	}
 }

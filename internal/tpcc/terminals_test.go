@@ -1,0 +1,134 @@
+package tpcc
+
+import (
+	"context"
+	"testing"
+
+	"github.com/reprolab/face/internal/device"
+	"github.com/reprolab/face/internal/engine"
+)
+
+// newLockEngine opens an engine under the page-lock scheduler for
+// multi-terminal tests.
+func newLockEngine(t *testing.T, maxWriters int) *engine.DB {
+	t.Helper()
+	cfg := engine.Config{
+		DataDev:     device.NewArray("data", device.ProfileCheetah15K, 4, 32768),
+		LogDev:      device.New("log", device.ProfileCheetah15K, 1<<16),
+		BufferPages: 128,
+		Policy:      engine.PolicyNone,
+		PageLocks:   true,
+		MaxWriters:  maxWriters,
+	}
+	db, err := engine.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+// TestRunTerminalsConcurrent drives the full TPC-C mix from four
+// terminals under the page-lock scheduler and checks the workload
+// completed exactly, deadlock victims included.
+func TestRunTerminalsConcurrent(t *testing.T) {
+	eng := newLockEngine(t, 4)
+	db, err := Load(eng, tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr := NewDriver(eng, db, 42)
+	const total = 200
+	if err := dr.RunTerminals(context.Background(), 4, total); err != nil {
+		t.Fatal(err)
+	}
+	c := dr.Counts()
+	if got := c.Total() + c.RolledBack; got != total {
+		t.Fatalf("completed %d transactions, want %d (counts %+v)", got, total, c)
+	}
+	if c.NewOrders() == 0 || c.Committed[KindPayment] == 0 {
+		t.Fatalf("mix missing kinds: %+v", c)
+	}
+	snap := eng.Snapshot()
+	if snap.Committed == 0 {
+		t.Fatal("engine recorded no commits")
+	}
+	if c.DeadlockRetries > 0 && snap.Locks.Deadlocks == 0 {
+		t.Fatalf("driver retried %d deadlocks the engine never reported", c.DeadlockRetries)
+	}
+	t.Logf("locks: %+v", snap.Locks)
+	t.Logf("group commit: %+v (fan-in %.2f)", snap.GroupCommit, snap.GroupCommit.FanIn())
+	t.Logf("deadlock retries: %d", c.DeadlockRetries)
+
+	// The database must be consistent after concurrent execution: every
+	// committed New-Order advanced exactly one district's next-order id,
+	// and rolled-back ones were undone, so the total advance equals the
+	// committed New-Order count.
+	cfg := db.Config()
+	var advanced int64
+	err = eng.View(context.Background(), func(tx *engine.Tx) error {
+		for w := 1; w <= cfg.Warehouses; w++ {
+			for dist := 1; dist <= cfg.DistrictsPerWarehouse; dist++ {
+				rid := db.districtRID[districtKey(w, dist)]
+				if err := db.district.Get(tx, rid, func(rec []byte) error {
+					advanced += int64(districtNextOrder(rec) - (cfg.InitialOrdersPerDistrict + 1))
+					return nil
+				}); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if advanced != c.NewOrders() {
+		t.Fatalf("district order ids advanced by %d, want %d committed New-Orders (lost or phantom updates)",
+			advanced, c.NewOrders())
+	}
+}
+
+// TestRunTerminalsDeterministicWorkload: the transaction schedule depends
+// only on the seed, not the terminal count — the committed mix of a
+// 1-terminal and a 4-terminal run over the same seed must match.
+func TestRunTerminalsDeterministicWorkload(t *testing.T) {
+	run := func(terminals int) Counts {
+		eng := newLockEngine(t, terminals)
+		db, err := Load(eng, tinyConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		dr := NewDriver(eng, db, 99)
+		if err := dr.RunTerminals(context.Background(), terminals, 120); err != nil {
+			t.Fatal(err)
+		}
+		return dr.Counts()
+	}
+	one := run(1)
+	four := run(4)
+	if one.Committed != four.Committed || one.RolledBack != four.RolledBack {
+		t.Fatalf("workload depends on terminal count:\n 1 terminal: %+v\n 4 terminals: %+v", one, four)
+	}
+}
+
+// TestRunTerminalsSingleWriterFallback: RunTerminals also works against
+// the default single-writer scheduler (transactions simply serialize).
+func TestRunTerminalsSingleWriterFallback(t *testing.T) {
+	eng := newEngine(t, engine.PolicyNone)
+	db, err := Load(eng, tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr := NewDriver(eng, db, 7)
+	if err := dr.RunTerminals(context.Background(), 3, 60); err != nil {
+		t.Fatal(err)
+	}
+	c := dr.Counts()
+	if got := c.Total() + c.RolledBack; got != 60 {
+		t.Fatalf("completed %d transactions, want 60", got)
+	}
+	if c.DeadlockRetries != 0 {
+		t.Fatalf("single-writer scheduler produced deadlocks: %+v", c)
+	}
+}

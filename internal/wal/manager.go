@@ -5,8 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"github.com/reprolab/face/internal/device"
+	"github.com/reprolab/face/internal/metrics"
 	"github.com/reprolab/face/internal/page"
 )
 
@@ -50,6 +52,57 @@ type Manager struct {
 	lastCheckpoint page.LSN
 
 	forces int64
+
+	// Group commit (leader/follower).  With a non-zero collection window
+	// and more than one registered committer, the first Force caller that
+	// finds the log short of its LSN becomes the leader: it opens a batch,
+	// waits up to gcWindow for concurrent committers to append their
+	// records and join, then performs one device write covering the
+	// maximum requested LSN.  Followers block on the batch and return once
+	// durable has passed their LSN, without touching the device.
+	gcWindow time.Duration
+	// committers is the dynamic count of registered committers
+	// (AddCommitter); committersHint is a static expectation
+	// (SetCommitters) that takes precedence when set.  The hint matters on
+	// machines where concurrent commits never overlap by chance (few
+	// cores): it tells the first Force to open a collection window so the
+	// other committers get scheduled into it.
+	committers     int
+	committersHint int
+	batch          *forceBatch
+	// gcSolo counts consecutive forces that found no companion while a
+	// committer hint was active.  After a short streak the leaders stop
+	// paying the collection window (the hint is evidently stale — e.g. a
+	// lone writer on a pool opened with MaxWriters > 1), probing with a
+	// window again every soloProbeEvery forces so real concurrency is
+	// re-detected within a bounded number of commits.
+	gcSolo int
+
+	gcRequests    int64
+	gcPiggybacked int64
+}
+
+// Adaptive solo-leader thresholds: after soloStreakLimit companion-less
+// batches the window is skipped; every soloProbeEvery solo forces one
+// window is paid as a probe.
+const (
+	soloStreakLimit = 3
+	soloProbeEvery  = 16
+)
+
+// forceBatch is one group-commit round: the leader's collection state and
+// the channel its followers wait on.
+type forceBatch struct {
+	// requests counts the callers riding this batch, the leader included.
+	requests int
+	// full is closed (once) when every registered committer has joined,
+	// letting the leader cut its collection window short.
+	full       chan struct{}
+	fullClosed bool
+	// done is closed after the leader's device write; err carries its
+	// outcome to the followers.
+	done chan struct{}
+	err  error
 }
 
 // Open creates a manager on the given log device.  If the device contains
@@ -236,8 +289,97 @@ func (m *Manager) Forces() int64 {
 	return m.forces
 }
 
+// SetGroupCommitWindow sets the leader's collection window for group
+// commit.  Zero (the default) disables batching: every Force that finds
+// the log short of its LSN writes immediately.  The engine enables a small
+// window under the multi-writer scheduler, where concurrent committers can
+// actually fill a batch.
+func (m *Manager) SetGroupCommitWindow(d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if d < 0 {
+		d = 0
+	}
+	m.gcWindow = d
+}
+
+// AddCommitter adjusts the number of registered committers (transactions
+// currently able to request a commit force).  The leader of a group-commit
+// batch stops collecting early once every registered committer has joined,
+// so single-writer phases pay no window latency.
+func (m *Manager) AddCommitter(delta int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.committers += delta
+	if m.committers < 0 {
+		m.committers = 0
+	}
+	m.checkBatchFullLocked()
+}
+
+// SetCommitters sets a static expected-committer count that overrides the
+// dynamic AddCommitter tally while non-zero.  Multi-terminal drivers set
+// it to their terminal count for the duration of a run: the first commit
+// force then opens a collection window even before a second committer has
+// physically arrived, which is what makes batches fill on machines where
+// goroutines rarely overlap (GOMAXPROCS=1).  Set it back to zero when the
+// run ends.
+func (m *Manager) SetCommitters(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	m.committersHint = n
+	// A fresh expectation invalidates any stale-solo verdict.
+	m.gcSolo = 0
+	m.checkBatchFullLocked()
+}
+
+// CommittersHint returns the static expected-committer count (zero when
+// unset).  Callers that set a temporary hint restore the previous value.
+func (m *Manager) CommittersHint() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.committersHint
+}
+
+// effectiveCommittersLocked returns the committer count batching decisions
+// use: the static hint when set, the dynamic tally otherwise.
+func (m *Manager) effectiveCommittersLocked() int {
+	if m.committersHint > 0 {
+		return m.committersHint
+	}
+	return m.committers
+}
+
+// checkBatchFullLocked completes the collecting batch early when every
+// expected committer has joined it.
+func (m *Manager) checkBatchFullLocked() {
+	n := m.effectiveCommittersLocked()
+	if b := m.batch; b != nil && !b.fullClosed && n > 0 && b.requests >= n {
+		b.fullClosed = true
+		close(b.full)
+	}
+}
+
+// GroupCommitStats returns the batching counters of the group-commit
+// protocol.
+func (m *Manager) GroupCommitStats() metrics.GroupCommitStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return metrics.GroupCommitStats{
+		Requests:    m.gcRequests,
+		Forces:      m.forces,
+		Piggybacked: m.gcPiggybacked,
+	}
+}
+
 // Force makes the log durable at least up to lsn.  It is a no-op when the
-// log is already durable past lsn.
+// log is already durable past lsn.  Concurrent callers are batched by a
+// leader/follower protocol: one caller performs a device write covering
+// the maximum requested LSN, the others return once the log is durable
+// past their own LSN.
 func (m *Manager) Force(lsn page.LSN) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -251,11 +393,102 @@ func (m *Manager) ForceAll() error {
 	return m.forceLocked(m.next)
 }
 
+// forceLocked implements Force.  m.mu is held on entry and return; it is
+// released while the caller sleeps on a batch and while a leader sits in
+// its collection window (appends proceed in that gap — that is what fills
+// the batch), but never during the device write itself.
 func (m *Manager) forceLocked(lsn page.LSN) error {
 	if lsn > m.next {
 		lsn = m.next
 	}
 	if lsn <= m.durable {
+		return nil
+	}
+	m.gcRequests++
+	for {
+		if lsn <= m.durable {
+			// Another caller's write covered this request.
+			m.gcPiggybacked++
+			return nil
+		}
+		if b := m.batch; b != nil {
+			// A leader is collecting: join its batch and wait.
+			b.requests++
+			m.checkBatchFullLocked()
+			m.mu.Unlock()
+			<-b.done
+			m.mu.Lock()
+			if b.err != nil {
+				return b.err
+			}
+			continue
+		}
+		if m.gcWindow > 0 && m.effectiveCommittersLocked() > 1 && m.shouldCollectLocked() {
+			// Become the leader: collect followers for up to gcWindow,
+			// or until every registered committer has joined.
+			b := &forceBatch{requests: 1, full: make(chan struct{}), done: make(chan struct{})}
+			m.batch = b
+			timer := time.NewTimer(m.gcWindow)
+			m.mu.Unlock()
+			select {
+			case <-b.full:
+			case <-timer.C:
+			}
+			timer.Stop()
+			m.mu.Lock()
+			err := m.writeTailLocked()
+			m.batch = nil
+			if b.requests > 1 {
+				m.gcSolo = 0
+			} else {
+				m.gcSolo++
+			}
+			b.err = err
+			close(b.done)
+			if err != nil {
+				return err
+			}
+			// writeTailLocked forced everything appended so far, which
+			// includes lsn (it was <= next on entry).
+			return nil
+		}
+		// No batching possible (no window, no concurrent committers, or
+		// a solo streak proved the hint stale): write immediately.  Only
+		// forces that could actually have collected — at least one
+		// committer registered — advance the solo streak; lifecycle
+		// forces (checkpoint, close) run with transactions fenced out
+		// and say nothing about the hint's staleness.
+		if m.gcWindow > 0 && m.committers >= 1 && m.effectiveCommittersLocked() > 1 {
+			m.gcSolo++
+		}
+		return m.writeTailLocked()
+	}
+}
+
+// shouldCollectLocked decides whether a would-be leader pays the
+// collection window: never when no committer is even registered (the
+// force comes from a lifecycle path — checkpoint, close — that runs with
+// transactions fenced out, so nobody can join); always while companions
+// have been showing up; and periodically as a probe once a solo streak
+// suggests the committer hint is stale.  Genuine concurrency (dynamic
+// tally above one) always collects.
+func (m *Manager) shouldCollectLocked() bool {
+	if m.committers == 0 {
+		return false
+	}
+	if m.committers > 1 {
+		return true
+	}
+	if m.gcSolo < soloStreakLimit {
+		return true
+	}
+	return m.gcSolo%soloProbeEvery == soloProbeEvery-1
+}
+
+// writeTailLocked writes the whole pending tail to the device, advancing
+// durable to the pre-write value of next.  m.mu is held throughout.
+func (m *Manager) writeTailLocked() error {
+	if len(m.pending) == 0 {
 		return nil
 	}
 	// Flush the whole pending tail: records are appended as units, so
