@@ -16,6 +16,8 @@
 //	table6    restart time after a crash vs checkpoint interval
 //	fig6      post-restart throughput timeline
 //	lockmgr   single-writer vs page-level 2PL scheduler at 1/2/4/8 terminals
+//	shards    striped vs single-mutex buffer pool and cache directory at
+//	          1/2/4/8 terminals (wall-clock hit-path scaling)
 //	ablations design-choice ablations (sync policy, async I/O, group size,
 //	          segment size, lock manager)
 //	policies  list the registered cache policies
@@ -61,9 +63,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		seed       = fs.Int64("seed", 0, "workload random seed (0 = default)")
 		jsonOut    = fs.Bool("json", false, "emit machine-readable JSON instead of text tables")
 		terminals  = fs.Int("terminals", 0, "run throughput experiments from N concurrent terminals under the 2PL scheduler (0 = classic single-stream driver)")
+		shards     = fs.Int("shards", 0, "stripe the DRAM buffer pool and flash cache directory over N shards (0 = 1, the single-mutex structures)")
 	)
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: facebench [flags] <table1|table3|table4|fig4|table5|fig5|table6|fig6|lockmgr|ablations|policies|all>\n")
+		fmt.Fprintf(stderr, "usage: facebench [flags] <table1|table3|table4|fig4|table5|fig5|table6|fig6|lockmgr|shards|ablations|policies|all>\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -93,6 +96,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *terminals > 0 {
 		opts.Terminals = *terminals
+	}
+	if *shards > 0 {
+		opts.Shards = *shards
 	}
 	if *verbose {
 		opts.Progress = stderr
@@ -139,7 +145,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	experiments := []string{what}
 	if what == "all" {
-		experiments = []string{"table1", "table3", "table4", "fig4", "table5", "fig5", "table6", "fig6", "lockmgr", "ablations"}
+		experiments = []string{"table1", "table3", "table4", "fig4", "table5", "fig5", "table6", "fig6", "lockmgr", "shards", "ablations"}
 	}
 	for _, exp := range experiments {
 		if err := runExperiment(golden, exp, stdout, report); err != nil {
@@ -226,6 +232,22 @@ func runExperiment(g *bench.Golden, what string, out io.Writer, report *bench.Re
 			return err
 		}
 		record("ablation_lock_manager", rows, func() string { return bench.FormatLockAblation(rows) })
+	case "shards":
+		// -shards N compares {1, N} stripes and -terminals M sweeps
+		// {1, M} terminals; without them the ablation uses its defaults
+		// (1 vs GOMAXPROCS-derived stripes at 1/2/4/8 terminals).
+		var shardCounts, terminalCounts []int
+		if s := g.Options().Shards; s > 1 {
+			shardCounts = []int{1, s}
+		}
+		if n := g.Options().Terminals; n > 1 {
+			terminalCounts = []int{1, n}
+		}
+		rows, err := g.AblationShards(shardCounts, terminalCounts)
+		if err != nil {
+			return err
+		}
+		record("ablation_shards", rows, func() string { return bench.FormatShardAblation(rows) })
 	case "ablations":
 		sync, err := g.AblationSyncPolicy(0)
 		if err != nil {

@@ -118,6 +118,9 @@ type (
 	// WithLockManager (grants, waits, deadlocks); it is part of
 	// DB.Snapshot.
 	LockStats = metrics.LockStats
+	// ShardStats is the per-shard breakdown of buffer pool activity under
+	// WithBufferShards; DB.Snapshot carries one per shard.
+	ShardStats = metrics.ShardStats
 	// GroupCommitStats is a snapshot of the write-ahead log's commit
 	// batching (requests, device writes, piggybacked forces); it is part
 	// of DB.Snapshot.

@@ -113,6 +113,54 @@ func (g *Golden) AblationLockManager(terminalCounts []int) ([]Result, error) {
 	return out, nil
 }
 
+// AblationShards measures the DRAM/flash hot-path sharding: the striped
+// buffer pool and cache directory against the historical single-mutex
+// structures, at increasing terminal counts.
+//
+// Like AblationLockManager the configuration keeps the whole database in
+// the DRAM buffer, so nearly every page access is a DRAM hit and the run
+// is dominated by the hot path the sharding stripes.  The simulated-time
+// figures (TpmC) are shard-independent by design — the model charges the
+// same CPU and device time whichever mutex a hit took — so the columns to
+// read are the wall-clock ones: HitsPerSecWall, the DRAM hits retired per
+// host second, stops scaling with terminals when every hit funnels through
+// one pool mutex and keeps scaling when the pool is striped.  shardCounts
+// selects the stripe counts to compare (default 1 vs GOMAXPROCS-derived);
+// terminalCounts the concurrency sweep (default 1/2/4/8).
+func (g *Golden) AblationShards(shardCounts, terminalCounts []int) ([]Result, error) {
+	if len(shardCounts) == 0 {
+		shardCounts = []int{1, engine.DefaultShards()}
+		if shardCounts[1] == 1 {
+			shardCounts[1] = 4
+		}
+	}
+	if len(terminalCounts) == 0 {
+		terminalCounts = []int{1, 2, 4, 8}
+	}
+	bufPages := int(g.dbPages) + 64
+	warmup := g.opts.WarmupTx + g.opts.MeasureTx
+	var out []Result
+	for _, shards := range shardCounts {
+		for _, n := range terminalCounts {
+			res, err := g.Run(RunSpec{
+				Policy:       engine.PolicyNone,
+				BufferPages:  bufPages,
+				BufferShards: shards,
+				CacheStripes: shards,
+				PageLocks:    true,
+				Terminals:    n,
+				WarmupTx:     warmup,
+				Label:        fmt.Sprintf("shards=%d x%d", shards, n),
+			})
+			if err != nil {
+				return out, err
+			}
+			out = append(out, res)
+		}
+	}
+	return out, nil
+}
+
 // AblationGroupSize sweeps the replacement batch size of Group Second
 // Chance (the paper suggests the number of pages in a flash block,
 // typically 64 or 128).

@@ -297,6 +297,24 @@ func FormatLockAblation(rows []Result) string {
 	return "Ablation: single-writer vs page-level 2PL transaction scheduler\n" + formatTable(headers, out)
 }
 
+// FormatShardAblation renders the hot-path sharding ablation.  The
+// simulated tpmC column is expected to be flat across shard counts (the
+// model charges the same work either way); the wall-clock hit throughput
+// is the column the sharding moves.
+func FormatShardAblation(rows []Result) string {
+	headers := []string{"Config", "shards", "terminals", "tpmC",
+		"DRAM hit %", "hits/s (wall)", "wall clock", "imbalance"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Label, fmt.Sprintf("%d", r.BufferShards), fmt.Sprintf("%d", r.Terminals),
+			fnum(r.TpmC), pct(r.DRAMHitRate), fnum(r.HitsPerSecWall),
+			fdur(r.WallClock), fmt.Sprintf("%.2f", r.ShardImbalance),
+		})
+	}
+	return "Ablation: striped buffer pool / cache directory (hot-path sharding)\n" + formatTable(headers, out)
+}
+
 // FormatResults renders a flat list of results (used by the ablations).
 func FormatResults(title string, rows []Result) string {
 	headers := []string{"Config", "tpmC", "total tpm", "flash hit %", "write red. %", "flash util %", "flash IOPS", "DRAM hit %"}

@@ -8,10 +8,13 @@ import (
 
 // ReportSchema versions the facebench -json output format so downstream
 // tooling tracking a BENCH_*.json perf trajectory can detect changes.
-// v2 adds the page-lock scheduler fields to Result (PageLocks, Terminals,
+// v2 added the page-lock scheduler fields to Result (PageLocks, Terminals,
 // DeadlockRetries, Locks, GroupCommit), the lock-manager ablation
 // experiment, and the Terminals option.
-const ReportSchema = "facebench/v2"
+// v3 adds the hot-path sharding fields (BufferShards, ShardImbalance,
+// WallClock, HitsPerSecWall), the shards ablation experiment, and the
+// Shards option.
+const ReportSchema = "facebench/v3"
 
 // Report is the machine-readable form of a facebench run: the options the
 // golden image was built with plus one entry per executed experiment.  The

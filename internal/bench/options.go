@@ -66,6 +66,12 @@ type Options struct {
 	// GroupSize and SegmentEntries configure the FaCE cache.
 	GroupSize      int
 	SegmentEntries int
+	// Shards, when set (1 or more), stripes the DRAM buffer pool and the
+	// flash cache directory of every configuration over this many
+	// shards/stripes (the facebench -shards flag).  Zero selects 1 —
+	// the historical single-mutex structures — so published experiment
+	// numbers do not depend on the machine's core count.
+	Shards int
 	// Terminals, when set (1 or more), runs every throughput experiment
 	// with the page-lock (2PL) transaction scheduler and this many
 	// concurrent terminal goroutines instead of the classic single-stream

@@ -13,6 +13,14 @@
 // on a miss (the engine consults the flash cache first, then disk) and an
 // EvictFunc that receives pages leaving DRAM (the engine stages them into
 // the flash cache or writes them to disk).
+//
+// To keep many concurrent transactions off one mutex, the pool is split
+// into independent shards, each with its own lock, LRU list, busy-latch
+// map, pin-wait condition and statistics.  Pages are striped over the
+// shards by a hash of their id, so hits on different pages touch different
+// locks.  A single-shard pool (New, or NewSharded with shards = 1) behaves
+// exactly like the historical global-LRU pool; with more shards each shard
+// runs its own LRU over its slice of the capacity.
 package buffer
 
 import (
@@ -20,6 +28,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"github.com/reprolab/face/internal/page"
 )
@@ -29,6 +38,7 @@ var (
 	ErrAllPinned   = errors.New("buffer: all frames are pinned")
 	ErrNotResident = errors.New("buffer: page is not resident")
 	ErrBadCapacity = errors.New("buffer: capacity must be at least 1")
+	ErrClosed      = errors.New("buffer: pool is closed")
 )
 
 // Victim describes a page leaving the DRAM buffer.
@@ -72,6 +82,16 @@ func (s Stats) HitRate() float64 {
 	return float64(s.Hits) / float64(total)
 }
 
+// Add accumulates another snapshot into s (per-shard snapshots sum to the
+// pool-wide view).
+func (s *Stats) Add(o Stats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Evictions += o.Evictions
+	s.DirtyEvictions += o.DirtyEvictions
+	s.PinWaits += o.PinWaits
+}
+
 type frame struct {
 	id     page.ID
 	data   page.Buf
@@ -81,13 +101,10 @@ type frame struct {
 	elem   *list.Element
 }
 
-// Pool is an LRU buffer pool of fixed capacity.  It is safe for concurrent
-// use: frames are latched while their fetch or eviction I/O is in flight,
-// so concurrent Get calls for the same page wait for a single load instead
-// of racing it, and a page being evicted cannot be re-fetched from the
-// backing store until its eviction (and therefore its write-back) has
-// completed.
-type Pool struct {
+// shard is one independently locked slice of the pool: its own LRU,
+// busy-latch map, pin-wait condition and statistics.
+type shard struct {
+	pool     *Pool
 	mu       sync.Mutex
 	capacity int
 	frames   map[page.ID]*frame
@@ -95,170 +112,327 @@ type Pool struct {
 	// busy latches pages with in-flight fetch or eviction I/O: the channel
 	// is closed when the I/O completes and the page may be (re)examined.
 	busy  map[page.ID]chan struct{}
-	fetch FetchFunc
-	evict EvictFunc
 	stats Stats
-
-	// pinWait makes an all-pinned pool wait on unpinned (signalled by
-	// Unpin and frame removal) instead of failing with ErrAllPinned.
-	pinWait  bool
-	unpinned *sync.Cond
 }
 
-// New creates a pool holding up to capacity pages.
+// Pool is an LRU buffer pool of fixed capacity, striped over independent
+// shards.  It is safe for concurrent use: frames are latched while their
+// fetch or eviction I/O is in flight, so concurrent Get calls for the same
+// page wait for a single load instead of racing it, and a page being
+// evicted cannot be re-fetched from the backing store until its eviction
+// (and therefore its write-back) has completed.
+type Pool struct {
+	capacity int
+	shards   []*shard
+	fetch    FetchFunc
+	evict    EvictFunc
+
+	// pinWait makes an all-pinned shard wait on unpinned (signalled by
+	// Unpin and frame removal) instead of failing with ErrAllPinned.
+	pinWait atomic.Bool
+	// closed fails new Gets and wakes pin-waiters with ErrClosed.
+	closed atomic.Bool
+	// resident tracks the pool-wide frame count so an all-pinned shard
+	// can tell global headroom (allocate past the local split) from a
+	// genuinely full pool (evict a sibling's victim first).
+	resident atomic.Int64
+
+	// Pin-release notification.  A frame allocation that found every
+	// frame of every shard pinned waits for ANY pin release — in any
+	// shard, since borrowing can satisfy it remotely — so the signal is
+	// pool-wide: pinGen counts releases (Unpin to zero, frame removal,
+	// close) and pinCond broadcasts them.  pinMu is a leaf lock, taken
+	// with or without a shard lock held but never the other way around.
+	pinMu   sync.Mutex
+	pinGen  uint64
+	pinCond *sync.Cond
+}
+
+// pinGeneration samples the release counter; a waiter takes it BEFORE
+// scanning for victims so a release during the scan re-runs the scan
+// instead of being missed.
+func (p *Pool) pinGeneration() uint64 {
+	p.pinMu.Lock()
+	g := p.pinGen
+	p.pinMu.Unlock()
+	return g
+}
+
+// pinReleased records a pin release (or frame removal, or close) and
+// wakes every waiter.
+func (p *Pool) pinReleased() {
+	p.pinMu.Lock()
+	p.pinGen++
+	p.pinCond.Broadcast()
+	p.pinMu.Unlock()
+}
+
+// waitPinReleased blocks until a release happened after gen was sampled.
+// The caller holds no shard lock.
+func (p *Pool) waitPinReleased(gen uint64) {
+	p.pinMu.Lock()
+	for p.pinGen == gen && !p.closed.Load() {
+		p.pinCond.Wait()
+	}
+	p.pinMu.Unlock()
+}
+
+// New creates a pool holding up to capacity pages in a single shard — the
+// historical global-LRU behaviour.
 func New(capacity int, fetch FetchFunc, evict EvictFunc) (*Pool, error) {
+	return NewSharded(capacity, 1, fetch, evict)
+}
+
+// NewSharded creates a pool holding up to capacity pages striped over the
+// given number of shards.  Shard counts below 1 select 1; a count above
+// the capacity is clamped so every shard holds at least one page.
+func NewSharded(capacity, shards int, fetch FetchFunc, evict EvictFunc) (*Pool, error) {
 	if capacity < 1 {
 		return nil, ErrBadCapacity
 	}
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > capacity {
+		shards = capacity
+	}
 	p := &Pool{
 		capacity: capacity,
-		frames:   make(map[page.ID]*frame, capacity),
-		lru:      list.New(),
-		busy:     make(map[page.ID]chan struct{}),
+		shards:   make([]*shard, shards),
 		fetch:    fetch,
 		evict:    evict,
 	}
-	p.unpinned = sync.NewCond(&p.mu)
+	p.pinCond = sync.NewCond(&p.pinMu)
+	// Split the capacity as evenly as possible; the first capacity%shards
+	// shards hold one extra page.
+	base, rem := capacity/shards, capacity%shards
+	for i := range p.shards {
+		c := base
+		if i < rem {
+			c++
+		}
+		p.shards[i] = &shard{
+			pool:     p,
+			capacity: c,
+			frames:   make(map[page.ID]*frame, c),
+			lru:      list.New(),
+			busy:     make(map[page.ID]chan struct{}),
+		}
+	}
 	return p, nil
 }
 
-// SetPinWait selects how an all-pinned pool treats a frame allocation:
+// shardFor returns the shard holding the given page id.  The Fibonacci
+// multiplier scatters the mostly-sequential page ids of a fresh database
+// across the shards.
+func (p *Pool) shardFor(id page.ID) *shard {
+	if len(p.shards) == 1 {
+		return p.shards[0]
+	}
+	h := uint64(id) * 0x9E3779B97F4A7C15
+	return p.shards[h%uint64(len(p.shards))]
+}
+
+// SetPinWait selects how an all-pinned shard treats a frame allocation:
 // waiting for a pin to be released (true) or failing fast with
 // ErrAllPinned (false, the default).  The engine enables waiting under the
 // page-lock scheduler, where many concurrent transactions legitimately
 // pin pages at once but every pin is short-held — never across a lock
 // wait, a commit, or a blocking closure — so the wait is bounded.
-func (p *Pool) SetPinWait(wait bool) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.pinWait = wait
+func (p *Pool) SetPinWait(wait bool) { p.pinWait.Store(wait) }
+
+// Close marks the pool closed: subsequent Gets fail with ErrClosed and
+// every goroutine parked on a pin-wait is woken and fails the same way.
+// Resident frames stay readable through Flags/Contains for diagnostics;
+// callers flush dirty pages with FlushDirty before closing.
+func (p *Pool) Close() {
+	if p.closed.Swap(true) {
+		return
+	}
+	p.pinReleased()
 }
 
 // Capacity returns the pool capacity in pages.
 func (p *Pool) Capacity() int { return p.capacity }
 
+// Shards returns the number of shards the capacity is striped over.
+func (p *Pool) Shards() int { return len(p.shards) }
+
 // Len returns the number of resident pages.
 func (p *Pool) Len() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return len(p.frames)
+	n := 0
+	for _, s := range p.shards {
+		s.mu.Lock()
+		n += len(s.frames)
+		s.mu.Unlock()
+	}
+	return n
 }
 
-// Stats returns a snapshot of the pool statistics.
+// Stats returns a snapshot of the pool statistics: the sum of one coherent
+// snapshot per shard.  Each shard's counters are read under its lock, so
+// Hits+Misses can never tear against a concurrent Get on the same shard;
+// across shards the snapshot is only as old as the first shard read.
 func (p *Pool) Stats() Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+	var out Stats
+	for _, s := range p.shards {
+		s.mu.Lock()
+		out.Add(s.stats)
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// ShardStats returns one coherent statistics snapshot per shard, in shard
+// order.  The engine aggregates them into its Snapshot and exposes the
+// per-shard breakdown for diagnosing stripe imbalance.
+func (p *Pool) ShardStats() []Stats {
+	out := make([]Stats, len(p.shards))
+	for i, s := range p.shards {
+		s.mu.Lock()
+		out[i] = s.stats
+		s.mu.Unlock()
+	}
+	return out
 }
 
 // ResetStats clears the pool statistics.
 func (p *Pool) ResetStats() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.stats = Stats{}
+	for _, s := range p.shards {
+		s.mu.Lock()
+		s.stats = Stats{}
+		s.mu.Unlock()
+	}
 }
 
 // Contains reports whether the page is resident without affecting LRU
-// order or statistics.
+// order or statistics.  It is busy-aware: while the page's fetch or
+// eviction I/O is in flight it waits for the latch, so it never reports a
+// half-loaded frame as resident or a page whose eviction write-back is
+// still in the air as gone.
 func (p *Pool) Contains(id page.ID) bool {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	_, ok := p.frames[id]
+	s := p.shardFor(id)
+	s.mu.Lock()
+	s.waitBusyLocked(id)
+	_, ok := s.frames[id]
+	s.mu.Unlock()
 	return ok
+}
+
+// waitBusyLocked blocks until no fetch or eviction I/O is in flight for
+// the page.  The caller holds s.mu on entry and on return.
+func (s *shard) waitBusyLocked(id page.ID) {
+	for {
+		ch, ok := s.busy[id]
+		if !ok {
+			return
+		}
+		s.mu.Unlock()
+		<-ch
+		s.mu.Lock()
+	}
 }
 
 // Get pins the page with the given id and returns its frame buffer.  The
 // buffer aliases pool memory and remains valid until Unpin.  On a miss the
 // page is loaded through the fetch callback, evicting the least recently
-// used unpinned page if the pool is full.
+// used unpinned page of the shard if it is full.
 //
-// The fetch and evict callbacks are invoked without holding the pool lock,
+// The fetch and evict callbacks are invoked without holding any pool lock,
 // so they may call back into the pool (Group Second Chance pulls extra
 // victims with EvictBatch from inside the eviction path).  While a fetch or
 // eviction is in flight the page stays latched: concurrent Gets for it wait
 // on the latch rather than observing a half-loaded frame or re-reading a
 // page whose write-back has not yet reached the backing store.
 func (p *Pool) Get(id page.ID) (page.Buf, error) {
-	p.mu.Lock()
+	if p.closed.Load() {
+		return nil, ErrClosed
+	}
+	s := p.shardFor(id)
+	s.mu.Lock()
 	for {
-		if ch, ok := p.busy[id]; ok {
-			p.mu.Unlock()
+		if ch, ok := s.busy[id]; ok {
+			s.mu.Unlock()
 			<-ch
-			p.mu.Lock()
+			s.mu.Lock()
 			continue
 		}
-		f, ok := p.frames[id]
+		f, ok := s.frames[id]
 		if !ok {
 			break
 		}
 		f.pins++
-		p.lru.MoveToFront(f.elem)
-		p.stats.Hits++
-		p.mu.Unlock()
+		s.lru.MoveToFront(f.elem)
+		s.stats.Hits++
+		s.mu.Unlock()
 		return f.data, nil
 	}
-	p.stats.Misses++
+	s.stats.Misses++
 	ch := make(chan struct{})
-	p.busy[id] = ch
-	f, err := p.allocateFrame(id)
+	s.busy[id] = ch
+	f, err := s.allocateFrame(id)
 	if err != nil {
-		delete(p.busy, id)
+		delete(s.busy, id)
 		close(ch)
-		p.mu.Unlock()
+		s.mu.Unlock()
 		return nil, err
 	}
-	p.mu.Unlock()
+	s.mu.Unlock()
 
 	dirty, err := p.fetch(id, f.data)
-	p.mu.Lock()
-	delete(p.busy, id)
+	s.mu.Lock()
+	delete(s.busy, id)
 	close(ch)
 	if err != nil {
-		p.removeLocked(f)
-		p.mu.Unlock()
+		s.removeLocked(f)
+		s.mu.Unlock()
 		return nil, fmt.Errorf("buffer: fetching page %d: %w", id, err)
 	}
 	f.dirty = dirty
 	f.fdirty = false
-	p.mu.Unlock()
+	s.mu.Unlock()
 	return f.data, nil
 }
 
 // Put inserts a brand-new page image into the pool without consulting the
 // fetch callback (used when allocating fresh pages).  The page is pinned.
 func (p *Pool) Put(id page.ID, init func(buf page.Buf)) (page.Buf, error) {
-	p.mu.Lock()
+	if p.closed.Load() {
+		return nil, ErrClosed
+	}
+	s := p.shardFor(id)
+	s.mu.Lock()
 	for {
-		if ch, ok := p.busy[id]; ok {
-			p.mu.Unlock()
+		if ch, ok := s.busy[id]; ok {
+			s.mu.Unlock()
 			<-ch
-			p.mu.Lock()
+			s.mu.Lock()
 			continue
 		}
-		f, ok := p.frames[id]
+		f, ok := s.frames[id]
 		if !ok {
 			break
 		}
 		f.pins++
-		p.lru.MoveToFront(f.elem)
+		s.lru.MoveToFront(f.elem)
 		if init != nil {
 			init(f.data)
 		}
 		f.dirty = true
 		f.fdirty = true
-		p.mu.Unlock()
+		s.mu.Unlock()
 		return f.data, nil
 	}
 	// Latch the id across allocateFrame: the lock is released around
 	// eviction callbacks, and a concurrent Get or Put for the same id must
 	// not allocate a second frame in that window.
 	ch := make(chan struct{})
-	p.busy[id] = ch
-	f, err := p.allocateFrame(id)
-	delete(p.busy, id)
+	s.busy[id] = ch
+	f, err := s.allocateFrame(id)
+	delete(s.busy, id)
 	close(ch)
 	if err != nil {
-		p.mu.Unlock()
+		s.mu.Unlock()
 		return nil, err
 	}
 	if init != nil {
@@ -266,62 +440,130 @@ func (p *Pool) Put(id page.ID, init func(buf page.Buf)) (page.Buf, error) {
 	}
 	f.dirty = true
 	f.fdirty = true
-	p.mu.Unlock()
+	s.mu.Unlock()
 	return f.data, nil
 }
 
 // allocateFrame finds or creates a free frame for id, evicting if
-// necessary.  The caller holds p.mu on entry and on return; the lock is
+// necessary.  The caller holds s.mu on entry and on return; the lock is
 // released around the eviction callback, during which the victim page is
-// latched in p.busy so a concurrent Get cannot re-fetch it from the
+// latched in s.busy so a concurrent Get cannot re-fetch it from the
 // backing store before its write-back lands.  The returned frame is
 // pinned.
-func (p *Pool) allocateFrame(id page.ID) (*frame, error) {
+func (s *shard) allocateFrame(id page.ID) (*frame, error) {
+	p := s.pool
 	waited := false
-	for len(p.frames) >= p.capacity {
-		victim := p.pickVictimLocked()
-		if victim == nil {
-			if !p.pinWait {
-				return nil, ErrAllPinned
+	reserved := false
+	for len(s.frames) >= s.capacity {
+		if victim := s.pickVictimLocked(); victim != nil {
+			if err := s.evictFrameLocked(victim); err != nil {
+				return nil, err
 			}
-			// Every frame is pinned by a concurrent transaction; pins are
-			// short-held, so wait for one to be released and look again.
-			// Count the allocation as waiting once, not once per wakeup.
-			if !waited {
-				waited = true
-				p.stats.PinWaits++
-			}
-			p.unpinned.Wait()
 			continue
 		}
-		p.stats.Evictions++
-		if victim.dirty {
-			p.stats.DirtyEvictions++
+		if p.closed.Load() {
+			return nil, ErrClosed
 		}
-		p.removeLocked(victim)
-		if p.evict != nil {
-			ch := make(chan struct{})
-			p.busy[victim.id] = ch
-			v := Victim{ID: victim.id, Data: victim.data, Dirty: victim.dirty, FDirty: victim.fdirty}
-			p.mu.Unlock()
-			err := p.evict(v)
-			p.mu.Lock()
-			delete(p.busy, victim.id)
-			close(ch)
-			if err != nil {
-				return nil, fmt.Errorf("buffer: evicting page %d: %w", victim.id, err)
-			}
+		// Every local frame is pinned, but the rest of the pool may have
+		// room.  Sample the release generation BEFORE scanning, so a pin
+		// released mid-scan re-runs the scan instead of being missed.
+		gen := p.pinGeneration()
+		// Reserve global headroom atomically (a plain load-then-allocate
+		// would let concurrent borrowers overshoot the capacity), and
+		// allocate past the local split on success.
+		if p.resident.Add(1) <= int64(p.capacity) {
+			reserved = true
+			break
 		}
+		p.resident.Add(-1)
+		// No headroom: fund the borrow by evicting a sibling's victim.
+		s.mu.Unlock()
+		ok, err := p.evictElsewhere(s)
+		s.mu.Lock()
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			break
+		}
+		// Every frame of every shard is pinned — ErrAllPinned keeps its
+		// global-pool meaning rather than becoming reachable per-shard.
+		if !p.pinWait.Load() {
+			return nil, ErrAllPinned
+		}
+		// Pins are short-held; wait for any release (in any shard — a
+		// remote one frees borrowable room) and look again.  Count the
+		// allocation as waiting once, not once per wakeup.
+		if !waited {
+			waited = true
+			s.stats.PinWaits++
+		}
+		s.mu.Unlock()
+		p.waitPinReleased(gen)
+		s.mu.Lock()
 	}
 	f := &frame{id: id, data: page.NewBuf(), pins: 1}
-	f.elem = p.lru.PushFront(f)
-	p.frames[id] = f
+	f.elem = s.lru.PushFront(f)
+	s.frames[id] = f
+	if !reserved {
+		p.resident.Add(1)
+	}
 	return f, nil
 }
 
+// evictFrameLocked removes the victim from the shard and runs the
+// eviction callback with the shard lock released and the page
+// busy-latched.  The caller holds s.mu on entry and on return.
+func (s *shard) evictFrameLocked(victim *frame) error {
+	s.stats.Evictions++
+	if victim.dirty {
+		s.stats.DirtyEvictions++
+	}
+	s.removeLocked(victim)
+	if s.pool.evict == nil {
+		return nil
+	}
+	ch := make(chan struct{})
+	s.busy[victim.id] = ch
+	v := Victim{ID: victim.id, Data: victim.data, Dirty: victim.dirty, FDirty: victim.fdirty}
+	s.mu.Unlock()
+	err := s.pool.evict(v)
+	s.mu.Lock()
+	delete(s.busy, victim.id)
+	close(ch)
+	if err != nil {
+		return fmt.Errorf("buffer: evicting page %d: %w", victim.id, err)
+	}
+	return nil
+}
+
+// evictElsewhere frees one unpinned frame from any shard other than
+// exclude, reporting whether one was found.  The caller holds no shard
+// lock (at most one shard lock is ever held at a time).
+func (p *Pool) evictElsewhere(exclude *shard) (bool, error) {
+	for _, s := range p.shards {
+		if s == exclude {
+			continue
+		}
+		s.mu.Lock()
+		victim := s.pickVictimLocked()
+		if victim == nil {
+			s.mu.Unlock()
+			continue
+		}
+		err := s.evictFrameLocked(victim)
+		s.mu.Unlock()
+		if err != nil {
+			return false, err
+		}
+		return true, nil
+	}
+	return false, nil
+}
+
 // pickVictimLocked returns the least recently used unpinned frame, or nil.
-func (p *Pool) pickVictimLocked() *frame {
-	for e := p.lru.Back(); e != nil; e = e.Prev() {
+func (s *shard) pickVictimLocked() *frame {
+	for e := s.lru.Back(); e != nil; e = e.Prev() {
 		f := e.Value.(*frame)
 		if f.pins == 0 {
 			return f
@@ -330,19 +572,21 @@ func (p *Pool) pickVictimLocked() *frame {
 	return nil
 }
 
-func (p *Pool) removeLocked(f *frame) {
-	p.lru.Remove(f.elem)
-	delete(p.frames, f.id)
+func (s *shard) removeLocked(f *frame) {
+	s.lru.Remove(f.elem)
+	delete(s.frames, f.id)
+	s.pool.resident.Add(-1)
 	// A removed frame frees capacity: wake pin-waiters.
-	p.unpinned.Broadcast()
+	s.pool.pinReleased()
 }
 
 // MarkDirty flags the page as updated: both dirty and fdirty are set, as in
 // Algorithm 1 of the paper ("on update of page p in the DRAM buffer").
 func (p *Pool) MarkDirty(id page.ID) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	f, ok := p.frames[id]
+	s := p.shardFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.frames[id]
 	if !ok {
 		return fmt.Errorf("%w: page %d", ErrNotResident, id)
 	}
@@ -351,11 +595,17 @@ func (p *Pool) MarkDirty(id page.ID) error {
 	return nil
 }
 
-// Flags returns the dirty and fdirty flags of a resident page.
+// Flags returns the dirty and fdirty flags of a resident page.  Like
+// Contains it is busy-aware: while the page's fetch is in flight the flags
+// are not yet decided (a fetch served by a write-back flash cache sets
+// dirty afterwards), so Flags waits for the latch instead of reporting the
+// frame's provisional clean state.
 func (p *Pool) Flags(id page.ID) (dirty, fdirty bool, err error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	f, ok := p.frames[id]
+	s := p.shardFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.waitBusyLocked(id)
+	f, ok := s.frames[id]
 	if !ok {
 		return false, false, fmt.Errorf("%w: page %d", ErrNotResident, id)
 	}
@@ -364,9 +614,10 @@ func (p *Pool) Flags(id page.ID) (dirty, fdirty bool, err error) {
 
 // Unpin releases one pin on the page.
 func (p *Pool) Unpin(id page.ID) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	f, ok := p.frames[id]
+	s := p.shardFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.frames[id]
 	if !ok {
 		return fmt.Errorf("%w: page %d", ErrNotResident, id)
 	}
@@ -375,7 +626,7 @@ func (p *Pool) Unpin(id page.ID) error {
 	}
 	f.pins--
 	if f.pins == 0 {
-		p.unpinned.Broadcast()
+		p.pinReleased()
 	}
 	return nil
 }
@@ -386,56 +637,86 @@ func (p *Pool) Unpin(id page.ID) error {
 // the flush went all the way to the disk copy rather than into a
 // write-back flash cache).
 //
-// fn is invoked without holding the pool lock, for the same reason as the
+// fn is invoked without holding any pool lock, for the same reason as the
 // eviction callback in Get.
 func (p *Pool) FlushDirty(fn func(v Victim) error, syncedToDisk bool) error {
-	p.mu.Lock()
 	var victims []Victim
-	for _, f := range p.frames {
-		if !f.dirty && !f.fdirty {
-			continue
+	for _, s := range p.shards {
+		s.mu.Lock()
+		for _, f := range s.frames {
+			if !f.dirty && !f.fdirty {
+				continue
+			}
+			victims = append(victims, Victim{ID: f.id, Data: f.data.Clone(), Dirty: f.dirty, FDirty: f.fdirty})
 		}
-		victims = append(victims, Victim{ID: f.id, Data: f.data.Clone(), Dirty: f.dirty, FDirty: f.fdirty})
+		s.mu.Unlock()
 	}
-	p.mu.Unlock()
 
 	for _, v := range victims {
 		if err := fn(v); err != nil {
 			return fmt.Errorf("buffer: flushing page %d: %w", v.ID, err)
 		}
-		p.mu.Lock()
-		if f, ok := p.frames[v.ID]; ok {
+		s := p.shardFor(v.ID)
+		s.mu.Lock()
+		if f, ok := s.frames[v.ID]; ok {
 			f.fdirty = false
 			if syncedToDisk {
 				f.dirty = false
 			}
 		}
-		p.mu.Unlock()
+		s.mu.Unlock()
 	}
 	return nil
 }
 
-// EvictBatch removes up to n unpinned pages from the LRU tail and returns
+// EvictBatch removes up to n unpinned pages from the LRU tails and returns
 // them WITHOUT invoking the eviction callback.  It implements the "pull
 // more pages from the LRU tail of the DRAM buffer" step of the paper's
 // Group Second Chance replacement (Section 3.3): the flash cache tops up a
-// partially empty write group with additional DRAM victims.
+// partially empty write group with additional DRAM victims.  With several
+// shards the pull visits the shard tails round-robin, one victim per shard
+// per round, approximating the global LRU order.
 func (p *Pool) EvictBatch(n int) []Victim {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	var out []Victim
-	e := p.lru.Back()
+	if len(p.shards) == 1 {
+		return p.shards[0].evictTail(n)
+	}
+	for len(out) < n {
+		took := false
+		for _, s := range p.shards {
+			if len(out) >= n {
+				break
+			}
+			got := s.evictTail(1)
+			if len(got) > 0 {
+				out = append(out, got...)
+				took = true
+			}
+		}
+		if !took {
+			break
+		}
+	}
+	return out
+}
+
+// evictTail removes up to n unpinned pages from this shard's LRU tail.
+func (s *shard) evictTail(n int) []Victim {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Victim
+	e := s.lru.Back()
 	for e != nil && len(out) < n {
 		prev := e.Prev()
 		f := e.Value.(*frame)
 		if f.pins == 0 {
-			p.stats.Evictions++
+			s.stats.Evictions++
 			if f.dirty {
-				p.stats.DirtyEvictions++
+				s.stats.DirtyEvictions++
 			}
 			data := f.data.Clone()
 			out = append(out, Victim{ID: f.id, Data: data, Dirty: f.dirty, FDirty: f.fdirty})
-			p.removeLocked(f)
+			s.removeLocked(f)
 		}
 		e = prev
 	}
@@ -445,21 +726,26 @@ func (p *Pool) EvictBatch(n int) []Victim {
 // DropAll discards every resident page without writing anything.  It
 // simulates the loss of volatile state at a crash.
 func (p *Pool) DropAll() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.frames = make(map[page.ID]*frame, p.capacity)
-	p.lru.Init()
-	p.unpinned.Broadcast()
+	for _, s := range p.shards {
+		s.mu.Lock()
+		p.resident.Add(-int64(len(s.frames)))
+		s.frames = make(map[page.ID]*frame, s.capacity)
+		s.lru.Init()
+		s.mu.Unlock()
+	}
+	p.pinReleased()
 }
 
 // ResidentIDs returns the ids of all resident pages (for tests and
 // diagnostics).
 func (p *Pool) ResidentIDs() []page.ID {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	out := make([]page.ID, 0, len(p.frames))
-	for id := range p.frames {
-		out = append(out, id)
+	var out []page.ID
+	for _, s := range p.shards {
+		s.mu.Lock()
+		for id := range s.frames {
+			out = append(out, id)
+		}
+		s.mu.Unlock()
 	}
 	return out
 }

@@ -8,6 +8,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"strings"
 	"time"
 
@@ -94,6 +95,19 @@ type Config struct {
 
 	// BufferPages is the DRAM buffer pool capacity in pages.
 	BufferPages int
+	// BufferShards is the number of independently locked shards the DRAM
+	// buffer pool is striped over, so concurrent transactions hitting
+	// different pages never share a pool mutex.  Zero derives the count
+	// from GOMAXPROCS; 1 reproduces the historical single-mutex global-LRU
+	// pool.  The count is clamped so every shard holds at least one page.
+	BufferShards int
+	// CacheStripes is the number of independently locked stripes the
+	// flash cache's lookup structures (page directory, in-transit map) are
+	// split over, so cache probes for different pages never contend with
+	// each other or with an in-flight group write.  Zero derives the count
+	// from GOMAXPROCS; 1 reproduces the historical single-mutex lookup
+	// path.  Policies without striped structures (lc, wt) ignore it.
+	CacheStripes int
 
 	// Policy selects the flash cache scheme.
 	Policy CachePolicy
@@ -164,6 +178,12 @@ func (c *Config) validate() error {
 	if c.BufferPages < 1 {
 		return fmt.Errorf("engine: BufferPages must be at least 1")
 	}
+	if c.BufferShards < 0 {
+		return fmt.Errorf("engine: BufferShards must not be negative")
+	}
+	if c.CacheStripes < 0 {
+		return fmt.Errorf("engine: CacheStripes must not be negative")
+	}
 	if _, err := ParsePolicy(string(c.Policy)); err != nil {
 		return err
 	}
@@ -181,6 +201,39 @@ func (c *Config) validate() error {
 	return nil
 }
 
+// DefaultShards derives the shard/stripe count used when Config leaves
+// BufferShards or CacheStripes at zero: the smallest power of two at or
+// above GOMAXPROCS, capped at 64.  A power of two keeps the capacity split
+// even and the cap bounds per-shard bookkeeping on very wide machines.
+func DefaultShards() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	if n > 64 {
+		n = 64
+	}
+	s := 1
+	for s < n {
+		s <<= 1
+	}
+	return s
+}
+
+// resolveStriping fills in the derived shard and stripe counts so the rest
+// of the engine (and its Snapshot) sees the effective values.
+func (c *Config) resolveStriping() {
+	if c.BufferShards == 0 {
+		c.BufferShards = DefaultShards()
+	}
+	if c.BufferShards > c.BufferPages {
+		c.BufferShards = c.BufferPages
+	}
+	if c.CacheStripes == 0 {
+		c.CacheStripes = DefaultShards()
+	}
+}
+
 // buildCache constructs the flash cache manager for the configured policy
 // through the registry; policies without a flash cache yield (nil, nil).
 // With AsyncIODepth set, the manager is wrapped in the asynchronous
@@ -191,6 +244,7 @@ func (c *Config) buildCache(diskWrite face.DiskWriteFunc, pull face.PullFunc) (f
 		Frames:         c.FlashFrames,
 		GroupSize:      c.GroupSize,
 		SegmentEntries: c.SegmentEntries,
+		Stripes:        c.CacheStripes,
 		CleanThreshold: c.CleanThreshold,
 		DiskWrite:      diskWrite,
 		Pull:           pull,

@@ -102,6 +102,7 @@ func Open(cfg Config) (*DB, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	cfg.resolveStriping()
 	db := &DB{
 		cfg:      cfg,
 		model:    cfg.Model,
@@ -169,7 +170,7 @@ func Open(cfg Config) (*DB, error) {
 		}
 	}
 
-	db.pool, err = buffer.New(cfg.BufferPages, db.fetchPage, db.evictPage)
+	db.pool, err = buffer.NewSharded(cfg.BufferPages, cfg.BufferShards, db.fetchPage, db.evictPage)
 	if err != nil {
 		abortCache()
 		return nil, err
@@ -314,12 +315,18 @@ func (db *DB) Close() error {
 	if err := db.closeFlushLocked(); err != nil {
 		// The caller is abandoning the instance: stop the cache's
 		// background pipeline even on a failed close so its goroutines do
-		// not leak and keep touching the devices.
+		// not leak and keep touching the devices, and close the pool so a
+		// goroutine parked on a pin-wait fails instead of hanging.
 		if s, ok := db.cache.(face.Shutdowner); ok {
 			s.Abort()
 		}
+		db.pool.Close()
 		return err
 	}
+	// Closing the pool wakes any goroutine still parked on the all-pinned
+	// condition (for example a transaction begun outside the scheduler)
+	// with ErrClosed instead of leaving it blocked forever.
+	db.pool.Close()
 	db.closed = true
 	return nil
 }
@@ -363,6 +370,7 @@ func (db *DB) Crash() {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	db.pool.DropAll()
+	db.pool.Close()
 	db.log.Crash()
 	// The cache's background pipeline is volatile: abort it without
 	// draining, losing staged pages exactly as a crash would.  Whatever
@@ -545,7 +553,14 @@ func (db *DB) Checkpoints() int64 {
 // device overlapping the same way.
 func (db *DB) Elapsed() time.Duration {
 	ps := db.pool.Stats()
-	accesses := ps.Hits + ps.Misses
+	return db.elapsedFor(ps.Hits + ps.Misses)
+}
+
+// elapsedFor computes the modelled elapsed time for a given buffer-access
+// count.  Snapshot passes the access count of the one pool snapshot it
+// already took, so its Elapsed and PageAccesses fields derive from the same
+// counters instead of two reads racing concurrent transactions.
+func (db *DB) elapsedFor(accesses int64) time.Duration {
 	resources := []metrics.Resource{
 		metrics.DeviceResource(db.dataDev),
 		metrics.DeviceResource(db.logDev),
@@ -565,8 +580,12 @@ type Snapshot struct {
 	PageAccesses int64
 	Checkpoints  int64
 	Pool         buffer.Stats
-	Cache        face.Stats
-	Pipeline     metrics.PipelineStats
+	// PoolShards is the per-shard breakdown of Pool: one coherent
+	// snapshot per buffer pool shard, in shard order.  A single-shard
+	// pool yields one entry equal to Pool.
+	PoolShards []metrics.ShardStats
+	Cache      face.Stats
+	Pipeline   metrics.PipelineStats
 	// Locks reports page lock manager activity (zero without PageLocks)
 	// and GroupCommit the WAL's commit-force batching.
 	Locks       metrics.LockStats
@@ -576,18 +595,32 @@ type Snapshot struct {
 	Flash       device.Stats
 }
 
-// Snapshot returns the current counters.
+// Snapshot returns the current counters.  The buffer pool is sampled once
+// — one coherent snapshot per shard, aggregated — so PageAccesses, Pool and
+// the Elapsed model all derive from the same counters even while workers
+// keep mutating them.
 func (db *DB) Snapshot() Snapshot {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	ps := db.pool.Stats()
+	perShard := db.pool.ShardStats()
+	var ps buffer.Stats
+	shards := make([]metrics.ShardStats, len(perShard))
+	for i, ss := range perShard {
+		ps.Add(ss)
+		shards[i] = metrics.ShardStats{
+			Shard: i, Hits: ss.Hits, Misses: ss.Misses,
+			Evictions: ss.Evictions, DirtyEvictions: ss.DirtyEvictions,
+			PinWaits: ss.PinWaits,
+		}
+	}
 	s := Snapshot{
-		Elapsed:      db.Elapsed(),
+		Elapsed:      db.elapsedFor(ps.Hits + ps.Misses),
 		Committed:    db.committed,
 		Aborted:      db.aborted,
 		PageAccesses: ps.Hits + ps.Misses,
 		Checkpoints:  db.checkpoints,
 		Pool:         ps,
+		PoolShards:   shards,
 		GroupCommit:  db.log.GroupCommitStats(),
 		Data:         db.dataDev.Stats(),
 		Log:          db.logDev.Stats(),

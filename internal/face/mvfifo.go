@@ -3,6 +3,7 @@ package face
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"github.com/reprolab/face/internal/device"
 	"github.com/reprolab/face/internal/page"
@@ -34,6 +35,12 @@ type MVFIFOConfig struct {
 	// SegmentEntries is the number of metadata entries per persistent
 	// segment (Section 4.1).
 	SegmentEntries int
+	// Stripes is the number of independently locked directory stripes the
+	// lookup structures (page directory, in-transit map) are split over,
+	// so Lookup/Contains on different pages never contend.  Values below
+	// 1 select a single stripe, which reproduces the historical
+	// single-mutex lookup path.
+	Stripes int
 	// DiskWrite writes a dirty page back to the database on disk.
 	DiskWrite DiskWriteFunc
 	// Pull, when non-nil, lets Group Second Chance top up a write group
@@ -49,6 +56,9 @@ func (c *MVFIFOConfig) applyDefaults() {
 	}
 	if c.SegmentEntries <= 0 {
 		c.SegmentEntries = DefaultSegmentEntries
+	}
+	if c.Stripes <= 0 {
+		c.Stripes = 1
 	}
 }
 
@@ -73,52 +83,91 @@ func init() {
 	RegisterPolicy("face", func(p PolicyParams) (Extension, error) {
 		return NewMVFIFO(MVFIFOConfig{
 			Dev: p.Dev, Frames: p.Frames, GroupSize: 1,
-			SegmentEntries: p.SegmentEntries, DiskWrite: p.DiskWrite,
+			SegmentEntries: p.SegmentEntries, Stripes: p.Stripes, DiskWrite: p.DiskWrite,
 		})
 	})
 	RegisterPolicy("face+gr", func(p PolicyParams) (Extension, error) {
 		return NewMVFIFO(MVFIFOConfig{
 			Dev: p.Dev, Frames: p.Frames, GroupSize: groupOrDefault(p.GroupSize),
-			SegmentEntries: p.SegmentEntries, DiskWrite: p.DiskWrite,
+			SegmentEntries: p.SegmentEntries, Stripes: p.Stripes, DiskWrite: p.DiskWrite,
 		})
 	})
 	RegisterPolicy("face+gsc", func(p PolicyParams) (Extension, error) {
 		return NewMVFIFO(MVFIFOConfig{
 			Dev: p.Dev, Frames: p.Frames, GroupSize: groupOrDefault(p.GroupSize), SecondChance: true,
-			SegmentEntries: p.SegmentEntries, DiskWrite: p.DiskWrite, Pull: p.Pull,
+			SegmentEntries: p.SegmentEntries, Stripes: p.Stripes, DiskWrite: p.DiskWrite, Pull: p.Pull,
 		})
 	})
 }
 
-// frameMeta is the in-memory metadata of one flash frame.
+// frameMeta is the in-memory metadata of one flash frame (writer-path
+// state, guarded by mu).  The reference bit lives in MVFIFO.refs so the
+// lock-free lookup path can set it without touching mu.
 type frameMeta struct {
 	id    page.ID
 	lsn   page.LSN
 	valid bool
 	dirty bool
-	ref   bool
 	used  bool
+}
+
+// dirEntry is one page's entry in the striped lookup directory: the
+// absolute queue position of its valid copy plus the copy's LSN and dirty
+// flag, denormalized from the frame metadata so a lookup never needs the
+// queue metadata lock.  Writers keep the entry in sync with meta under the
+// owning stripe's lock.
+type dirEntry struct {
+	pos   uint64
+	lsn   page.LSN
+	dirty bool
+}
+
+// dirStripe is one independently locked slice of the lookup structures.
+// Lookups for a page take only its stripe's lock; the writer path takes
+// stripe locks nested inside mu (never the other way around), so lookups
+// on different pages proceed concurrently with each other and with group
+// writes.
+type dirStripe struct {
+	mu  sync.Mutex
+	dir map[page.ID]dirEntry // page id -> valid copy
+	// transit holds pages that are momentarily in neither the queue nor
+	// the DRAM buffer: second-chance survivors between makeRoom clearing
+	// their old frame and the re-enqueue publishing the new one, and DRAM
+	// victims pulled into a write group.  Lookups are served from it so a
+	// dirty page can never miss into a stale disk copy mid-group-write.
+	transit map[page.ID]stageItem
+
+	// Lookup-path counters, folded into Stats on demand.
+	lookups    int64
+	hits       int64
+	flashReads int64
 }
 
 // MVFIFO is the FaCE cache manager: a multi-version FIFO queue of page
 // frames on flash with optional group replacement and group second chance,
 // plus a persistent metadata directory for recovery.
 //
-// Concurrency is split between two locks so that lookups never wait on
-// group writes:
+// Concurrency is split between three layers so that lookups never wait on
+// group writes or on each other:
 //
-//   - mu guards the queue metadata (front, seq, meta, dir, stats) and is
-//     never held across device I/O.  Lookup resolves a frame under mu,
-//     reads the frame with mu released, and revalidates under mu — a frame
-//     recycled mid-read fails revalidation and the lookup retries.
+//   - stripes: the page directory and in-transit map are striped by page
+//     id, each stripe under its own mutex.  Lookup and Contains touch only
+//     the target page's stripe; a group write publishing other pages never
+//     blocks them.  Directory entries carry the position, LSN and dirty
+//     flag of the valid copy, so the lookup path resolves, reads the
+//     device, and revalidates entirely under the stripe lock.
+//   - mu guards the queue metadata (front, seq, meta, writer-side stats)
+//     and is never held across device I/O.  The writer path may take a
+//     stripe lock while holding mu; the reverse order never occurs.
 //   - wrMu serializes the writer path (StageIn/StageBatch, Checkpoint,
 //     Recover, FlushAll) and protects the metadata directory; the device
-//     I/O of a group write happens under wrMu alone, so concurrent
-//     Lookup/Contains proceed while a group write is in flight.
+//     I/O of a group write happens under wrMu alone.
 //
-// Torn reads cannot escape: a writer only reuses a frame slot after
-// makeRoom cleared that slot's metadata under mu, so a reader racing the
-// rewrite always fails revalidation.
+// Torn reads cannot escape: queue positions are absolute and never reused,
+// and a frame slot is only rewritten after makeRoom removed (under the
+// stripe locks) every directory entry pointing into the recycled window.
+// A lookup that resolved position p before the removal revalidates
+// dir[id].pos == p after its device read and retries when the entry moved.
 type MVFIFO struct {
 	cfg    MVFIFOConfig
 	layout layout
@@ -136,17 +185,20 @@ type MVFIFO struct {
 	seq   uint64
 
 	meta []frameMeta
-	dir  map[page.ID]uint64 // page id -> absolute position of the valid copy
 
-	// transit holds pages that are momentarily in neither the queue nor
-	// the DRAM buffer: second-chance survivors between makeRoom clearing
-	// their old frame and the re-enqueue publishing the new one, and DRAM
-	// victims pulled into a write group.  Lookups are served from it so a
-	// dirty page can never miss into a stale disk copy mid-group-write.
-	transit map[page.ID]stageItem
+	// stats holds the writer-path counters; the lookup-path counters live
+	// in the stripes and are folded in by Stats.
+	stats Stats
 
-	stats  Stats
-	closed bool
+	// stripes is the striped lookup directory; see dirStripe.
+	stripes []*dirStripe
+
+	// refs holds the per-slot reference bits consulted by Group Second
+	// Chance.  They are atomic so the lookup path can set them without
+	// taking mu.
+	refs []atomic.Bool
+
+	closed atomic.Bool
 
 	// metadir is writer-path state, protected by wrMu.
 	metadir *metaDirectory
@@ -188,8 +240,8 @@ func NewMVFIFO(cfg MVFIFOConfig) (*MVFIFO, error) {
 		cfg:     cfg,
 		layout:  lay,
 		meta:    make([]frameMeta, cfg.Frames),
-		dir:     make(map[page.ID]uint64, cfg.Frames),
-		transit: make(map[page.ID]stageItem),
+		refs:    make([]atomic.Bool, cfg.Frames),
+		stripes: newStripes(cfg.Stripes, cfg.Frames),
 	}
 	// The persistent superblock is written lazily (on the first metadata
 	// flush or checkpoint) so that constructing a manager over a device
@@ -197,6 +249,32 @@ func NewMVFIFO(cfg MVFIFOConfig) (*MVFIFO, error) {
 	// clobber the recoverable state.
 	m.metadir = newMetaDirectory(cfg.Dev, lay, cfg.SegmentEntries)
 	return m, nil
+}
+
+// newStripes allocates n directory stripes sized for the given frame count.
+func newStripes(n, frames int) []*dirStripe {
+	if n < 1 {
+		n = 1
+	}
+	per := frames/n + 1
+	out := make([]*dirStripe, n)
+	for i := range out {
+		out[i] = &dirStripe{
+			dir:     make(map[page.ID]dirEntry, per),
+			transit: make(map[page.ID]stageItem),
+		}
+	}
+	return out
+}
+
+// stripe returns the directory stripe holding the given page id, using the
+// same Fibonacci hash as the buffer pool shards.
+func (m *MVFIFO) stripe(id page.ID) *dirStripe {
+	if len(m.stripes) == 1 {
+		return m.stripes[0]
+	}
+	h := uint64(id) * 0x9E3779B97F4A7C15
+	return m.stripes[h%uint64(len(m.stripes))]
 }
 
 // Name returns the policy name.
@@ -208,6 +286,9 @@ func (m *MVFIFO) Capacity() int { return m.cfg.Frames }
 // GroupSize returns the replacement batch size.
 func (m *MVFIFO) GroupSize() int { return m.cfg.GroupSize }
 
+// Stripes returns the number of directory stripes.
+func (m *MVFIFO) Stripes() int { return len(m.stripes) }
+
 // Len returns the number of occupied frames, including invalid duplicates.
 func (m *MVFIFO) Len() int {
 	m.mu.Lock()
@@ -215,20 +296,40 @@ func (m *MVFIFO) Len() int {
 	return int(m.seq - m.front)
 }
 
-// Stats returns a snapshot of the statistics.
+// Stats returns a snapshot of the statistics: the writer-path counters
+// under mu plus the lookup-path counters of every stripe, each read under
+// its own lock.  mu is held across the stripe sweep (the writer-path
+// nesting order) so the queue window and the directory sizes come from
+// one moment — Duplicates can never go negative against a concurrent
+// stage-in.
 func (m *MVFIFO) Stats() Stats {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	s := m.stats
-	s.Duplicates = int64(m.seq-m.front) - int64(len(m.dir))
+	window := int64(m.seq - m.front)
+	dirLen := int64(0)
+	for _, st := range m.stripes {
+		st.mu.Lock()
+		s.Lookups += st.lookups
+		s.Hits += st.hits
+		s.FlashPageReads += st.flashReads
+		dirLen += int64(len(st.dir))
+		st.mu.Unlock()
+	}
+	m.mu.Unlock()
+	s.Duplicates = window - dirLen
 	return s
 }
 
 // ResetStats clears the statistics.
 func (m *MVFIFO) ResetStats() {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	m.stats = Stats{}
+	m.mu.Unlock()
+	for _, st := range m.stripes {
+		st.mu.Lock()
+		st.lookups, st.hits, st.flashReads = 0, 0, 0
+		st.mu.Unlock()
+	}
 }
 
 // noteDiskWrite records a completed asynchronous destage disk write.
@@ -238,58 +339,62 @@ func (m *MVFIFO) noteDiskWrite() {
 	m.stats.DiskPageWrites++
 }
 
-// Contains reports whether a valid copy of the page is cached.
+// Contains reports whether a valid copy of the page is cached.  It takes
+// only the page's stripe lock, so probes for different pages never contend
+// with each other or with an in-flight group write.
 func (m *MVFIFO) Contains(id page.ID) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if _, ok := m.dir[id]; ok {
+	st := m.stripe(id)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, ok := st.dir[id]; ok {
 		return true
 	}
-	_, ok := m.transit[id]
+	_, ok := st.transit[id]
 	return ok
 }
 
 // Lookup searches the cache for the page and, on a hit, copies the frame
 // into buf and sets the frame's reference bit (used by second chance).
 //
-// The frame is read from the device without holding the metadata lock, so
-// lookups proceed while a group write is in flight.  If the frame is
-// recycled during the read (directory entry moved, slot reused) the stale
-// image is discarded and the lookup retries from the directory.
+// The lookup runs entirely against the page's directory stripe: resolve
+// the position, read the frame from the device with the stripe lock
+// released, and revalidate that the directory still points at the same
+// absolute position.  Positions are never reused, and a writer recycling
+// the slot removes or repoints the entry first (under this stripe's lock),
+// so a stale image always fails revalidation and the lookup retries.
 func (m *MVFIFO) Lookup(id page.ID, buf page.Buf) (bool, bool, error) {
-	m.mu.Lock()
-	if m.closed {
-		m.mu.Unlock()
+	if m.closed.Load() {
 		return false, false, ErrClosed
 	}
-	m.stats.Lookups++
+	capacity := uint64(m.cfg.Frames)
+	st := m.stripe(id)
+	st.mu.Lock()
+	st.lookups++
 	for {
-		pos, ok := m.dir[id]
+		e, ok := st.dir[id]
 		if !ok {
-			found, dirty := m.transitLookupLocked(id, buf)
-			m.mu.Unlock()
+			found, dirty := st.transitLookupLocked(id, buf)
+			st.mu.Unlock()
 			return found, dirty, nil
 		}
-		slot := pos % uint64(m.cfg.Frames)
-		fm := m.meta[slot]
-		if !fm.valid || fm.id != id {
-			// A stale directory entry should never survive invalidation.
-			delete(m.dir, id)
-			found, dirty := m.transitLookupLocked(id, buf)
-			m.mu.Unlock()
-			return found, dirty, nil
-		}
-		m.mu.Unlock()
+		slot := e.pos % capacity
+		st.mu.Unlock()
 		if err := m.cfg.Dev.ReadAt(m.layout.frameBlock(slot), buf); err != nil {
 			return false, false, fmt.Errorf("face: reading frame %d: %w", slot, err)
 		}
-		m.mu.Lock()
-		m.stats.FlashPageReads++
-		if cur, ok := m.dir[id]; ok && cur == pos && m.meta[slot].valid && m.meta[slot].id == id {
-			m.stats.Hits++
-			m.meta[slot].ref = true
-			dirty := m.meta[slot].dirty
-			m.mu.Unlock()
+		st.mu.Lock()
+		st.flashReads++
+		if cur, ok := st.dir[id]; ok && cur.pos == e.pos {
+			st.hits++
+			dirty := cur.dirty
+			// Set the reference bit before releasing the stripe lock: a
+			// writer recycling this slot removes the directory entry under
+			// this lock first, so a bit set here can never land on a slot
+			// already republished as a different page.  (A ref arriving
+			// just as the replacement decision is being made may still be
+			// lost, as on a real system.)
+			m.refs[slot].Store(true)
+			st.mu.Unlock()
 			return true, dirty, nil
 		}
 		// The frame was replaced while we read it; resolve again.
@@ -297,14 +402,14 @@ func (m *MVFIFO) Lookup(id page.ID, buf page.Buf) (bool, bool, error) {
 }
 
 // transitLookupLocked serves a page from the in-transit map.  The caller
-// holds mu.
-func (m *MVFIFO) transitLookupLocked(id page.ID, buf page.Buf) (bool, bool) {
-	t, ok := m.transit[id]
+// holds the stripe lock.
+func (st *dirStripe) transitLookupLocked(id page.ID, buf page.Buf) (bool, bool) {
+	t, ok := st.transit[id]
 	if !ok {
 		return false, false
 	}
 	copy(buf, t.data)
-	m.stats.Hits++
+	st.hits++
 	return true, t.dirty
 }
 
@@ -333,11 +438,10 @@ func (m *MVFIFO) StageBatch(in []StageItem) error {
 	m.wrMu.Lock()
 	defer m.wrMu.Unlock()
 
-	m.mu.Lock()
-	if m.closed {
-		m.mu.Unlock()
+	if m.closed.Load() {
 		return ErrClosed
 	}
+	m.mu.Lock()
 	items := make([]stageItem, 0, len(in))
 	for _, it := range in {
 		m.stats.StageIns++
@@ -347,7 +451,17 @@ func (m *MVFIFO) StageBatch(in []StageItem) error {
 			m.stats.CleanStageIns++
 		}
 		if !it.FDirty {
-			if _, cached := m.dir[it.ID]; cached {
+			st := m.stripe(it.ID)
+			st.mu.Lock()
+			_, cached := st.dir[it.ID]
+			if !cached {
+				// A second-chance survivor between its frame being
+				// recycled and its re-enqueue counts as cached too: it is
+				// about to be republished.
+				_, cached = st.transit[it.ID]
+			}
+			st.mu.Unlock()
+			if cached {
 				// An identical copy is already in the flash cache.
 				continue
 			}

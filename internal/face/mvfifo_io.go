@@ -4,10 +4,12 @@ package face
 // replacement, destaging, checkpointing and recovery.  Everything here
 // runs on the writer path (under wrMu); the metadata lock mu is taken only
 // for the short windows that mutate queue state, never across device I/O,
+// and the striped directory locks are taken nested inside mu (or alone),
 // so Lookup and Contains proceed while a group write is in flight.
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"github.com/reprolab/face/internal/page"
 )
@@ -70,27 +72,33 @@ func (m *MVFIFO) enqueue(items []stageItem) error {
 		// Decide whether this item becomes the valid copy of the page.  A
 		// write group may contain two versions of the same page — e.g. a
 		// second-chance survivor re-enqueued after a newer incoming
-		// version — so the page LSN decides which copy stays valid.
+		// version — so the page LSN decides which copy stays valid.  The
+		// directory entry mirrors the valid copy's LSN, so the decision
+		// and the publication happen together under the stripe lock.
+		st := m.stripe(it.id)
+		st.mu.Lock()
 		newest := true
-		if old, ok := m.dir[it.id]; ok {
-			oldSlot := old % capacity
+		if old, ok := st.dir[it.id]; ok {
+			oldSlot := old.pos % capacity
 			if m.meta[oldSlot].valid && m.meta[oldSlot].id == it.id {
 				if m.meta[oldSlot].lsn > it.lsn {
 					newest = false
-				} else if old >= m.front && old < pos {
+				} else if old.pos >= m.front && old.pos < pos {
 					m.meta[oldSlot].valid = false
 					m.stats.Invalidations++
 				}
 			}
 		}
-		m.meta[slot] = frameMeta{id: it.id, lsn: it.lsn, valid: newest, dirty: it.dirty, ref: it.ref, used: true}
+		m.meta[slot] = frameMeta{id: it.id, lsn: it.lsn, valid: newest, dirty: it.dirty, used: true}
+		m.refs[slot].Store(it.ref)
 		if newest {
-			m.dir[it.id] = pos
+			st.dir[it.id] = dirEntry{pos: pos, lsn: it.lsn, dirty: it.dirty}
 		} else {
 			m.stats.Invalidations++
 		}
 		// The page is reachable through the directory again.
-		delete(m.transit, it.id)
+		delete(st.transit, it.id)
+		st.mu.Unlock()
 	}
 	m.mu.Unlock()
 
@@ -147,16 +155,19 @@ func (m *MVFIFO) makeRoom(reserve int) ([]stageItem, error) {
 		return nil, fmt.Errorf("face: internal error: empty queue in makeRoom")
 	}
 	front := m.front
-	// Snapshot the group's metadata.  Only writers mutate it and they are
-	// serialized by wrMu; concurrent lookups may still set reference bits,
-	// but a reference arriving after this point no longer saves the frame
-	// (the same race exists on a real system between the replacement
-	// decision and the I/O it issues).
+	// Snapshot the group's metadata and reference bits.  Only writers
+	// mutate the metadata and they are serialized by wrMu; concurrent
+	// lookups may still set reference bits, but a reference arriving after
+	// this point no longer saves the frame (the same race exists on a real
+	// system between the replacement decision and the I/O it issues).
 	metas := make([]frameMeta, group)
+	refs := make([]bool, group)
 	needData := false
 	for i := 0; i < group; i++ {
-		metas[i] = m.meta[(front+uint64(i))%capacity]
-		if metas[i].valid && (metas[i].dirty || (m.cfg.SecondChance && metas[i].ref)) {
+		slot := (front + uint64(i)) % capacity
+		metas[i] = m.meta[slot]
+		refs[i] = m.refs[slot].Load()
+		if metas[i].valid && (metas[i].dirty || (m.cfg.SecondChance && refs[i])) {
 			needData = true
 		}
 	}
@@ -184,7 +195,7 @@ func (m *MVFIFO) makeRoom(reserve int) ([]stageItem, error) {
 			continue
 		}
 		switch {
-		case m.cfg.SecondChance && fm.ref:
+		case m.cfg.SecondChance && refs[i]:
 			// Second chance: re-enqueue regardless of dirtiness.
 			survivors = append(survivors, stageItem{id: fm.id, data: frames[i], dirty: fm.dirty, lsn: fm.lsn, pos: pos})
 		case fm.dirty:
@@ -194,29 +205,39 @@ func (m *MVFIFO) makeRoom(reserve int) ([]stageItem, error) {
 		}
 	}
 
-	// Publish: clear the group's metadata and advance the front.  From
-	// here on the freed slots may be rewritten; a lookup racing a rewrite
-	// fails revalidation because the metadata was cleared first.
-	// Survivors stay reachable through the transit map until the caller's
-	// re-enqueue publishes their new frames.
+	// Publish: clear the group's metadata, remove the directory entries
+	// pointing into the recycled window, and advance the front.  From here
+	// on the freed slots may be rewritten; a lookup racing a rewrite fails
+	// revalidation because its directory entry was removed (or repointed)
+	// under the stripe lock first.  Survivors stay reachable through the
+	// transit map until the caller's re-enqueue publishes their new frames.
 	m.mu.Lock()
 	for _, s := range survivors {
-		m.transit[s.id] = s
+		st := m.stripe(s.id)
+		st.mu.Lock()
+		st.transit[s.id] = s
+		st.mu.Unlock()
 	}
 	for i := 0; i < group; i++ {
-		slot := (front + uint64(i)) % capacity
+		pos := front + uint64(i)
+		slot := pos % capacity
 		fm := &m.meta[slot]
 		if fm.valid {
-			switch {
-			case m.cfg.SecondChance && metas[i].ref:
+			if m.cfg.SecondChance && refs[i] {
 				m.stats.SecondChances++
-			default:
-				if cur, ok := m.dir[fm.id]; ok && cur == front+uint64(i) {
-					delete(m.dir, fm.id)
-				}
 			}
+			// Drop the directory entry for the recycled position whether
+			// the frame is staged out or re-enqueued: survivors are served
+			// from the transit map until their new position is published.
+			st := m.stripe(fm.id)
+			st.mu.Lock()
+			if cur, ok := st.dir[fm.id]; ok && cur.pos == pos {
+				delete(st.dir, fm.id)
+			}
+			st.mu.Unlock()
 		}
 		*fm = frameMeta{}
+		m.refs[slot].Store(false)
 	}
 	m.front = front + uint64(group)
 	m.mu.Unlock()
@@ -236,18 +257,15 @@ func (m *MVFIFO) makeRoom(reserve int) ([]stageItem, error) {
 				return nil, err
 			}
 		}
-		m.mu.Lock()
-		if cur, ok := m.dir[victim.id]; ok && cur == victim.pos {
-			delete(m.dir, victim.id)
-		}
 		// A dirty victim stays visible through the destager until its disk
 		// write lands; a clean one is current on disk.
-		delete(m.transit, victim.id)
-		m.mu.Unlock()
+		st := m.stripe(victim.id)
+		st.mu.Lock()
+		delete(st.transit, victim.id)
+		st.mu.Unlock()
 	}
-	// Survivors will be re-enqueued by the caller; their directory entries
-	// still point at positions now outside the window, which enqueue will
-	// overwrite.
+	// Survivors will be re-enqueued by the caller, which publishes their
+	// new directory entries.
 
 	// Top up the write group with victims pulled from the DRAM buffer.
 	if m.cfg.SecondChance && m.cfg.Pull != nil {
@@ -263,8 +281,15 @@ func (m *MVFIFO) makeRoom(reserve int) ([]stageItem, error) {
 				} else {
 					m.stats.CleanStageIns++
 				}
+				st := m.stripe(p.ID)
+				st.mu.Lock()
 				if !p.FDirty {
-					if _, cached := m.dir[p.ID]; cached {
+					_, cached := st.dir[p.ID]
+					if !cached {
+						_, cached = st.transit[p.ID]
+					}
+					if cached {
+						st.mu.Unlock()
 						continue
 					}
 				}
@@ -272,7 +297,8 @@ func (m *MVFIFO) makeRoom(reserve int) ([]stageItem, error) {
 				survivors = append(survivors, it)
 				// The pulled victim has already left the DRAM buffer; keep
 				// it reachable until its new frame is published.
-				m.transit[p.ID] = it
+				st.transit[p.ID] = it
+				st.mu.Unlock()
 			}
 			m.mu.Unlock()
 		}
@@ -369,11 +395,10 @@ func (m *MVFIFO) readFrames(start uint64, n int) ([]page.Buf, error) {
 func (m *MVFIFO) Checkpoint() error {
 	m.wrMu.Lock()
 	defer m.wrMu.Unlock()
-	m.mu.Lock()
-	if m.closed {
-		m.mu.Unlock()
+	if m.closed.Load() {
 		return ErrClosed
 	}
+	m.mu.Lock()
 	seq, front := m.seq, m.front
 	m.mu.Unlock()
 	flushes, err := m.metadir.flush(seq, m.clampFront(front))
@@ -389,7 +414,8 @@ func (m *MVFIFO) Checkpoint() error {
 // metadata segments are read back and the frames written after the last
 // metadata flush are rediscovered by scanning their headers and enqueue
 // stamps (Section 4.2).  It runs before the cache is shared, so it holds
-// both locks for its duration.
+// the writer and metadata locks for its duration (the stripe locks are
+// taken per entry).
 func (m *MVFIFO) Recover() error {
 	m.wrMu.Lock()
 	defer m.wrMu.Unlock()
@@ -402,14 +428,37 @@ func (m *MVFIFO) Recover() error {
 	capacity := uint64(m.cfg.Frames)
 	m.front = front
 	m.meta = make([]frameMeta, m.cfg.Frames)
-	m.dir = make(map[page.ID]uint64, m.cfg.Frames)
-	m.transit = make(map[page.ID]stageItem)
+	m.refs = make([]atomic.Bool, m.cfg.Frames)
+	m.stripes = newStripes(m.cfg.Stripes, m.cfg.Frames)
 
 	apply := func(pos uint64, id page.ID, lsn page.LSN, dirty bool) {
 		slot := pos % capacity
 		newest := true
-		if old, ok := m.dir[id]; ok && old >= m.front {
-			oldSlot := old % capacity
+		// The recovered window can be wider than the frame array when the
+		// persisted front lags the pre-crash front, so two replayed
+		// positions may share a physical slot.  The slot's bytes belong to
+		// the later position; a directory entry still pointing at the
+		// earlier one would serve them as the wrong page (or the wrong
+		// version), and unlike the live path nothing removed it before the
+		// slot was reused.  Drop it here — and when the overwritten
+		// occupant was a newer version of this same page, remember that the
+		// current copy now lives on disk (it was staged out when the old
+		// position left the window), not in this slot.
+		if prev := m.meta[slot]; prev.used && prev.valid {
+			pst := m.stripe(prev.id)
+			pst.mu.Lock()
+			if cur, ok := pst.dir[prev.id]; ok && cur.pos != pos && cur.pos%capacity == slot {
+				if prev.id == id && prev.lsn > lsn {
+					newest = false
+				}
+				delete(pst.dir, prev.id)
+			}
+			pst.mu.Unlock()
+		}
+		st := m.stripe(id)
+		st.mu.Lock()
+		if old, ok := st.dir[id]; ok && old.pos >= m.front {
+			oldSlot := old.pos % capacity
 			if m.meta[oldSlot].id == id && m.meta[oldSlot].valid {
 				if m.meta[oldSlot].lsn > lsn {
 					newest = false
@@ -420,8 +469,9 @@ func (m *MVFIFO) Recover() error {
 		}
 		m.meta[slot] = frameMeta{id: id, lsn: lsn, valid: newest, dirty: dirty, used: true}
 		if newest {
-			m.dir[id] = pos
+			st.dir[id] = dirEntry{pos: pos, lsn: lsn, dirty: dirty}
 		}
+		st.mu.Unlock()
 	}
 
 	// Replay persisted entries for positions still inside the queue window.
@@ -458,6 +508,35 @@ func (m *MVFIFO) Recover() error {
 	}
 	if m.seq < m.front {
 		m.seq = m.front
+	}
+
+	// Clamp the recovered window to the frame array.  The persisted front
+	// can lag the pre-crash front (it is recorded at metadata flushes and,
+	// under asynchronous destaging, clamped to un-landed destages), so
+	// seq-front may exceed the number of physical slots.  Positions below
+	// seq-capacity are below the pre-crash front, which only ever advanced
+	// past landed destages — their disk copies are current — and their
+	// slots alias newer positions, so keeping them would let the live
+	// replacement path recycle a slot out from under a still-published
+	// directory entry.  Drop them and start the queue from a window that
+	// fits.
+	if m.seq > m.front+capacity {
+		newFront := m.seq - capacity
+		for _, st := range m.stripes {
+			st.mu.Lock()
+			for id, e := range st.dir {
+				if e.pos >= newFront {
+					continue
+				}
+				slot := e.pos % capacity
+				if m.meta[slot].id == id && m.meta[slot].valid {
+					m.meta[slot] = frameMeta{}
+				}
+				delete(st.dir, id)
+			}
+			st.mu.Unlock()
+		}
+		m.front = newFront
 	}
 	return nil
 }
@@ -497,6 +576,13 @@ func (m *MVFIFO) FlushAll() error {
 		}
 		m.mu.Lock()
 		m.meta[slot].dirty = false
+		st := m.stripe(t.id)
+		st.mu.Lock()
+		if cur, ok := st.dir[t.id]; ok && cur.pos == t.pos {
+			cur.dirty = false
+			st.dir[t.id] = cur
+		}
+		st.mu.Unlock()
 		m.mu.Unlock()
 	}
 	return nil

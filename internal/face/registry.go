@@ -22,6 +22,10 @@ type PolicyParams struct {
 	GroupSize int
 	// SegmentEntries sizes the persistent metadata segments (0 = default).
 	SegmentEntries int
+	// Stripes is the number of directory stripes the lookup structures
+	// are split over (0 = 1, the historical single-mutex path).  Policies
+	// without striped structures ignore it.
+	Stripes int
 	// CleanThreshold is the lazy-cleaner dirty fraction (0 = default).
 	CleanThreshold float64
 	// DiskWrite writes a dirty page back to the database on disk.

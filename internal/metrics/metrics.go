@@ -162,6 +162,47 @@ func (p PipelineStats) Sub(prior PipelineStats) PipelineStats {
 	}
 }
 
+// ShardStats is the per-shard breakdown of buffer pool activity under the
+// striped pool: one coherent counter snapshot per shard.  Comparing shards
+// diagnoses stripe imbalance (a hot page id range funnelling into one
+// shard's mutex).
+type ShardStats struct {
+	// Shard is the shard index, in pool order.
+	Shard int
+	// Hits/Misses/Evictions/DirtyEvictions/PinWaits mirror the pool-wide
+	// counters, restricted to this shard.
+	Hits           int64
+	Misses         int64
+	Evictions      int64
+	DirtyEvictions int64
+	PinWaits       int64
+}
+
+// Accesses returns the shard's buffer access count.
+func (s ShardStats) Accesses() int64 { return s.Hits + s.Misses }
+
+// ShardImbalance returns the ratio of the busiest shard's access count to
+// the mean across shards (1.0 = perfectly even, N = everything on one of N
+// shards).  It returns 0 when there are no shards or no accesses.
+func ShardImbalance(shards []ShardStats) float64 {
+	if len(shards) == 0 {
+		return 0
+	}
+	var total, max int64
+	for _, s := range shards {
+		a := s.Accesses()
+		total += a
+		if a > max {
+			max = a
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	mean := float64(total) / float64(len(shards))
+	return float64(max) / mean
+}
+
 // LockStats captures the activity of the page-level lock manager
 // (internal/lock) behind the multi-writer transaction scheduler.  All
 // fields are cumulative counters; two snapshots subtract to measure a

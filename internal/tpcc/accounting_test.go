@@ -1,0 +1,143 @@
+package tpcc
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/reprolab/face/internal/engine"
+)
+
+// TestRunTerminalsForcedDeadlockAccounting is the deadlock-retry
+// accounting regression test: every schedule slot must land in the
+// counters exactly once — Committed[kind] or RolledBack — no matter how
+// many times it was retried as a deadlock victim, and the database must
+// reflect exactly the committed work.  A double-counted retry inflates
+// tpmC precisely when terminal counts (and so deadlock rates) are high.
+//
+// Deadlocks are forced, not hoped for: while the terminals run, a
+// saboteur transaction repeatedly locks a stock page and then a district
+// page — the opposite of New-Order's district-early, stock-late order.  A
+// New-Order holding its district and reaching for the saboteur's stock
+// page closes an AB/BA cycle and is chosen as the victim, so the driver's
+// retry path runs continuously.
+func TestRunTerminalsForcedDeadlockAccounting(t *testing.T) {
+	const (
+		terminals = 8
+		total     = 400
+	)
+	eng := newLockEngine(t, terminals+1) // +1 admission slot for the saboteur
+	db, err := Load(eng, tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr := NewDriver(eng, db, 42)
+
+	stop := make(chan struct{})
+	var saboteurWG sync.WaitGroup
+	saboteurWG.Add(1)
+	go func() {
+		defer saboteurWG.Done()
+		ctx := context.Background()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			cfg := db.Config()
+			dist := i%cfg.DistrictsPerWarehouse + 1
+			item := i%cfg.Items + 1
+			err := eng.Update(ctx, func(tx *engine.Tx) error {
+				// Stock pages first, district second: the reverse of
+				// New-Order.  The mutations are no-ops (nothing is
+				// logged), but Modify still takes the exclusive page
+				// locks and holds them to commit.  The sleep parks the
+				// saboteur mid-transaction so terminal transactions get
+				// the CPU and queue up against the held stock pages
+				// (without it, transactions on a single-core runner barely
+				// overlap and cycles never form).
+				for j := 0; j < 8; j++ {
+					it := (item + j*13) % db.Config().Items
+					rid, ok, err := db.stockIdx.Get(tx, stockKey(1, it+1))
+					if err != nil {
+						return err
+					}
+					if !ok {
+						continue
+					}
+					if err := db.stock.Update(tx, rid, func([]byte) error { return nil }); err != nil {
+						return err
+					}
+				}
+				time.Sleep(200 * time.Microsecond)
+				return db.district.Update(tx, db.districtRID[districtKey(1, dist)], func([]byte) error {
+					return nil
+				})
+			})
+			if err != nil && !errors.Is(err, engine.ErrDeadlock) {
+				// The engine may already be closing when the run ends.
+				if errors.Is(err, engine.ErrClosed) {
+					return
+				}
+				t.Errorf("saboteur: %v", err)
+				return
+			}
+		}
+	}()
+
+	if err := dr.RunTerminals(context.Background(), terminals, total); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	saboteurWG.Wait()
+
+	c := dr.Counts()
+	// Exactly one outcome per schedule slot.
+	if got := c.Total() + c.RolledBack; got != total {
+		t.Fatalf("%d outcomes recorded for %d slots (counts %+v) — deadlock retries double-counted",
+			got, total, c)
+	}
+	if c.DeadlockRetries == 0 {
+		t.Fatal("saboteur forced no driver-side deadlock retries; the retry path went unexercised")
+	}
+	snap := eng.Snapshot()
+	if snap.Locks.Deadlocks == 0 {
+		t.Fatal("lock manager reported no deadlocks")
+	}
+	// Every driver retry is a rolled-back attempt the engine aborted.
+	if snap.Aborted < c.DeadlockRetries {
+		t.Fatalf("%d deadlock retries but only %d engine aborts", c.DeadlockRetries, snap.Aborted)
+	}
+
+	// The database state must equal the committed work exactly: each
+	// committed New-Order advanced one district order id; retried and
+	// rolled-back attempts must have left no trace.
+	cfg := db.Config()
+	var advanced int64
+	err = eng.View(context.Background(), func(tx *engine.Tx) error {
+		for w := 1; w <= cfg.Warehouses; w++ {
+			for dist := 1; dist <= cfg.DistrictsPerWarehouse; dist++ {
+				rid := db.districtRID[districtKey(w, dist)]
+				if err := db.district.Get(tx, rid, func(rec []byte) error {
+					advanced += int64(districtNextOrder(rec) - (cfg.InitialOrdersPerDistrict + 1))
+					return nil
+				}); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if advanced != c.NewOrders() {
+		t.Fatalf("district order ids advanced by %d, want %d committed New-Orders (%d deadlock retries left traces)",
+			advanced, c.NewOrders(), c.DeadlockRetries)
+	}
+	t.Logf("%d committed, %d rolled back, %d driver deadlock retries, %d lock-manager deadlocks",
+		c.Total(), c.RolledBack, c.DeadlockRetries, snap.Locks.Deadlocks)
+}

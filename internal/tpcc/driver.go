@@ -292,6 +292,12 @@ func (dr *Driver) RunTerminals(ctx context.Context, terminals, total int) error 
 // runSlot executes one scheduled transaction, retrying deadlock victims.
 // The parameter stream is rebuilt from the slot seed on every attempt, so
 // a retry re-executes the identical transaction.
+//
+// Exactly one outcome is recorded per schedule slot — Committed[kind] for
+// the attempt that commits, RolledBack for the attempt that reaches its
+// expected New-Order rollback — and never for an attempt aborted as a
+// deadlock victim.  Those only tick DeadlockRetries, so tpmC counts each
+// scheduled transaction at most once no matter how often it was retried.
 func (dr *Driver) runSlot(ctx context.Context, kind Kind, seed int64) error {
 	readonly := kind == KindOrderStatus || kind == KindStockLevel
 	for attempt := 0; ; attempt++ {
@@ -310,13 +316,11 @@ func (dr *Driver) runSlot(ctx context.Context, kind Kind, seed int64) error {
 			dr.counts.Committed[kind]++
 			dr.mu.Unlock()
 			return nil
-		case errors.Is(err, ErrRollback):
-			// Expected New-Order rollback: already rolled back by Update.
-			dr.mu.Lock()
-			dr.counts.RolledBack++
-			dr.mu.Unlock()
-			return nil
 		case errors.Is(err, engine.ErrDeadlock):
+			// Checked before ErrRollback: an error carrying both (a
+			// rollback whose abort lost a deadlock) is an aborted attempt,
+			// not a completed one, and must be retried — counting it as a
+			// rollback would both miscount and silently drop the retry.
 			if attempt >= maxDeadlockRetries {
 				return fmt.Errorf("tpcc: %s deadlocked %d times: %w", kind, attempt, err)
 			}
@@ -334,6 +338,19 @@ func (dr *Driver) runSlot(ctx context.Context, kind Kind, seed int64) error {
 			case <-ctx.Done():
 				return ctx.Err()
 			}
+		case errors.Is(err, ErrRollback):
+			// Expected New-Order rollback, already rolled back by Update.
+			// The scheduler returns the closure's ErrRollback verbatim only
+			// when the rollback itself succeeded; anything joined onto it
+			// means the abort failed, and counting that as a clean rollback
+			// would swallow a broken engine state.
+			if err != ErrRollback {
+				return fmt.Errorf("tpcc: %s rollback did not complete cleanly: %w", kind, err)
+			}
+			dr.mu.Lock()
+			dr.counts.RolledBack++
+			dr.mu.Unlock()
+			return nil
 		default:
 			return fmt.Errorf("tpcc: %s: %w", kind, err)
 		}

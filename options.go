@@ -61,6 +61,42 @@ func WithBufferPages(n int) Option {
 	}
 }
 
+// WithBufferShards sets the number of independently locked shards the
+// DRAM buffer pool is striped over.  Each shard has its own mutex, LRU
+// list and statistics, and pages are assigned to shards by a hash of
+// their id, so concurrent transactions hitting different pages never
+// serialize on one pool lock.  The default derives the count from
+// GOMAXPROCS; WithBufferShards(1) reproduces the single-mutex global-LRU
+// pool (useful when strict LRU eviction order matters more than
+// scalability).  The count is clamped so every shard holds at least one
+// page.
+func WithBufferShards(n int) Option {
+	return func(c *engine.Config) error {
+		if n < 1 {
+			return fmt.Errorf("face: WithBufferShards(%d): must be at least 1", n)
+		}
+		c.BufferShards = n
+		return nil
+	}
+}
+
+// WithCacheStripes sets the number of independently locked stripes the
+// flash cache's lookup structures (the page directory and the in-transit
+// map) are split over, so cache probes for different pages never contend
+// with each other or with an in-flight group write.  The default derives
+// the count from GOMAXPROCS; WithCacheStripes(1) reproduces the
+// single-mutex lookup path.  Policies without striped lookup structures
+// ("lc", "wt") ignore it.
+func WithCacheStripes(n int) Option {
+	return func(c *engine.Config) error {
+		if n < 1 {
+			return fmt.Errorf("face: WithCacheStripes(%d): must be at least 1", n)
+		}
+		c.CacheStripes = n
+		return nil
+	}
+}
+
 // WithFlashFrames sets the flash cache capacity in 4 KiB page frames.  It
 // is required by every policy that uses flash.
 func WithFlashFrames(n int) Option {
