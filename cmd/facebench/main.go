@@ -28,8 +28,20 @@
 // retrying transactions that lose a deadlock; the default keeps the
 // paper-faithful single-stream driver.
 //
+// With -dir PATH every configuration runs on persistent file-backed
+// devices in a fresh subdirectory of PATH instead of the simulated
+// in-memory devices: real pread/pwrite I/O, a real fsync on every commit
+// force and checkpoint, and restart recovery replaying from real files.
+// Wall-clock tpmC becomes the headline column; the simulated-time figures
+// no longer model the run.  -wallclock adds the wall-clock columns without
+// changing the backend, and -nofsync disables the durability barrier for
+// faster sweeps:
+//
+//	facebench -quick -dir $(mktemp -d) table3
+//	facebench -quick -dir $(mktemp -d) shards
+//
 // With -json the results are emitted as one machine-readable JSON document
-// (schema "facebench/v2") instead of text tables, so a perf trajectory can
+// (schema "facebench/v4") instead of text tables, so a perf trajectory can
 // be tracked across commits, e.g.:
 //
 //	facebench -quick -json ablations > BENCH_ablations.json
@@ -64,6 +76,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		jsonOut    = fs.Bool("json", false, "emit machine-readable JSON instead of text tables")
 		terminals  = fs.Int("terminals", 0, "run throughput experiments from N concurrent terminals under the 2PL scheduler (0 = classic single-stream driver)")
 		shards     = fs.Int("shards", 0, "stripe the DRAM buffer pool and flash cache directory over N shards (0 = 1, the single-mutex structures)")
+		dir        = fs.String("dir", "", "run on persistent file-backed devices in subdirectories of this path (default: simulated in-memory devices)")
+		wallclock  = fs.Bool("wallclock", false, "show wall-clock throughput columns even on the in-memory backend")
+		nofsync    = fs.Bool("nofsync", false, "disable the fsync durability barrier of the file backend (-dir)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: facebench [flags] <table1|table3|table4|fig4|table5|fig5|table6|fig6|lockmgr|shards|ablations|policies|all>\n")
@@ -99,6 +114,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *shards > 0 {
 		opts.Shards = *shards
+	}
+	if *dir != "" {
+		opts.Dir = *dir
+	}
+	if *wallclock {
+		opts.Wallclock = true
+	}
+	if *nofsync {
+		opts.NoFsync = true
 	}
 	if *verbose {
 		opts.Progress = stderr

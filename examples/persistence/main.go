@@ -1,0 +1,142 @@
+// persistence: open a database on real files, commit transactions with a
+// real fsync behind every commit, kill the instance without any shutdown,
+// and reopen the directory — restart recovery replays the write-ahead log
+// and the flash cache metadata from disk and every committed transaction
+// is back.
+//
+// Run with:
+//
+//	go run ./examples/persistence [dir]
+//
+// Without an argument a temporary directory is used and removed at the
+// end; with one, the database is left on disk so a second run demonstrates
+// recovery across processes.
+package main
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/reprolab/face"
+)
+
+const counters = 8
+
+func options(dir string) []face.Option {
+	return []face.Option{
+		face.WithDir(dir),
+		face.WithPolicy(face.PolicyFaCEGSC),
+		face.WithBufferPages(64),
+		face.WithFlashFrames(512),
+	}
+}
+
+func main() {
+	dir := ""
+	tmp := ""
+	if len(os.Args) > 1 {
+		dir = os.Args[1]
+	} else {
+		var err error
+		if tmp, err = os.MkdirTemp("", "face-persistence-*"); err != nil {
+			log.Fatal(err)
+		}
+		dir = tmp
+	}
+	// log.Fatal would skip deferred cleanup, so run the demo in a helper
+	// and remove the temp directory on every outcome.
+	err := run(dir)
+	if tmp != "" {
+		os.RemoveAll(tmp)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(dir string) error {
+	db, err := face.Open(options(dir)...)
+	if err != nil {
+		return err
+	}
+	if rep := db.RecoveryReport(); rep != nil {
+		fmt.Printf("existing database recovered: %d records scanned, %d redone, %d pages from flash\n",
+			rep.RecordsScanned, rep.RedoApplied, rep.FlashReads)
+	} else {
+		fmt.Printf("fresh database created in %s\n", dir)
+	}
+
+	// A page per counter; each committed transaction increments one.
+	ctx := context.Background()
+	var ids [counters]face.PageID
+	err = db.Update(ctx, func(tx *face.Tx) error {
+		for i := range ids {
+			var err error
+			if ids[i], err = tx.Alloc(face.TypeHeap); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	var want [counters]uint64
+	for n := 0; n < 100; n++ {
+		i := n % counters
+		err := db.Update(ctx, func(tx *face.Tx) error {
+			return tx.Modify(ids[i], func(buf face.PageBuf) error {
+				v := binary.LittleEndian.Uint64(buf.Payload()) + 1
+				binary.LittleEndian.PutUint64(buf.Payload(), v)
+				want[i] = v
+				return nil
+			})
+		})
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Printf("committed 100 increments across %d pages (every commit fsynced)\n", counters)
+
+	// Kill the instance: buffer pool, log tail and cache metadata are
+	// gone; only the files remain.
+	db.Crash()
+	fmt.Println("crashed without shutdown")
+
+	// Reopen the same directory: recovery is automatic.
+	db2, err := face.Open(options(dir)...)
+	if err != nil {
+		return err
+	}
+	defer db2.Close()
+	rep := db2.RecoveryReport()
+	if rep == nil {
+		return fmt.Errorf("reopen ran no recovery")
+	}
+	fmt.Printf("recovered: %d records scanned, %d redone, %d winner / %d loser txns\n",
+		rep.RecordsScanned, rep.RedoApplied, rep.WinnerTxns, rep.LoserTxns)
+
+	err = db2.View(ctx, func(tx *face.Tx) error {
+		for i, id := range ids {
+			if err := tx.Read(id, func(buf face.PageBuf) error {
+				got := binary.LittleEndian.Uint64(buf.Payload())
+				if got != want[i] {
+					return fmt.Errorf("page %d: recovered %d, committed %d", id, got, want[i])
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("all committed counters intact after kill-and-reopen")
+	return nil
+}

@@ -22,6 +22,21 @@
 //	    face.WithFlashFrames(4096),
 //	)
 //
+// # Persistence
+//
+// WithDir replaces the simulated devices with real files in a directory —
+// data.db, wal.log and flash.cache — whose writes go through pread/pwrite
+// and whose durability barriers are real fsyncs:
+//
+//	db, err := face.Open(
+//	    face.WithDir("/var/lib/mydb"),
+//	    face.WithPolicy(face.PolicyFaCEGSC),
+//	    face.WithFlashFrames(4096),
+//	)
+//
+// Reopening an existing directory runs restart recovery automatically, so
+// a process kill followed by Open recovers every committed transaction.
+//
 // # Transactions
 //
 // Work happens in closure transactions.  Any number of View transactions
@@ -121,6 +136,10 @@ type (
 	// ShardStats is the per-shard breakdown of buffer pool activity under
 	// WithBufferShards; DB.Snapshot carries one per shard.
 	ShardStats = metrics.ShardStats
+	// CacheStripeStats is the per-stripe breakdown of flash cache lookup
+	// activity under WithCacheStripes; DB.Snapshot carries one per stripe
+	// and metrics.StripeImbalance summarises the spread.
+	CacheStripeStats = metrics.CacheStripeStats
 	// GroupCommitStats is a snapshot of the write-ahead log's commit
 	// batching (requests, device writes, piggybacked forces); it is part
 	// of DB.Snapshot.

@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"os"
+	"testing"
+
+	"github.com/reprolab/face/internal/engine"
+)
+
+// TestFileBackendRun drives one configuration end to end on the
+// file-backed device stack: golden image installed into real files, the
+// workload running with wall-clock accounting, and the per-run clone
+// directory removed afterwards.
+func TestFileBackendRun(t *testing.T) {
+	opts := QuickOptions()
+	opts.Dir = t.TempDir()
+	opts.NoFsync = true // keep the unit test fast; fsync is covered by the wal/engine tests
+	g, err := BuildGolden(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := g.Run(RunSpec{
+		Policy:        engine.PolicyFaCEGSC,
+		CacheFraction: 0.15,
+		WarmupTx:      40,
+		MeasureTx:     80,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Backend != BackendFile {
+		t.Fatalf("Backend = %q, want %q", res.Backend, BackendFile)
+	}
+	if !res.WallclockMode {
+		t.Fatal("file-backend result not marked for wall-clock reporting")
+	}
+	if res.WallClock <= 0 || res.TpmCWall <= 0 {
+		t.Fatalf("wall-clock figures missing: wall=%v tpmCWall=%f", res.WallClock, res.TpmCWall)
+	}
+	if res.NewOrders <= 0 {
+		t.Fatal("no NewOrder transactions measured")
+	}
+	if res.FlashHitRate <= 0 {
+		t.Fatal("flash cache served no hits on the file backend")
+	}
+	// The per-run clone directory is removed once the run ends.
+	entries, err := os.ReadDir(opts.Dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("run directories left behind: %v", entries)
+	}
+
+	// An explicit Backend overrides the option-level default.
+	memRes, err := g.Run(RunSpec{
+		Policy:        engine.PolicyFaCEGSC,
+		CacheFraction: 0.15,
+		Backend:       BackendMem,
+		WarmupTx:      40,
+		MeasureTx:     80,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if memRes.Backend != BackendMem {
+		t.Fatalf("explicit mem backend reported %q", memRes.Backend)
+	}
+}

@@ -48,6 +48,18 @@ func pct(v float64) string        { return fmt.Sprintf("%.1f", v*100) }
 func fnum(v float64) string       { return fmt.Sprintf("%.0f", v) }
 func fdur(d time.Duration) string { return d.Round(time.Millisecond).String() }
 
+// wallclockMode reports whether the rows ask for the wall-clock headline
+// columns (file backend, or the -wallclock flag).  Reports for the default
+// in-memory simulated runs stay byte-identical.
+func wallclockMode(rows []Result) bool {
+	for _, r := range rows {
+		if r.WallclockMode {
+			return true
+		}
+	}
+	return false
+}
+
 // FormatTable1 renders the device characteristics table.
 func FormatTable1(rows []Table1Row) string {
 	headers := []string{"Device", "Media", "RandRd IOPS", "RandWr IOPS", "SeqRd MB/s", "SeqWr MB/s", "GB", "$", "$/GB"}
@@ -253,8 +265,12 @@ func FormatFigure6(f Figure6Result) string {
 // FormatAsyncAblation renders the sync-vs-async I/O ablation with the
 // pipeline counters that explain the difference.
 func FormatAsyncAblation(rows []Result) string {
+	wall := wallclockMode(rows)
 	headers := []string{"Config", "tpmC", "flash hit %", "write red. %", "DRAM hit %",
 		"group fill", "coalesced", "stalls", "stall", "destages"}
+	if wall {
+		headers = append(headers, "tpmC (wall)")
+	}
 	var out [][]string
 	for _, r := range rows {
 		fill, coalesced, stalls, stall, destages := "-", "-", "-", "-", "-"
@@ -265,10 +281,14 @@ func FormatAsyncAblation(rows []Result) string {
 			stall = fdur(r.Pipeline.StallTime)
 			destages = fmt.Sprintf("%d", r.Pipeline.Destages)
 		}
-		out = append(out, []string{
+		row := []string{
 			r.Label, fnum(r.TpmC), pct(r.FlashHitRate), pct(r.WriteReduction), pct(r.DRAMHitRate),
 			fill, coalesced, stalls, stall, destages,
-		})
+		}
+		if wall {
+			row = append(row, fnum(r.TpmCWall))
+		}
+		out = append(out, row)
 	}
 	return "Ablation: synchronous vs asynchronous flash I/O pipeline\n" + formatTable(headers, out)
 }
@@ -277,8 +297,12 @@ func FormatAsyncAblation(rows []Result) string {
 // comparison: throughput alongside the scheduler's own vital signs (lock
 // waits, deadlock retries, group-commit fan-in).
 func FormatLockAblation(rows []Result) string {
+	wall := wallclockMode(rows)
 	headers := []string{"Scheduler", "terminals", "tpmC", "total tpm",
 		"lock waits", "wait time", "deadlock retries", "upgrades", "log writes", "gc fan-in"}
+	if wall {
+		headers = append(headers, "tpmC (wall)")
+	}
 	var out [][]string
 	for _, r := range rows {
 		waits, wait, retries, upgrades, fanin := "-", "-", "-", "-", "-"
@@ -289,10 +313,14 @@ func FormatLockAblation(rows []Result) string {
 			upgrades = fmt.Sprintf("%d", r.Locks.Upgrades)
 			fanin = fmt.Sprintf("%.2f", r.GroupCommit.FanIn())
 		}
-		out = append(out, []string{
+		row := []string{
 			r.Label, fmt.Sprintf("%d", r.Terminals), fnum(r.TpmC), fnum(r.TotalTpm),
 			waits, wait, retries, upgrades, fmt.Sprintf("%d", r.GroupCommit.Forces), fanin,
-		})
+		}
+		if wall {
+			row = append(row, fnum(r.TpmCWall))
+		}
+		out = append(out, row)
 	}
 	return "Ablation: single-writer vs page-level 2PL transaction scheduler\n" + formatTable(headers, out)
 }
@@ -302,24 +330,46 @@ func FormatLockAblation(rows []Result) string {
 // model charges the same work either way); the wall-clock hit throughput
 // is the column the sharding moves.
 func FormatShardAblation(rows []Result) string {
+	wall := wallclockMode(rows)
 	headers := []string{"Config", "shards", "terminals", "tpmC",
 		"DRAM hit %", "hits/s (wall)", "wall clock", "imbalance"}
+	if wall {
+		headers = append(headers, "tpmC (wall)")
+	}
 	var out [][]string
 	for _, r := range rows {
-		out = append(out, []string{
+		row := []string{
 			r.Label, fmt.Sprintf("%d", r.BufferShards), fmt.Sprintf("%d", r.Terminals),
 			fnum(r.TpmC), pct(r.DRAMHitRate), fnum(r.HitsPerSecWall),
 			fdur(r.WallClock), fmt.Sprintf("%.2f", r.ShardImbalance),
-		})
+		}
+		if wall {
+			row = append(row, fnum(r.TpmCWall))
+		}
+		out = append(out, row)
 	}
 	return "Ablation: striped buffer pool / cache directory (hot-path sharding)\n" + formatTable(headers, out)
 }
 
 // FormatResults renders a flat list of results (used by the ablations).
+// Under wall-clock mode (file backend or -wallclock) the wall-clock
+// throughput leads the row: on real devices the simulated-time tpmC no
+// longer models the run.
 func FormatResults(title string, rows []Result) string {
+	wall := wallclockMode(rows)
 	headers := []string{"Config", "tpmC", "total tpm", "flash hit %", "write red. %", "flash util %", "flash IOPS", "DRAM hit %"}
+	if wall {
+		headers = []string{"Config", "tpmC (wall)", "wall clock", "tpmC (sim)", "flash hit %", "write red. %", "DRAM hit %"}
+	}
 	var out [][]string
 	for _, r := range rows {
+		if wall {
+			out = append(out, []string{
+				r.Label, fnum(r.TpmCWall), fdur(r.WallClock), fnum(r.TpmC),
+				pct(r.FlashHitRate), pct(r.WriteReduction), pct(r.DRAMHitRate),
+			})
+			continue
+		}
 		out = append(out, []string{
 			r.Label, fnum(r.TpmC), fnum(r.TotalTpm),
 			pct(r.FlashHitRate), pct(r.WriteReduction), pct(r.FlashUtilization),

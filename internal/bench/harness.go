@@ -3,9 +3,11 @@ package bench
 import (
 	"context"
 	"fmt"
+	"os"
 	"time"
 
 	"github.com/reprolab/face/internal/device"
+	"github.com/reprolab/face/internal/device/filedev"
 	"github.com/reprolab/face/internal/engine"
 	"github.com/reprolab/face/internal/face"
 	"github.com/reprolab/face/internal/metrics"
@@ -72,10 +74,24 @@ func (g *Golden) progress(format string, args ...interface{}) {
 	}
 }
 
+// Device backends a configuration can run on.
+const (
+	// BackendMem is the simulated in-memory device stack with calibrated
+	// latency profiles (the paper-faithful default).
+	BackendMem = "mem"
+	// BackendFile is the persistent file-backed device stack
+	// (internal/device/filedev): real files, real fsync, wall-clock
+	// latencies.
+	BackendFile = "file"
+)
+
 // RunSpec describes one experiment configuration.
 type RunSpec struct {
 	// Label names the configuration in reports (defaults to the policy).
 	Label string
+	// Backend selects the device stack: BackendMem or BackendFile ("" =
+	// BackendFile when Options.Dir is set, BackendMem otherwise).
+	Backend string
 	// Policy selects the cache scheme (PolicyNone for HDD-only/SSD-only).
 	Policy engine.CachePolicy
 	// CacheFraction sizes the flash cache as a fraction of the database.
@@ -143,7 +159,10 @@ func (s RunSpec) label() string {
 // Result is the measurement of one configuration over its measurement
 // window.
 type Result struct {
-	Label         string
+	Label string
+	// Backend echoes the device stack the configuration ran on
+	// (BackendMem or BackendFile).
+	Backend       string
 	Policy        engine.CachePolicy
 	CacheFraction float64
 	CacheFrames   int
@@ -186,9 +205,12 @@ type Result struct {
 
 	// BufferShards echoes the buffer pool shard / cache stripe count and
 	// ShardImbalance the busiest-to-mean access ratio across shards over
-	// the whole run (1.0 = perfectly even).
-	BufferShards   int
-	ShardImbalance float64
+	// the whole run (1.0 = perfectly even).  CacheStripeImbalance is the
+	// same ratio across the flash cache's directory stripes (0 without a
+	// flash cache or without lookups; a single-stripe cache reports 1.0).
+	BufferShards         int
+	ShardImbalance       float64
+	CacheStripeImbalance float64
 	// WallClock is the host wall-clock time of the measurement phase and
 	// HitsPerSecWall the DRAM buffer hits retired per wall-clock second —
 	// the quantity the sharding actually improves.  Simulated-time figures
@@ -196,25 +218,58 @@ type Result struct {
 	// host-side lock contention, so shard scaling shows up here instead.
 	WallClock      time.Duration
 	HitsPerSecWall float64
+	// TpmCWall is the NewOrder throughput per wall-clock minute.  On the
+	// file backend it is the headline figure: the devices have real
+	// latency and real fsync, so simulated time no longer models the run.
+	TpmCWall float64
+	// WallclockMode marks a result whose text reports should lead with
+	// the wall-clock columns (file backend, or Options.Wallclock).  The
+	// name deliberately avoids a case-only collision with the WallClock
+	// duration in the JSON schema.
+	WallclockMode bool
 }
 
 // runEnv is a fully constructed experiment instance.
 type runEnv struct {
 	spec     RunSpec
+	backend  string
 	eng      *engine.DB
 	driver   *tpcc.Driver
 	dataDev  device.Dev
-	logDev   *device.Device
-	flashDev *device.Device
+	logDev   device.Dev
+	flashDev device.Dev
+	// files is the file-backed device set under BackendFile (nil on
+	// BackendMem); the harness owns it and closes it when the run ends.
+	files    *filedev.Set
 	frames   int
 	bufPages int
 	shards   int
+}
+
+// cleanup releases backend resources once the run (including any
+// crash/restart cycle reusing the devices) is over.  The per-run clone
+// directory is removed with its device files: it exists only to give the
+// configuration a private copy of the golden image.
+func (env *runEnv) cleanup() {
+	if env.files != nil {
+		dir := env.files.Dir
+		env.files.Close()
+		env.files = nil
+		os.RemoveAll(dir)
+	}
 }
 
 // build constructs devices, engine and driver for a spec, cloning the
 // golden image.
 func (g *Golden) build(spec RunSpec, recoverMode bool, reuse *runEnv) (*runEnv, error) {
 	opts := g.opts
+	if spec.Backend == "" {
+		if opts.Dir != "" {
+			spec.Backend = BackendFile
+		} else {
+			spec.Backend = BackendMem
+		}
+	}
 	if spec.DiskCount <= 0 {
 		spec.DiskCount = opts.DefaultDisks
 	}
@@ -232,21 +287,12 @@ func (g *Golden) build(spec RunSpec, recoverMode bool, reuse *runEnv) (*runEnv, 
 
 	var env *runEnv
 	if reuse != nil {
-		// Reuse devices across a crash: contents must survive.
+		// Reuse devices across a crash: contents must survive.  On the
+		// file backend the same open files are reattached, which is
+		// exactly the reopen-after-crash path recovery replays against.
 		env = reuse
 	} else {
-		env = &runEnv{spec: spec}
-		// Data device: RAID-0 of disks, or a single SSD for SSD-only.
-		if spec.DataOnFlash {
-			d := device.New("data-ssd", spec.FlashProfile, int64(len(g.content))+8192)
-			d.LoadLogical(g.content)
-			env.dataDev = d
-		} else {
-			a := device.NewArray("data", device.ProfileCheetah15K, spec.DiskCount, int64(len(g.content))+8192)
-			a.LoadLogical(g.content)
-			env.dataDev = a
-		}
-		env.logDev = device.New("log", device.ProfileCheetah15K, 1<<18)
+		env = &runEnv{spec: spec, backend: spec.Backend}
 
 		env.bufPages = spec.BufferPages
 		if env.bufPages <= 0 {
@@ -255,14 +301,75 @@ func (g *Golden) build(spec RunSpec, recoverMode bool, reuse *runEnv) (*runEnv, 
 		if env.bufPages < opts.MinBufferPages {
 			env.bufPages = opts.MinBufferPages
 		}
-
 		if spec.Policy.UsesFlash() {
 			env.frames = int(float64(g.dbPages) * spec.CacheFraction)
 			if env.frames < groupSize*2 {
 				env.frames = groupSize * 2
 			}
-			lay := int64(env.frames) + int64(env.frames/segEntries+4)*int64(segEntries*24/device.BlockSize+1) + 16
-			env.flashDev = device.New("flash", spec.FlashProfile, lay+int64(env.frames))
+		}
+		// The flash device holds the layout (superblock + metadata
+		// segments + frames) plus the shared headroom.
+		flashBlocks := face.FlashDeviceBlocks(env.frames, segEntries) + face.FlashDeviceSlack
+
+		switch spec.Backend {
+		case BackendFile:
+			if opts.Dir == "" {
+				return nil, fmt.Errorf("bench: %s requests the file backend but Options.Dir is empty", spec.label())
+			}
+			if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+				return nil, fmt.Errorf("bench: creating %s: %w", opts.Dir, err)
+			}
+			dir, err := os.MkdirTemp(opts.Dir, "face-run-*")
+			if err != nil {
+				return nil, fmt.Errorf("bench: creating run directory: %w", err)
+			}
+			// The worker pool stands in for the device class: one stream
+			// for the single-SSD (DataOnFlash) configuration, one per
+			// member disk for the striped-array configurations.
+			workers := spec.DiskCount
+			if spec.DataOnFlash {
+				workers = 1
+			}
+			cfg := filedev.SetConfig{
+				DataBlocks: int64(len(g.content)) + 8192,
+				LogBlocks:  1 << 18,
+				Workers:    workers,
+				NoFsync:    opts.NoFsync,
+			}
+			if spec.Policy.UsesFlash() {
+				cfg.FlashBlocks = flashBlocks
+			}
+			set, err := filedev.OpenSet(dir, cfg)
+			if err != nil {
+				os.RemoveAll(dir)
+				return nil, fmt.Errorf("bench: opening file devices for %s: %w", spec.label(), err)
+			}
+			if err := set.Data.LoadLogical(g.content); err != nil {
+				set.Close()
+				os.RemoveAll(dir)
+				return nil, fmt.Errorf("bench: loading golden image into %s: %w", dir, err)
+			}
+			env.files = set
+			env.dataDev = set.Data
+			env.logDev = set.Log
+			if set.Flash != nil {
+				env.flashDev = set.Flash
+			}
+		default:
+			// Data device: RAID-0 of disks, or a single SSD for SSD-only.
+			if spec.DataOnFlash {
+				d := device.New("data-ssd", spec.FlashProfile, int64(len(g.content))+8192)
+				d.LoadLogical(g.content)
+				env.dataDev = d
+			} else {
+				a := device.NewArray("data", device.ProfileCheetah15K, spec.DiskCount, int64(len(g.content))+8192)
+				a.LoadLogical(g.content)
+				env.dataDev = a
+			}
+			env.logDev = device.New("log", device.ProfileCheetah15K, 1<<18)
+			if spec.Policy.UsesFlash() {
+				env.flashDev = device.New("flash", spec.FlashProfile, flashBlocks)
+			}
 		}
 	}
 
@@ -308,6 +415,10 @@ func (g *Golden) build(spec RunSpec, recoverMode bool, reuse *runEnv) (*runEnv, 
 	}
 	eng, err := engine.Open(cfg)
 	if err != nil {
+		// The caller never sees the env, so release its backend resources
+		// here (no-op for in-memory devices, idempotent for a reused env
+		// whose owner also cleans up).
+		env.cleanup()
 		return nil, fmt.Errorf("bench: opening %s: %w", spec.label(), err)
 	}
 	env.shards = shards
@@ -332,6 +443,7 @@ func (g *Golden) Run(spec RunSpec) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	defer env.cleanup()
 	warmup := spec.WarmupTx
 	if warmup == 0 {
 		warmup = g.opts.WarmupTx
@@ -347,12 +459,16 @@ func (g *Golden) Run(spec RunSpec) (Result, error) {
 		return env.driver.RunMany(n)
 	}
 	if err := runPhase(warmup); err != nil {
+		// Stop the engine's background machinery before the deferred
+		// cleanup closes the devices out from under it.
+		env.eng.Crash()
 		return Result{}, fmt.Errorf("bench: warm-up of %s: %w", spec.label(), err)
 	}
 	before := env.eng.Snapshot()
 	beforeCounts := env.driver.Counts()
 	wallStart := time.Now()
 	if err := runPhase(measure); err != nil {
+		env.eng.Crash()
 		return Result{}, fmt.Errorf("bench: measurement of %s: %w", spec.label(), err)
 	}
 	wall := time.Since(wallStart)
@@ -364,6 +480,7 @@ func (g *Golden) Run(spec RunSpec) (Result, error) {
 	if hits := after.Pool.Hits - before.Pool.Hits; hits > 0 && wall > 0 {
 		res.HitsPerSecWall = float64(hits) / wall.Seconds()
 	}
+	res.TpmCWall = metrics.PerMinute(res.NewOrders, wall)
 	// Close the instance so background pipeline goroutines (async I/O) are
 	// drained and stopped; the devices are discarded with the env.
 	if err := env.eng.Close(); err != nil {
@@ -381,6 +498,8 @@ func (g *Golden) summarize(env *runEnv, spec RunSpec, before, after engine.Snaps
 
 	res := Result{
 		Label:         spec.label(),
+		Backend:       env.backend,
+		WallclockMode: g.opts.Wallclock || env.backend == BackendFile,
 		Policy:        spec.Policy,
 		CacheFraction: spec.CacheFraction,
 		CacheFrames:   env.frames,
@@ -421,6 +540,7 @@ func (g *Golden) summarize(env *runEnv, spec RunSpec, before, after engine.Snaps
 	res.GroupCommit = after.GroupCommit.Sub(before.GroupCommit)
 	res.BufferShards = env.shards
 	res.ShardImbalance = metrics.ShardImbalance(after.PoolShards)
+	res.CacheStripeImbalance = metrics.StripeImbalance(after.CacheStripes)
 	return res
 }
 
@@ -474,11 +594,15 @@ func (g *Golden) RunRecovery(spec RunSpec, buckets int, bucketWidth time.Duratio
 	if err != nil {
 		return RecoveryRun{}, err
 	}
+	// The crash/restart cycle below reuses the same devices, so the file
+	// set (if any) is released only when the whole experiment is done.
+	defer env.cleanup()
 	warmup := spec.WarmupTx
 	if warmup == 0 {
 		warmup = g.opts.WarmupTx
 	}
 	if err := env.driver.RunMany(warmup); err != nil {
+		env.eng.Crash()
 		return RecoveryRun{}, fmt.Errorf("bench: recovery warm-up of %s: %w", spec.label(), err)
 	}
 
@@ -492,6 +616,7 @@ func (g *Golden) RunRecovery(spec RunSpec, buckets int, bucketWidth time.Duratio
 	maxTx := 30000
 	for i := 0; i < maxTx; i++ {
 		if _, err := env.driver.RunOne(); err != nil {
+			env.eng.Crash()
 			return RecoveryRun{}, err
 		}
 		now := env.eng.Elapsed()
@@ -512,6 +637,7 @@ func (g *Golden) RunRecovery(spec RunSpec, buckets int, bucketWidth time.Duratio
 	}
 	rep := env2.eng.RecoveryReport()
 	if rep == nil {
+		env2.eng.Crash()
 		return RecoveryRun{}, fmt.Errorf("bench: %s: restart produced no recovery report", spec.label())
 	}
 	run := RecoveryRun{
@@ -534,6 +660,7 @@ func (g *Golden) RunRecovery(spec RunSpec, buckets int, bucketWidth time.Duratio
 		prevNewOrders := env2.driver.Counts().NewOrders()
 		for {
 			if _, err := env2.driver.RunOne(); err != nil {
+				env2.eng.Crash()
 				return RecoveryRun{}, err
 			}
 			now := rep.TotalTime + (env2.eng.Snapshot().Elapsed - base.Elapsed)

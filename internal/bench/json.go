@@ -14,7 +14,11 @@ import (
 // v3 adds the hot-path sharding fields (BufferShards, ShardImbalance,
 // WallClock, HitsPerSecWall), the shards ablation experiment, and the
 // Shards option.
-const ReportSchema = "facebench/v3"
+// v4 adds the persistent file-backed device mode: the Dir/Wallclock/
+// NoFsync options, the Backend field on RunSpec and Result, the wall-clock
+// headline throughput (TpmCWall, Wallclock), and the striped cache
+// directory diagnostics (CacheStripeImbalance).
+const ReportSchema = "facebench/v4"
 
 // Report is the machine-readable form of a facebench run: the options the
 // golden image was built with plus one entry per executed experiment.  The

@@ -72,6 +72,22 @@ type Options struct {
 	// the historical single-mutex structures — so published experiment
 	// numbers do not depend on the machine's core count.
 	Shards int
+	// Dir, when non-empty, runs every configuration on persistent
+	// file-backed devices (internal/device/filedev) in a fresh
+	// subdirectory of Dir per run instead of the simulated in-memory
+	// devices (the facebench -dir flag): pread/pwrite I/O, real fsync on
+	// every commit force and checkpoint, and restart recovery replaying
+	// from real files.  Wall-clock figures (TpmCWall, WallClock) become
+	// the headline columns of the text reports.
+	Dir string
+	// Wallclock adds the wall-clock throughput columns to the text
+	// reports even for in-memory runs (they are always included when Dir
+	// selects the file backend).  JSON reports carry both either way.
+	Wallclock bool
+	// NoFsync disables the fsync durability barrier of the file backend
+	// (the facebench -nofsync flag): faster sweeps, host-crash durability
+	// forfeited.  Ignored without Dir.
+	NoFsync bool
 	// Terminals, when set (1 or more), runs every throughput experiment
 	// with the page-lock (2PL) transaction scheduler and this many
 	// concurrent terminal goroutines instead of the classic single-stream

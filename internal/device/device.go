@@ -45,6 +45,26 @@ type Dev interface {
 	Name() string
 }
 
+// Syncer is implemented by devices with an explicit durability barrier
+// (file-backed devices expose fsync this way).  The simulated in-memory
+// devices are always "durable" and do not implement it.
+type Syncer interface {
+	// Sync blocks until every completed write has reached stable storage.
+	Sync() error
+}
+
+// Sync flushes dev to stable storage when it supports a durability
+// barrier and is a no-op otherwise (including for a nil device).  The
+// write-ahead log force, destage watermark and checkpoint paths call it so
+// their ordering guarantees hold on real media without the simulated
+// devices paying for a method they do not need.
+func Sync(dev Dev) error {
+	if s, ok := dev.(Syncer); ok && s != nil {
+		return s.Sync()
+	}
+	return nil
+}
+
 // Stats accumulates operation counts and simulated busy time for a device.
 type Stats struct {
 	RandReads  int64

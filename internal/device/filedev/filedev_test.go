@@ -1,0 +1,320 @@
+package filedev
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"github.com/reprolab/face/internal/device"
+)
+
+func openTestDev(t *testing.T, blocks int64, opts Options) *Device {
+	t.Helper()
+	d, err := Open("test", filepath.Join(t.TempDir(), "dev.img"), blocks, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	return d
+}
+
+func blockOf(b byte) []byte {
+	p := make([]byte, device.BlockSize)
+	for i := range p {
+		p[i] = b
+	}
+	return p
+}
+
+func TestFileDevReadWriteRoundTrip(t *testing.T) {
+	d := openTestDev(t, 64, Options{})
+	if err := d.WriteAt(3, blockOf(0xAB)); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, device.BlockSize)
+	if err := d.ReadAt(3, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, blockOf(0xAB)) {
+		t.Fatal("read back different content")
+	}
+	// A block never written reads as zeros, even past the current file end.
+	if err := d.ReadAt(63, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, make([]byte, device.BlockSize)) {
+		t.Fatal("unwritten block not zero-filled")
+	}
+}
+
+func TestFileDevBounds(t *testing.T) {
+	d := openTestDev(t, 8, Options{})
+	buf := make([]byte, device.BlockSize)
+	if err := d.ReadAt(8, buf); !errors.Is(err, device.ErrOutOfRange) {
+		t.Fatalf("read past capacity: %v, want ErrOutOfRange", err)
+	}
+	if err := d.WriteAt(-1, buf); !errors.Is(err, device.ErrOutOfRange) {
+		t.Fatalf("negative write: %v, want ErrOutOfRange", err)
+	}
+	if err := d.ReadAt(0, buf[:10]); !errors.Is(err, device.ErrShortBuffer) {
+		t.Fatalf("short buffer: %v, want ErrShortBuffer", err)
+	}
+	if err := d.WriteRun(6, [][]byte{blockOf(1), blockOf(2), blockOf(3)}); !errors.Is(err, device.ErrOutOfRange) {
+		t.Fatalf("run past capacity: %v, want ErrOutOfRange", err)
+	}
+}
+
+func TestFileDevRuns(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			d := openTestDev(t, 256, Options{Workers: workers})
+			if got := d.Parallelism(); got != workers {
+				t.Fatalf("Parallelism = %d, want %d", got, workers)
+			}
+			const n = 100
+			pages := make([][]byte, n)
+			for i := range pages {
+				pages[i] = blockOf(byte(i + 1))
+			}
+			if err := d.WriteRun(10, pages); err != nil {
+				t.Fatal(err)
+			}
+			seen := 0
+			err := d.ReadRun(10, n, func(i int, p []byte) error {
+				if i != seen {
+					return fmt.Errorf("out-of-order callback: %d after %d", i, seen-1)
+				}
+				seen++
+				if !bytes.Equal(p, blockOf(byte(i+1))) {
+					return fmt.Errorf("block %d content mismatch", i)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if seen != n {
+				t.Fatalf("saw %d blocks, want %d", seen, n)
+			}
+			s := d.Stats()
+			if s.SeqWrites != n || s.SeqReads != n {
+				t.Fatalf("runs charged as seq %d/%d, want %d/%d", s.SeqReads, s.SeqWrites, n, n)
+			}
+		})
+	}
+}
+
+func TestFileDevSequentialDetection(t *testing.T) {
+	d := openTestDev(t, 64, Options{})
+	buf := blockOf(1)
+	// Blocks 5, 6 — the second write is sequential; block 20 is random.
+	for _, blk := range []int64{5, 6, 20} {
+		if err := d.WriteAt(blk, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := d.Stats()
+	if s.RandWrites != 2 || s.SeqWrites != 1 {
+		t.Fatalf("writes classified rand=%d seq=%d, want 2/1", s.RandWrites, s.SeqWrites)
+	}
+	if s.Busy <= 0 {
+		t.Fatal("no wall-clock busy time accumulated")
+	}
+}
+
+func TestFileDevPersistsAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dev.img")
+	d, err := Open("p", path, 32, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteAt(7, blockOf(0x5A)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	buf := make([]byte, device.BlockSize)
+	if err := d.ReadAt(7, buf); !errors.Is(err, ErrClosed) {
+		t.Fatalf("read after close: %v, want ErrClosed", err)
+	}
+
+	d2, err := Open("p", path, 32, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if err := d2.ReadAt(7, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, blockOf(0x5A)) {
+		t.Fatal("content did not survive reopen")
+	}
+}
+
+func TestFileDevSyncCounting(t *testing.T) {
+	d := openTestDev(t, 8, Options{})
+	if _, ok := interface{}(d).(device.Syncer); !ok {
+		t.Fatal("filedev.Device does not implement device.Syncer")
+	}
+	if err := device.Sync(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Syncs(); got != 2 {
+		t.Fatalf("Syncs = %d, want 2", got)
+	}
+	// NoFsync still counts the barrier requests.
+	nd := openTestDev(t, 8, Options{NoFsync: true})
+	if nd.Fsync() {
+		t.Fatal("NoFsync device reports fsync enabled")
+	}
+	if err := nd.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := nd.Syncs(); got != 1 {
+		t.Fatalf("NoFsync Syncs = %d, want 1", got)
+	}
+}
+
+func TestFileDevConcurrentAccess(t *testing.T) {
+	d := openTestDev(t, 512, Options{Workers: 4})
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			base := int64(g * 64)
+			for i := 0; i < 20; i++ {
+				blk := base + int64(i%16)
+				want := blockOf(byte(g + 1))
+				if err := d.WriteAt(blk, want); err != nil {
+					errs <- err
+					return
+				}
+				got := make([]byte, device.BlockSize)
+				if err := d.ReadAt(blk, got); err != nil {
+					errs <- err
+					return
+				}
+				if !bytes.Equal(got, want) {
+					errs <- fmt.Errorf("goroutine %d: torn block %d", g, blk)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestFileDevLoadLogical(t *testing.T) {
+	d := openTestDev(t, 64, Options{Workers: 2})
+	blocks := make([][]byte, 20)
+	blocks[0] = blockOf(1)
+	blocks[1] = blockOf(2)
+	blocks[10] = blockOf(3)
+	if err := d.LoadLogical(blocks); err != nil {
+		t.Fatal(err)
+	}
+	if s := d.Stats(); s.Ops() != 0 {
+		t.Fatalf("LoadLogical left %d ops in the stats", s.Ops())
+	}
+	buf := make([]byte, device.BlockSize)
+	for blk, want := range map[int64][]byte{0: blockOf(1), 1: blockOf(2), 10: blockOf(3), 5: make([]byte, device.BlockSize)} {
+		if err := d.ReadAt(blk, buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, want) {
+			t.Fatalf("block %d mismatch after LoadLogical", blk)
+		}
+	}
+}
+
+func TestOpenSetExistedDetection(t *testing.T) {
+	dir := t.TempDir()
+	cfg := SetConfig{DataBlocks: 64, LogBlocks: 64, FlashBlocks: 64}
+	set, err := OpenSet(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Existed {
+		t.Fatal("fresh directory reported Existed")
+	}
+	if set.Flash == nil {
+		t.Fatal("FlashBlocks > 0 but no flash device")
+	}
+	if err := set.Data.WriteAt(0, blockOf(9)); err != nil {
+		t.Fatal(err)
+	}
+	if err := set.Data.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := set.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	set2, err := OpenSet(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer set2.Close()
+	if !set2.Existed {
+		t.Fatal("reopen did not report Existed")
+	}
+	buf := make([]byte, device.BlockSize)
+	if err := set2.Data.ReadAt(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, blockOf(9)) {
+		t.Fatal("data file content lost across OpenSet")
+	}
+
+	// No flash requested: the set opens without one.
+	set3, err := OpenSet(t.TempDir(), SetConfig{DataBlocks: 8, LogBlocks: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer set3.Close()
+	if set3.Flash != nil {
+		t.Fatal("flash device opened without FlashBlocks")
+	}
+}
+
+func TestOpenSetDirectoryLock(t *testing.T) {
+	dir := t.TempDir()
+	cfg := SetConfig{DataBlocks: 8, LogBlocks: 8}
+	set, err := OpenSet(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A second opener of a live directory must fail, not corrupt it.
+	if _, err := OpenSet(dir, cfg); !errors.Is(err, ErrLocked) {
+		t.Fatalf("concurrent OpenSet: %v, want ErrLocked", err)
+	}
+	if err := set.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Closing releases the lock; the directory can be reopened.
+	set2, err := OpenSet(dir, cfg)
+	if err != nil {
+		t.Fatalf("reopen after Close: %v", err)
+	}
+	set2.Close()
+}

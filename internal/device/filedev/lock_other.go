@@ -1,0 +1,22 @@
+//go:build !unix
+
+package filedev
+
+import (
+	"errors"
+	"os"
+)
+
+// errWouldBlock is the sentinel lockDir matches to report ErrLocked.
+var errWouldBlock = errors.New("filedev: lock held")
+
+// flockExclusive is a no-op on platforms without flock: the LOCK file is
+// still created, but concurrent openers of the same directory are not
+// detected.  Single-opener discipline is the caller's responsibility
+// there; the durability machinery is unaffected.
+func flockExclusive(*os.File) error { return nil }
+
+// dirSyncStrict: fsync on a directory handle is unsupported on these
+// platforms (e.g. Windows' FlushFileBuffers needs a writable file), so
+// directory-entry durability is best effort and a failure is ignored.
+const dirSyncStrict = false

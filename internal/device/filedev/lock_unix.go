@@ -1,0 +1,27 @@
+//go:build unix
+
+package filedev
+
+import (
+	"errors"
+	"os"
+	"syscall"
+)
+
+// errWouldBlock is the sentinel lockDir matches to report ErrLocked.
+var errWouldBlock = error(syscall.EWOULDBLOCK)
+
+// dirSyncStrict: unix filesystems support fsync on a directory fd, so a
+// failure there is a real durability problem and fails the open.
+const dirSyncStrict = true
+
+// flockExclusive takes a non-blocking exclusive flock on f.  The kernel
+// releases it when the descriptor closes — including on process death —
+// so a killed instance never wedges its directory.
+func flockExclusive(f *os.File) error {
+	err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+	if errors.Is(err, syscall.EWOULDBLOCK) {
+		return errWouldBlock
+	}
+	return err
+}

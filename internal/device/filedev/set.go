@@ -1,0 +1,215 @@
+package filedev
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// File names of the devices inside a database directory.
+const (
+	DataFile  = "data.db"
+	LogFile   = "wal.log"
+	FlashFile = "flash.cache"
+	// LockName is the advisory lock file guarding the directory against a
+	// second concurrent opener.
+	LockName = "LOCK"
+)
+
+// ErrLocked is returned by OpenSet when another live process (or another
+// Set in this process) holds the directory.
+var ErrLocked = errors.New("filedev: database directory is locked by another instance")
+
+// Default capacities used when SetConfig leaves a size at zero.  Files are
+// sparse, so generous logical capacities cost no disk space until written.
+const (
+	// DefaultDataBlocks is 4 GiB of 4 KiB pages.
+	DefaultDataBlocks = 1 << 20
+	// DefaultLogBlocks is 1 GiB of write-ahead log.
+	DefaultLogBlocks = 1 << 18
+)
+
+// SetConfig sizes and configures the device set of a database directory.
+type SetConfig struct {
+	// DataBlocks, LogBlocks and FlashBlocks are the device capacities (0 =
+	// DefaultDataBlocks / DefaultLogBlocks; FlashBlocks 0 opens no flash
+	// device).
+	DataBlocks, LogBlocks, FlashBlocks int64
+	// Workers is the data device's worker pool width / Parallelism (<= 0:
+	// 1).  The log is always sequential (1 worker); the flash device gets
+	// min(Workers, 2).
+	Workers int
+	// NoFsync disables the fsync durability barrier on all three devices.
+	NoFsync bool
+}
+
+// Set is the trio of file-backed devices a database directory holds.
+// Flash is nil when SetConfig.FlashBlocks was zero.
+type Set struct {
+	Dir   string
+	Data  *Device
+	Log   *Device
+	Flash *Device
+	// Existed reports whether the directory already contained an
+	// initialised data file, i.e. this open is a reopen (the recovery
+	// path) rather than a fresh create.
+	Existed bool
+
+	// lock holds the flock on the directory's LOCK file for the Set's
+	// lifetime.  The kernel releases it when the file closes — including
+	// on process death — so a killed instance never wedges its directory.
+	lock *os.File
+}
+
+// lockDir takes a non-blocking exclusive lock on dir/LOCK, failing with
+// ErrLocked when another live holder exists.  The lock itself is
+// platform-specific (flock on unix; see lock_unix.go / lock_other.go).
+func lockDir(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, LockName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("filedev: opening lock file: %w", err)
+	}
+	if err := flockExclusive(f); err != nil {
+		f.Close()
+		if errors.Is(err, errWouldBlock) {
+			return nil, fmt.Errorf("%w: %s", ErrLocked, dir)
+		}
+		return nil, fmt.Errorf("filedev: locking %s: %w", dir, err)
+	}
+	return f, nil
+}
+
+// syncDir fsyncs a directory so the entries of freshly created files
+// survive a host crash (the create-then-fsync-parent rule).
+func syncDir(path string) error {
+	d, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("filedev: opening %s for sync: %w", path, err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("filedev: syncing directory %s: %w", path, err)
+	}
+	return nil
+}
+
+// OpenSet opens (creating if necessary) the device files of a database
+// directory.  The directory itself is created when missing.
+func OpenSet(dir string, cfg SetConfig) (*Set, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("filedev: empty directory path")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("filedev: creating %s: %w", dir, err)
+	}
+	if cfg.DataBlocks <= 0 {
+		cfg.DataBlocks = DefaultDataBlocks
+	}
+	if cfg.LogBlocks <= 0 {
+		cfg.LogBlocks = DefaultLogBlocks
+	}
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	flashWorkers := workers
+	if flashWorkers > 2 {
+		flashWorkers = 2
+	}
+
+	lock, err := lockDir(dir)
+	if err != nil {
+		return nil, err
+	}
+
+	// A directory counts as an existing database when either the data
+	// file or the log file holds bytes.  The data file alone is not
+	// enough: a database killed before its first checkpoint has written
+	// nothing but the WAL control block and the flash cache, yet must
+	// still be recovered on reopen.  The probe runs under the lock: a
+	// stale answer from before another opener initialised the directory
+	// would skip recovery of its committed transactions.
+	dataPath := filepath.Join(dir, DataFile)
+	logPath := filepath.Join(dir, LogFile)
+	flashPath := filepath.Join(dir, FlashFile)
+	existed := false
+	for _, p := range []string{dataPath, logPath} {
+		if fi, err := os.Stat(p); err == nil && fi.Size() > 0 {
+			existed = true
+			break
+		}
+	}
+	// Track which device files this open will create: their directory
+	// entries need an explicit fsync (a reopen can still create files —
+	// e.g. flash.cache when a flash policy is first enabled).
+	creating := false
+	paths := []string{dataPath, logPath}
+	if cfg.FlashBlocks > 0 {
+		paths = append(paths, flashPath)
+	}
+	for _, p := range paths {
+		if _, err := os.Stat(p); err != nil {
+			creating = true
+			break
+		}
+	}
+
+	s := &Set{Dir: dir, Existed: existed, lock: lock}
+	s.Data, err = Open("data", dataPath, cfg.DataBlocks, Options{Workers: workers, NoFsync: cfg.NoFsync})
+	if err != nil {
+		s.Close()
+		return nil, err
+	}
+	s.Log, err = Open("log", logPath, cfg.LogBlocks, Options{Workers: 1, NoFsync: cfg.NoFsync})
+	if err != nil {
+		s.Close()
+		return nil, err
+	}
+	if cfg.FlashBlocks > 0 {
+		s.Flash, err = Open("flash", flashPath, cfg.FlashBlocks, Options{Workers: flashWorkers, NoFsync: cfg.NoFsync})
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+	}
+	// Device files were just created: make their directory entries
+	// durable too (fsyncing a file does not fsync the entry naming it),
+	// or a host crash could forget the files despite fsynced contents.
+	if creating && !cfg.NoFsync {
+		// On platforms without directory fsync (see dirSyncStrict) this is
+		// best effort, like the parent sync below.
+		if err := syncDir(dir); err != nil && dirSyncStrict {
+			s.Close()
+			return nil, err
+		}
+		if parent := filepath.Dir(dir); parent != dir {
+			// Best effort for the directory's own entry: the parent may
+			// predate us (and on some filesystems refuse dir fsync).
+			syncDir(parent)
+		}
+	}
+	return s, nil
+}
+
+// Close closes every open device of the set and releases the directory
+// lock, returning the first error.
+func (s *Set) Close() error {
+	var first error
+	for _, d := range []*Device{s.Data, s.Log, s.Flash} {
+		if d == nil {
+			continue
+		}
+		if err := d.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if s.lock != nil {
+		// Closing the descriptor drops the flock.
+		if err := s.lock.Close(); err != nil && first == nil {
+			first = err
+		}
+		s.lock = nil
+	}
+	return first
+}

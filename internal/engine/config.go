@@ -8,11 +8,14 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"time"
 
 	"github.com/reprolab/face/internal/device"
+	"github.com/reprolab/face/internal/device/filedev"
 	"github.com/reprolab/face/internal/face"
 	"github.com/reprolab/face/internal/lock"
 	"github.com/reprolab/face/internal/metrics"
@@ -93,6 +96,28 @@ type Config struct {
 	// FlashDev holds the flash cache; required when Policy uses flash.
 	FlashDev device.Dev
 
+	// Dir, when non-empty, opens the database on persistent file-backed
+	// devices inside the directory (data.db, wal.log, flash.cache) instead
+	// of caller-supplied simulated devices; DataDev/LogDev/FlashDev must
+	// then be nil.  Reopening a directory whose data file already exists
+	// automatically runs crash recovery, so kill-and-reopen is the normal
+	// restart path.  The engine owns the files and closes them on
+	// Close/Crash.
+	Dir string
+	// NoFsync disables the fsync durability barrier on file-backed
+	// devices: faster, but a host crash can lose acknowledged commits (a
+	// process crash cannot).  Ignored without Dir.
+	NoFsync bool
+	// FileWorkers is the data file's positioned-I/O worker pool width,
+	// reported as the device's Parallelism (0 = DefaultFileWorkers).
+	FileWorkers int
+	// FileDataBlocks/FileLogBlocks/FileFlashBlocks override the logical
+	// capacities of the device files in 4 KiB blocks (0 = generous sparse
+	// defaults; the flash file is sized from FlashFrames).
+	FileDataBlocks  int64
+	FileLogBlocks   int64
+	FileFlashBlocks int64
+
 	// BufferPages is the DRAM buffer pool capacity in pages.
 	BufferPages int
 	// BufferShards is the number of independently locked shards the DRAM
@@ -168,6 +193,62 @@ type Config struct {
 	Recover bool
 }
 
+// DefaultFileWorkers is the data file's worker pool width when Config
+// leaves FileWorkers at zero.
+const DefaultFileWorkers = 4
+
+// openFileDevices opens (creating if necessary) the file-backed device set
+// of cfg.Dir and installs it into the device fields.  The returned set's
+// Existed flag tells the caller whether the directory held an initialised
+// database, in which case it runs crash recovery.
+func (c *Config) openFileDevices() (*filedev.Set, error) {
+	if c.DataDev != nil || c.LogDev != nil || c.FlashDev != nil {
+		return nil, fmt.Errorf("engine: Dir and explicit devices are mutually exclusive")
+	}
+	workers := c.FileWorkers
+	if workers <= 0 {
+		workers = DefaultFileWorkers
+	}
+	flashBlocks := c.FileFlashBlocks
+	if flashBlocks <= 0 && c.Policy.UsesFlash() {
+		// A WithDir caller supplies no devices, so the flash file must be
+		// sizeable from the configuration; point them at the missing
+		// option rather than failing later with a confusing ErrNoDevice.
+		if c.FlashFrames < 1 {
+			return nil, fmt.Errorf("engine: policy %s on file-backed devices needs FlashFrames (or FileFlashBlocks) to size %s", c.Policy, filedev.FlashFile)
+		}
+		flashBlocks = face.FlashDeviceBlocks(c.FlashFrames, c.SegmentEntries) + face.FlashDeviceSlack
+	}
+	set, err := filedev.OpenSet(c.Dir, filedev.SetConfig{
+		DataBlocks:  c.FileDataBlocks,
+		LogBlocks:   c.FileLogBlocks,
+		FlashBlocks: flashBlocks,
+		Workers:     workers,
+		NoFsync:     c.NoFsync,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Under FaCE the flash cache is part of the persistent database: after
+	// a checkpoint the only durable copy of a page may live in
+	// flash.cache.  Reopening with a policy that ignores the flash file
+	// would silently serve stale pre-checkpoint images from data.db, so
+	// an existing non-empty cache file demands a flash policy.
+	if set.Existed && !c.Policy.UsesFlash() {
+		if fi, statErr := os.Stat(filepath.Join(c.Dir, filedev.FlashFile)); statErr == nil && fi.Size() > 0 {
+			set.Close()
+			return nil, fmt.Errorf("engine: %s holds a non-empty %s but policy %s does not use flash; reopen with the original flash policy (or delete the cache file only if the database was closed cleanly)",
+				c.Dir, filedev.FlashFile, c.Policy)
+		}
+	}
+	c.DataDev = set.Data
+	c.LogDev = set.Log
+	if set.Flash != nil {
+		c.FlashDev = set.Flash
+	}
+	return set, nil
+}
+
 func (c *Config) validate() error {
 	if c.DataDev == nil {
 		return fmt.Errorf("%w: DataDev", ErrNoDevice)
@@ -239,6 +320,7 @@ func (c *Config) resolveStriping() {
 // With AsyncIODepth set, the manager is wrapped in the asynchronous
 // group-write and destage pipeline.
 func (c *Config) buildCache(diskWrite face.DiskWriteFunc, pull face.PullFunc) (face.Extension, error) {
+	dataDev := c.DataDev
 	ext, err := face.NewPolicy(c.Policy.String(), face.PolicyParams{
 		Dev:            c.FlashDev,
 		Frames:         c.FlashFrames,
@@ -247,6 +329,7 @@ func (c *Config) buildCache(diskWrite face.DiskWriteFunc, pull face.PullFunc) (f
 		Stripes:        c.CacheStripes,
 		CleanThreshold: c.CleanThreshold,
 		DiskWrite:      diskWrite,
+		DiskSync:       func() error { return device.Sync(dataDev) },
 		Pull:           pull,
 	})
 	if err != nil || ext == nil || c.AsyncIODepth == 0 {

@@ -3,7 +3,9 @@ package engine
 import (
 	"encoding/binary"
 	"fmt"
+	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/reprolab/face/internal/buffer"
@@ -59,6 +61,10 @@ type DB struct {
 	log   *wal.Manager
 	clock *simclock.Clock
 
+	// files holds the file-backed device set when the database was opened
+	// with Config.Dir; the engine owns it and closes it on Close/Crash.
+	files io.Closer
+
 	nextPage page.ID
 	nextTx   wal.TxID
 	// maxLSNSeen is the page-LSN high-water mark recorded in the
@@ -74,8 +80,31 @@ type DB struct {
 
 	recoveryReport *RecoveryReport
 
+	// ioErr poisons the instance after an I/O failure on a path that
+	// cannot surface its error to any caller (the GSC pull path): new
+	// transactions fail with it instead of silently reading stale data.
+	// Restart recovery is the only way forward, exactly as for a crash.
+	// It is an atomic (not a field under mu) for two reasons: the pull
+	// path can run with mu already held, and the check sits on the buffer
+	// miss path, which must not gain a process-wide mutex.
+	ioErr atomic.Pointer[error]
+
 	crashed bool
 	closed  bool
+}
+
+// setIOErr records the first unreportable I/O failure; later transactions
+// fail with it.
+func (db *DB) setIOErr(err error) {
+	db.ioErr.CompareAndSwap(nil, &err)
+}
+
+// loadIOErr returns the poisoning error, or nil.
+func (db *DB) loadIOErr() error {
+	if p := db.ioErr.Load(); p != nil {
+		return *p
+	}
+	return nil
 }
 
 // RecoveryReport describes a completed restart, including the timing split
@@ -99,7 +128,27 @@ type RecoveryReport struct {
 // cfg.Recover set, crash recovery runs before Open returns and its report
 // is available from RecoveryReport.
 func Open(cfg Config) (*DB, error) {
+	var files io.Closer
+	if cfg.Dir != "" {
+		set, err := cfg.openFileDevices()
+		if err != nil {
+			return nil, err
+		}
+		files = set
+		// A directory with an initialised data file is a reopen: the
+		// previous incarnation may have crashed, so restart recovery runs
+		// whether or not the caller asked for it.
+		if set.Existed {
+			cfg.Recover = true
+		}
+	}
+	closeFiles := func() {
+		if files != nil {
+			files.Close()
+		}
+	}
 	if err := cfg.validate(); err != nil {
+		closeFiles()
 		return nil, err
 	}
 	cfg.resolveStriping()
@@ -109,6 +158,7 @@ func Open(cfg Config) (*DB, error) {
 		dataDev:  cfg.DataDev,
 		logDev:   cfg.LogDev,
 		flashDev: cfg.FlashDev,
+		files:    files,
 		clock:    simclock.New(),
 		nextPage: 1,
 		nextTx:   1,
@@ -124,6 +174,7 @@ func Open(cfg Config) (*DB, error) {
 	var err error
 	db.log, err = wal.Open(cfg.LogDev)
 	if err != nil {
+		closeFiles()
 		return nil, err
 	}
 	if cfg.PageLocks {
@@ -145,6 +196,7 @@ func Open(cfg Config) (*DB, error) {
 	}
 
 	if err := db.readSuperblock(); err != nil {
+		closeFiles()
 		return nil, err
 	}
 	// If the database pages carry LSNs from an earlier log incarnation
@@ -153,12 +205,14 @@ func Open(cfg Config) (*DB, error) {
 	// redo and in the flash cache stay meaningful.
 	if db.maxLSNSeen > db.log.Next() && db.log.Durable() == db.log.Next() && db.log.LastCheckpoint() == 0 {
 		if err := db.log.SetStart(db.maxLSNSeen); err != nil {
+			closeFiles()
 			return nil, err
 		}
 	}
 
 	db.cache, err = cfg.buildCache(db.diskWritePage, db.pullVictims)
 	if err != nil {
+		closeFiles()
 		return nil, err
 	}
 
@@ -168,6 +222,7 @@ func Open(cfg Config) (*DB, error) {
 		if s, ok := db.cache.(face.Shutdowner); ok {
 			s.Abort()
 		}
+		closeFiles()
 	}
 
 	db.pool, err = buffer.NewSharded(cfg.BufferPages, cfg.BufferShards, db.fetchPage, db.evictPage)
@@ -197,6 +252,12 @@ func Open(cfg Config) (*DB, error) {
 // fetchPage loads a page on a DRAM buffer miss: the flash cache first, the
 // data device otherwise.
 func (db *DB) fetchPage(id page.ID, buf page.Buf) (bool, error) {
+	// A poisoned instance must not serve misses: pages dropped by the
+	// failed pull would read back as stale disk copies.  In-flight
+	// transactions hit this on their next miss; new ones fail at begin.
+	if err := db.loadIOErr(); err != nil {
+		return false, err
+	}
 	if db.cache != nil {
 		found, dirty, err := db.cache.Lookup(id, buf)
 		if err != nil {
@@ -250,11 +311,15 @@ func (db *DB) pullVictims(n int) []face.PulledPage {
 		}
 	}
 	if maxLSN > 0 {
-		// Forcing the log cannot be allowed to fail silently, but the pull
-		// path has no error return; fall back to dropping the pages as
-		// clean DRAM copies would be (their log records are still in the
-		// WAL tail and will be replayed if needed).
+		// The pull path has no error return, but a failed force cannot be
+		// swallowed either: the victims have already left the DRAM pool,
+		// so dropping them here would let a live reader miss into a stale
+		// disk copy with no surfaced error (reachable on file-backed
+		// devices, where fsync can fail).  Poison the instance — new
+		// transactions fail with the error and restart recovery replays
+		// the WAL — and hand nothing to the cache.
 		if err := db.log.Force(maxLSN + 1); err != nil {
+			db.setIOErr(fmt.Errorf("engine: log force on the cache pull path failed, instance poisoned (restart to recover): %w", err))
 			return nil
 		}
 	}
@@ -310,17 +375,21 @@ func (db *DB) Close() error {
 	}
 	if db.crashed {
 		db.closed = true
-		return nil
+		return db.closeFilesLocked()
 	}
 	if err := db.closeFlushLocked(); err != nil {
 		// The caller is abandoning the instance: stop the cache's
 		// background pipeline even on a failed close so its goroutines do
 		// not leak and keep touching the devices, and close the pool so a
-		// goroutine parked on a pin-wait fails instead of hanging.
+		// goroutine parked on a pin-wait fails instead of hanging.  The
+		// instance counts as closed — its devices are gone, so admitting
+		// another transaction would only fail deeper in the I/O stack.
 		if s, ok := db.cache.(face.Shutdowner); ok {
 			s.Abort()
 		}
 		db.pool.Close()
+		db.closeFilesLocked()
+		db.closed = true
 		return err
 	}
 	// Closing the pool wakes any goroutine still parked on the all-pinned
@@ -328,7 +397,18 @@ func (db *DB) Close() error {
 	// with ErrClosed instead of leaving it blocked forever.
 	db.pool.Close()
 	db.closed = true
-	return nil
+	return db.closeFilesLocked()
+}
+
+// closeFilesLocked closes the file-backed device set of a Dir-opened
+// database (a no-op otherwise).  It is idempotent.
+func (db *DB) closeFilesLocked() error {
+	if db.files == nil {
+		return nil
+	}
+	f := db.files
+	db.files = nil
+	return f.Close()
 }
 
 // closeFlushLocked performs the flush side of Close: checkpoint, drain
@@ -356,6 +436,11 @@ func (db *DB) closeFlushLocked() error {
 			return err
 		}
 	}
+	// Leave the data device durably self-contained (no-op on simulated
+	// devices; the flash metadata was synced by the checkpoint above).
+	if err := device.Sync(db.dataDev); err != nil {
+		return fmt.Errorf("engine: syncing data device at close: %w", err)
+	}
 	return nil
 }
 
@@ -378,6 +463,10 @@ func (db *DB) Crash() {
 	if s, ok := db.cache.(face.Shutdowner); ok {
 		s.Abort()
 	}
+	// On file-backed devices the handles are released without any final
+	// sync: whatever the OS already holds survives, exactly like a process
+	// kill.  Reopening the same directory runs recovery.
+	db.closeFilesLocked()
 	db.crashed = true
 	db.closed = true
 }
@@ -510,6 +599,17 @@ func (db *DB) checkpointLocked() error {
 	if err := db.writeSuperblock(); err != nil {
 		return err
 	}
+	// Durability barriers before the checkpoint-end record: the record
+	// must never become durable while the page writes it vouches for are
+	// still in a volatile OS cache.  No-ops on simulated devices.
+	if err := device.Sync(db.dataDev); err != nil {
+		return fmt.Errorf("engine: syncing data device at checkpoint: %w", err)
+	}
+	if db.flashDev != nil {
+		if err := device.Sync(db.flashDev); err != nil {
+			return fmt.Errorf("engine: syncing flash device at checkpoint: %w", err)
+		}
+	}
 	if err := db.log.LogCheckpointEnd(beginLSN); err != nil {
 		return err
 	}
@@ -585,7 +685,12 @@ type Snapshot struct {
 	// pool yields one entry equal to Pool.
 	PoolShards []metrics.ShardStats
 	Cache      face.Stats
-	Pipeline   metrics.PipelineStats
+	// CacheStripes is the per-stripe breakdown of the flash cache's lookup
+	// counters, mirroring PoolShards; metrics.StripeImbalance summarises
+	// it.  Nil without a stripe-reporting flash cache; a single-stripe
+	// cache yields one entry equal to the cache-wide lookup counters.
+	CacheStripes []metrics.CacheStripeStats
+	Pipeline     metrics.PipelineStats
 	// Locks reports page lock manager activity (zero without PageLocks)
 	// and GroupCommit the WAL's commit-force batching.
 	Locks       metrics.LockStats
@@ -630,6 +735,9 @@ func (db *DB) Snapshot() Snapshot {
 	}
 	if db.cache != nil {
 		s.Cache = db.cache.Stats()
+	}
+	if sr, ok := db.cache.(face.StripeReporter); ok {
+		s.CacheStripes = sr.StripeStats()
 	}
 	if p, ok := db.cache.(face.PipelineReporter); ok {
 		s.Pipeline = p.PipelineStats()

@@ -65,6 +65,9 @@ func (db *DB) beginTx(ctx context.Context, readonly bool) (*Tx, error) {
 	if db.closed {
 		return nil, ErrClosed
 	}
+	if err := db.loadIOErr(); err != nil {
+		return nil, err
+	}
 	tx := &Tx{db: db, id: db.nextTx, readonly: readonly}
 	if ctx != nil {
 		tx.ctx = ctx
@@ -248,6 +251,14 @@ func (tx *Tx) commit() error {
 		if err := db.log.Force(lsn + 1); err != nil {
 			return err
 		}
+	}
+	// A poisoned instance must not report success: a read served in the
+	// narrow window between the pull path dropping a victim and the
+	// poison landing could have observed a stale disk copy.  (Writers are
+	// additionally stopped by their commit force hitting the same sticky
+	// device error.)
+	if err := db.loadIOErr(); err != nil {
+		return err
 	}
 	db.mu.Lock()
 	db.committed++

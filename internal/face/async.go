@@ -21,6 +21,7 @@ package face
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"github.com/reprolab/face/internal/iosched"
 	"github.com/reprolab/face/internal/metrics"
@@ -67,28 +68,42 @@ type stagedPage struct {
 	ref   bool
 }
 
+// asyncStripe is one independently locked slice of the staging map, keyed
+// by the same Fibonacci hash as the core's directory stripes so a page
+// lands on the same stripe index in both structures.  StageIn and Lookup
+// for different pages never share a mutex, which keeps the async wrapper
+// scaling the same way the striped sync path does.
+type asyncStripe struct {
+	mu     sync.Mutex
+	staged map[page.ID]*stagedPage
+	// ringHits counts lookups this stripe served from the staging map,
+	// folded into Stats and StripeStats on demand.
+	ringHits int64
+}
+
 // Async decorates an mvFIFO cache manager with the background pipeline.
 type Async struct {
 	core *MVFIFO
 	pipe *iosched.Pipeline
 
-	mu       sync.Mutex
-	staged   map[page.ID]*stagedPage
-	seq      uint64
-	ringHits int64
+	// stripes is the striped staging map; see asyncStripe.
+	stripes []*asyncStripe
+	// seq orders staged versions of a page across stripes and ring slots.
+	seq    atomic.Uint64
+	closed atomic.Bool
 	// Stage-in counters for versions coalesced away in the ring: they
 	// never reach the core, but counting them keeps the write-reduction
 	// denominator comparable with the synchronous path.
-	coalescedStageIns      int64
-	coalescedDirtyStageIns int64
-	coalescedCleanStageIns int64
-	closed                 bool
+	coalescedStageIns      atomic.Int64
+	coalescedDirtyStageIns atomic.Int64
+	coalescedCleanStageIns atomic.Int64
 }
 
 var (
 	_ Extension        = (*Async)(nil)
 	_ Shutdowner       = (*Async)(nil)
 	_ PipelineReporter = (*Async)(nil)
+	_ StripeReporter   = (*Async)(nil)
 )
 
 // NewAsync wraps an mvFIFO cache manager in the asynchronous group-write
@@ -118,9 +133,13 @@ func NewAsync(ext Extension, cfg AsyncConfig) (*Async, error) {
 	// survivor re-enqueue semantics; only the pull path is disabled.
 	core.cfg.Pull = nil
 
+	stripes := make([]*asyncStripe, core.Stripes())
+	for i := range stripes {
+		stripes[i] = &asyncStripe{staged: make(map[page.ID]*stagedPage)}
+	}
 	a := &Async{
-		core:   core,
-		staged: make(map[page.ID]*stagedPage),
+		core:    core,
+		stripes: stripes,
 	}
 
 	dest := iosched.NewDestager(cfg.Depth, cfg.Writers, func(id page.ID, data page.Buf) error {
@@ -149,33 +168,40 @@ func NewAsync(ext Extension, cfg AsyncConfig) (*Async, error) {
 	return a, nil
 }
 
+// stripe returns the staging stripe holding the given page id.
+func (a *Async) stripe(id page.ID) *asyncStripe {
+	return a.stripes[stripeIndex(id, len(a.stripes))]
+}
+
 // flushBatch runs on the group-writer goroutine: it publishes one ring
 // batch into the core as a single group write, then retires the staged
 // versions it covered.
 func (a *Async) flushBatch(items []iosched.Item) error {
 	batch := make([]StageItem, len(items))
-	a.mu.Lock()
 	for i, it := range items {
 		// Merge reference bits earned while the page sat in the ring so
 		// Group Second Chance sees ring hits like frame hits.
-		if cur, ok := a.staged[it.ID]; ok && cur.seq == it.Seq {
+		st := a.stripe(it.ID)
+		st.mu.Lock()
+		if cur, ok := st.staged[it.ID]; ok && cur.seq == it.Seq {
 			it.Ref = it.Ref || cur.ref
 		}
+		st.mu.Unlock()
 		batch[i] = StageItem{ID: it.ID, Data: it.Data, Dirty: it.Dirty, FDirty: it.FDirty, Ref: it.Ref}
 	}
-	a.mu.Unlock()
 
 	if err := a.core.StageBatch(batch); err != nil {
 		return err
 	}
 
-	a.mu.Lock()
 	for _, it := range items {
-		if cur, ok := a.staged[it.ID]; ok && cur.seq == it.Seq {
-			delete(a.staged, it.ID)
+		st := a.stripe(it.ID)
+		st.mu.Lock()
+		if cur, ok := st.staged[it.ID]; ok && cur.seq == it.Seq {
+			delete(st.staged, it.ID)
 		}
+		st.mu.Unlock()
 	}
-	a.mu.Unlock()
 	return nil
 }
 
@@ -191,35 +217,32 @@ func (a *Async) Len() int { return a.core.Len() }
 // StageIn stages an evicted page into the ring and returns without waiting
 // for flash I/O; it blocks only when the ring is full (backpressure).
 func (a *Async) StageIn(id page.ID, data page.Buf, dirty, fdirty bool) error {
-	img := data.Clone()
-	a.mu.Lock()
-	if a.closed {
-		a.mu.Unlock()
+	if a.closed.Load() {
 		return ErrClosed
 	}
-	a.seq++
-	seq := a.seq
-	a.staged[id] = &stagedPage{seq: seq, data: img, dirty: dirty}
-	a.mu.Unlock()
+	img := data.Clone()
+	seq := a.seq.Add(1)
+	st := a.stripe(id)
+	st.mu.Lock()
+	st.staged[id] = &stagedPage{seq: seq, data: img, dirty: dirty}
+	st.mu.Unlock()
 
 	old, superseded, err := a.pipe.Ring.Put(iosched.Item{ID: id, Data: img, Dirty: dirty, FDirty: fdirty, Seq: seq})
 	if err != nil {
-		a.mu.Lock()
-		if cur, ok := a.staged[id]; ok && cur.seq == seq {
-			delete(a.staged, id)
+		st.mu.Lock()
+		if cur, ok := st.staged[id]; ok && cur.seq == seq {
+			delete(st.staged, id)
 		}
-		a.mu.Unlock()
+		st.mu.Unlock()
 		return err
 	}
 	if superseded {
-		a.mu.Lock()
-		a.coalescedStageIns++
+		a.coalescedStageIns.Add(1)
 		if old.Dirty {
-			a.coalescedDirtyStageIns++
+			a.coalescedDirtyStageIns.Add(1)
 		} else {
-			a.coalescedCleanStageIns++
+			a.coalescedCleanStageIns.Add(1)
 		}
-		a.mu.Unlock()
 	}
 	return nil
 }
@@ -227,20 +250,20 @@ func (a *Async) StageIn(id page.ID, data page.Buf, dirty, fdirty bool) error {
 // Lookup serves the page from the newest place it exists: the staging
 // ring, the mvFIFO queue, or the destager's write-behind buffer.
 func (a *Async) Lookup(id page.ID, buf page.Buf) (bool, bool, error) {
-	a.mu.Lock()
-	if a.closed {
-		a.mu.Unlock()
+	if a.closed.Load() {
 		return false, false, ErrClosed
 	}
-	if s, ok := a.staged[id]; ok {
+	st := a.stripe(id)
+	st.mu.Lock()
+	if s, ok := st.staged[id]; ok {
 		copy(buf, s.data)
 		s.ref = true
-		a.ringHits++
+		st.ringHits++
 		dirty := s.dirty
-		a.mu.Unlock()
+		st.mu.Unlock()
 		return true, dirty, nil
 	}
-	a.mu.Unlock()
+	st.mu.Unlock()
 
 	found, dirty, err := a.core.Lookup(id, buf)
 	if err != nil || found {
@@ -256,9 +279,10 @@ func (a *Async) Lookup(id page.ID, buf page.Buf) (bool, bool, error) {
 
 // Contains reports whether any stage of the pipeline holds the page.
 func (a *Async) Contains(id page.ID) bool {
-	a.mu.Lock()
-	_, ok := a.staged[id]
-	a.mu.Unlock()
+	st := a.stripe(id)
+	st.mu.Lock()
+	_, ok := st.staged[id]
+	st.mu.Unlock()
 	return ok || a.core.Contains(id) || a.pipe.Dest.Contains(id)
 }
 
@@ -290,52 +314,85 @@ func (a *Async) FlushAll() error {
 	if err := a.core.FlushAll(); err != nil {
 		return err
 	}
-	return a.pipe.Dest.Drain()
+	if err := a.pipe.Dest.Drain(); err != nil {
+		return err
+	}
+	// The destager's disk writes landed after the core flush's barrier;
+	// cover them too so the wrapper honours FlushAll's durability claim.
+	if a.core.cfg.DiskSync != nil {
+		return a.core.cfg.DiskSync()
+	}
+	return nil
+}
+
+// ringHitTotal sums the per-stripe ring hit counters.
+func (a *Async) ringHitTotal() int64 {
+	var total int64
+	for _, st := range a.stripes {
+		st.mu.Lock()
+		total += st.ringHits
+		st.mu.Unlock()
+	}
+	return total
 }
 
 // Stats folds the pipeline's lookup activity into the core statistics so
 // hit ratios count pages served from the ring and the write-behind buffer.
 func (a *Async) Stats() Stats {
 	s := a.core.Stats()
-	a.mu.Lock()
-	s.Lookups += a.ringHits
-	s.Hits += a.ringHits
-	s.StageIns += a.coalescedStageIns
-	s.DirtyStageIns += a.coalescedDirtyStageIns
-	s.CleanStageIns += a.coalescedCleanStageIns
-	a.mu.Unlock()
+	ringHits := a.ringHitTotal()
+	s.Lookups += ringHits
+	s.Hits += ringHits
+	s.StageIns += a.coalescedStageIns.Load()
+	s.DirtyStageIns += a.coalescedDirtyStageIns.Load()
+	s.CleanStageIns += a.coalescedCleanStageIns.Load()
 	s.Hits += a.pipe.Stats().DestageHits
 	return s
+}
+
+// StripeStats returns the per-stripe lookup counters: the core directory
+// stripes with this wrapper's ring hits folded into the matching stripe
+// (the staging map is striped by the same hash, so indexes align).
+func (a *Async) StripeStats() []metrics.CacheStripeStats {
+	out := a.core.StripeStats()
+	for i, st := range a.stripes {
+		if i >= len(out) {
+			break
+		}
+		st.mu.Lock()
+		out[i].Lookups += st.ringHits
+		out[i].Hits += st.ringHits
+		st.mu.Unlock()
+	}
+	return out
 }
 
 // ResetStats clears the core and pipeline statistics.
 func (a *Async) ResetStats() {
 	a.core.ResetStats()
 	a.pipe.ResetStats()
-	a.mu.Lock()
-	a.ringHits = 0
-	a.coalescedStageIns, a.coalescedDirtyStageIns, a.coalescedCleanStageIns = 0, 0, 0
-	a.mu.Unlock()
+	for _, st := range a.stripes {
+		st.mu.Lock()
+		st.ringHits = 0
+		st.mu.Unlock()
+	}
+	a.coalescedStageIns.Store(0)
+	a.coalescedDirtyStageIns.Store(0)
+	a.coalescedCleanStageIns.Store(0)
 }
 
 // PipelineStats returns the background pipeline counters.
 func (a *Async) PipelineStats() metrics.PipelineStats {
 	s := a.pipe.Stats()
-	a.mu.Lock()
-	s.RingHits = a.ringHits
-	a.mu.Unlock()
+	s.RingHits = a.ringHitTotal()
 	return s
 }
 
 // Shutdown drains the pipeline and stops its goroutines (clean close).
 func (a *Async) Shutdown() error {
-	a.mu.Lock()
-	if a.closed {
-		a.mu.Unlock()
+	if a.closed.Swap(true) {
 		return nil
 	}
-	a.closed = true
-	a.mu.Unlock()
 	return a.pipe.Close()
 }
 
@@ -343,12 +400,8 @@ func (a *Async) Shutdown() error {
 // destages are discarded, as a crash would lose them.  Device access has
 // quiesced when Abort returns.
 func (a *Async) Abort() {
-	a.mu.Lock()
-	if a.closed {
-		a.mu.Unlock()
+	if a.closed.Swap(true) {
 		return
 	}
-	a.closed = true
-	a.mu.Unlock()
 	a.pipe.Abort()
 }

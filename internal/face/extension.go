@@ -20,6 +20,7 @@ package face
 import (
 	"errors"
 
+	"github.com/reprolab/face/internal/metrics"
 	"github.com/reprolab/face/internal/page"
 )
 
@@ -77,6 +78,14 @@ type Extension interface {
 
 	// ResetStats clears the statistics (used after warm-up).
 	ResetStats()
+}
+
+// StripeReporter is implemented by cache managers with striped lookup
+// structures; it exposes the per-stripe counter breakdown so directory hot
+// spots are visible in engine snapshots, mirroring the buffer pool's
+// per-shard statistics.
+type StripeReporter interface {
+	StripeStats() []metrics.CacheStripeStats
 }
 
 // Stats captures flash cache activity.  The hit rate and write reduction

@@ -67,6 +67,14 @@ type metaDirectory struct {
 	cur map[uint64]metaEntry
 	// persisted is the position up to which entries are durable on flash.
 	persisted uint64
+	// preSync, when non-nil, is the data device's durability barrier,
+	// called before a flush persists an advanced front pointer: the front
+	// must never become durable past a destaged page whose disk write is
+	// still volatile, or a crash would lose the page's only current copy.
+	// syncedFront is the largest front already persisted under that
+	// barrier; flushes that do not advance it skip the sync.
+	preSync     func() error
+	syncedFront uint64
 }
 
 func newMetaDirectory(dev device.Dev, lay layout, segEntries int) *metaDirectory {
@@ -95,6 +103,16 @@ func (d *metaDirectory) appendEntry(e metaEntry, pos, front uint64) (int, error)
 // entries are rewritten when the segment completes.  It returns the number
 // of segment flushes performed.
 func (d *metaDirectory) flush(seq, front uint64) (int, error) {
+	// Destaged disk writes become durable before the front that assumes
+	// them does (no-op on simulated devices).  A flush that does not
+	// advance the persistent front vouches for no new destages, so the
+	// cache-filling phase pays no data-file fsync per group write.
+	if d.preSync != nil && front > d.syncedFront {
+		if err := d.preSync(); err != nil {
+			return 0, fmt.Errorf("face: syncing disk before metadata flush: %w", err)
+		}
+		d.syncedFront = front
+	}
 	if seq <= d.persisted {
 		// Nothing new; still persist the pointers so front advances are
 		// not lost across a crash.
@@ -139,6 +157,16 @@ func (d *metaDirectory) flush(seq, front uint64) (int, error) {
 			}
 		}
 	}
+	// The segments become durable before the superblock that vouches for
+	// them: a single barrier after both writes could not order them (the
+	// OS may write back block 0 first), and a durable superblock pointing
+	// at unwritten segment slots would make recovery decode the slots'
+	// previous-generation entries as current page mappings.
+	if flushes > 0 {
+		if err := device.Sync(d.dev); err != nil {
+			return flushes, fmt.Errorf("face: syncing metadata segments: %w", err)
+		}
+	}
 	d.persisted = seq
 	return flushes, d.writeSuperblock(front, seq)
 }
@@ -153,6 +181,11 @@ func (d *metaDirectory) writeSuperblock(front, persisted uint64) error {
 	binary.LittleEndian.PutUint64(blk[24:], persisted)
 	if err := d.dev.WriteAt(0, blk); err != nil {
 		return fmt.Errorf("face: writing superblock: %w", err)
+	}
+	// The pointers themselves must be durable too; the segments they
+	// reference were synced before this write (see flush).
+	if err := device.Sync(d.dev); err != nil {
+		return fmt.Errorf("face: syncing metadata superblock: %w", err)
 	}
 	return nil
 }
@@ -182,6 +215,9 @@ func (d *metaDirectory) load() (front, persisted uint64, entries map[uint64]meta
 	front = binary.LittleEndian.Uint64(blk[16:])
 	persisted = binary.LittleEndian.Uint64(blk[24:])
 	d.persisted = persisted
+	// The recovered front was durable, so the disk writes below it were
+	// synced by whoever persisted it.
+	d.syncedFront = front
 	d.cur = make(map[uint64]metaEntry, d.segEntries)
 
 	entries = make(map[uint64]metaEntry)

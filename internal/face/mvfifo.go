@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"github.com/reprolab/face/internal/device"
+	"github.com/reprolab/face/internal/metrics"
 	"github.com/reprolab/face/internal/page"
 )
 
@@ -43,6 +44,12 @@ type MVFIFOConfig struct {
 	Stripes int
 	// DiskWrite writes a dirty page back to the database on disk.
 	DiskWrite DiskWriteFunc
+	// DiskSync, when non-nil, is the data device's durability barrier.  It
+	// is called before the persistent metadata directory records an
+	// advanced front pointer, so a crash can never find the front past a
+	// destaged page whose disk write is still in the OS page cache (the
+	// destage-before-front-advance invariant on real media).
+	DiskSync func() error
 	// Pull, when non-nil, lets Group Second Chance top up a write group
 	// with victims pulled from the DRAM buffer's LRU tail.
 	Pull PullFunc
@@ -83,19 +90,22 @@ func init() {
 	RegisterPolicy("face", func(p PolicyParams) (Extension, error) {
 		return NewMVFIFO(MVFIFOConfig{
 			Dev: p.Dev, Frames: p.Frames, GroupSize: 1,
-			SegmentEntries: p.SegmentEntries, Stripes: p.Stripes, DiskWrite: p.DiskWrite,
+			SegmentEntries: p.SegmentEntries, Stripes: p.Stripes,
+			DiskWrite: p.DiskWrite, DiskSync: p.DiskSync,
 		})
 	})
 	RegisterPolicy("face+gr", func(p PolicyParams) (Extension, error) {
 		return NewMVFIFO(MVFIFOConfig{
 			Dev: p.Dev, Frames: p.Frames, GroupSize: groupOrDefault(p.GroupSize),
-			SegmentEntries: p.SegmentEntries, Stripes: p.Stripes, DiskWrite: p.DiskWrite,
+			SegmentEntries: p.SegmentEntries, Stripes: p.Stripes,
+			DiskWrite: p.DiskWrite, DiskSync: p.DiskSync,
 		})
 	})
 	RegisterPolicy("face+gsc", func(p PolicyParams) (Extension, error) {
 		return NewMVFIFO(MVFIFOConfig{
 			Dev: p.Dev, Frames: p.Frames, GroupSize: groupOrDefault(p.GroupSize), SecondChance: true,
-			SegmentEntries: p.SegmentEntries, Stripes: p.Stripes, DiskWrite: p.DiskWrite, Pull: p.Pull,
+			SegmentEntries: p.SegmentEntries, Stripes: p.Stripes,
+			DiskWrite: p.DiskWrite, DiskSync: p.DiskSync, Pull: p.Pull,
 		})
 	})
 }
@@ -248,7 +258,36 @@ func NewMVFIFO(cfg MVFIFOConfig) (*MVFIFO, error) {
 	// that already holds a FaCE cache — the crash-recovery path — does not
 	// clobber the recoverable state.
 	m.metadir = newMetaDirectory(cfg.Dev, lay, cfg.SegmentEntries)
+	m.metadir.preSync = cfg.DiskSync
 	return m, nil
+}
+
+// FlashDeviceBlocks returns the minimum flash-device capacity in blocks
+// for a cache of frames data frames with the given metadata segment size
+// (0 = DefaultSegmentEntries): superblock + metadata region + frames.
+// The engine and the benchmark harness use it (plus FlashDeviceSlack) to
+// size flash devices.
+func FlashDeviceBlocks(frames, segEntries int) int64 {
+	if segEntries <= 0 {
+		segEntries = DefaultSegmentEntries
+	}
+	return computeLayout(frames, segEntries).totalBlocks()
+}
+
+// FlashDeviceSlack is the headroom added on top of FlashDeviceBlocks when
+// sizing a flash device, absorbing future layout growth without resizing.
+const FlashDeviceSlack = 64
+
+// stripeIndex maps a page id to one of n stripes with the same Fibonacci
+// multiplicative hash the buffer pool shards use; every striped structure
+// keyed by page id (directory stripes, the async staging map) shares it so
+// a page always lands on the same stripe index everywhere.
+func stripeIndex(id page.ID, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := uint64(id) * 0x9E3779B97F4A7C15
+	return int(h % uint64(n))
 }
 
 // newStripes allocates n directory stripes sized for the given frame count.
@@ -270,11 +309,7 @@ func newStripes(n, frames int) []*dirStripe {
 // stripe returns the directory stripe holding the given page id, using the
 // same Fibonacci hash as the buffer pool shards.
 func (m *MVFIFO) stripe(id page.ID) *dirStripe {
-	if len(m.stripes) == 1 {
-		return m.stripes[0]
-	}
-	h := uint64(id) * 0x9E3779B97F4A7C15
-	return m.stripes[h%uint64(len(m.stripes))]
+	return m.stripes[stripeIndex(id, len(m.stripes))]
 }
 
 // Name returns the policy name.
@@ -318,6 +353,23 @@ func (m *MVFIFO) Stats() Stats {
 	m.mu.Unlock()
 	s.Duplicates = window - dirLen
 	return s
+}
+
+// StripeStats returns the per-stripe breakdown of the lookup-path
+// counters, one coherent snapshot per directory stripe in stripe order.
+// Comparing stripes diagnoses directory hot spots (a hot page id range
+// funnelling every probe into one stripe mutex), mirroring what
+// Pool.ShardStats exposes for the buffer pool.
+func (m *MVFIFO) StripeStats() []metrics.CacheStripeStats {
+	out := make([]metrics.CacheStripeStats, len(m.stripes))
+	for i, st := range m.stripes {
+		st.mu.Lock()
+		out[i] = metrics.CacheStripeStats{
+			Stripe: i, Lookups: st.lookups, Hits: st.hits, FlashReads: st.flashReads,
+		}
+		st.mu.Unlock()
+	}
+	return out
 }
 
 // ResetStats clears the statistics.

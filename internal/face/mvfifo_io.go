@@ -585,5 +585,14 @@ func (m *MVFIFO) FlushAll() error {
 		st.mu.Unlock()
 		m.mu.Unlock()
 	}
+	// The flush exists to leave the disk self-contained; make it durable.
+	// Under asynchronous destaging the writes above went to the destager
+	// and have not landed yet — the Async wrapper syncs after draining
+	// them, so a barrier here would cover nothing.
+	if m.cfg.DiskSync != nil && m.destage == nil {
+		if err := m.cfg.DiskSync(); err != nil {
+			return fmt.Errorf("face: syncing disk after flush: %w", err)
+		}
+	}
 	return nil
 }

@@ -30,6 +30,10 @@ type PolicyParams struct {
 	CleanThreshold float64
 	// DiskWrite writes a dirty page back to the database on disk.
 	DiskWrite DiskWriteFunc
+	// DiskSync, when non-nil, is the data device's durability barrier
+	// (fsync on file-backed devices, a no-op on simulated ones).  Policies
+	// that persist metadata assuming completed disk writes call it first.
+	DiskSync func() error
 	// Pull, when non-nil, lets Group Second Chance top up a write group
 	// with victims pulled from the DRAM buffer's LRU tail.
 	Pull PullFunc

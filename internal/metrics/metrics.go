@@ -185,22 +185,57 @@ func (s ShardStats) Accesses() int64 { return s.Hits + s.Misses }
 // the mean across shards (1.0 = perfectly even, N = everything on one of N
 // shards).  It returns 0 when there are no shards or no accesses.
 func ShardImbalance(shards []ShardStats) float64 {
-	if len(shards) == 0 {
+	counts := make([]int64, len(shards))
+	for i, s := range shards {
+		counts[i] = s.Accesses()
+	}
+	return imbalanceRatio(counts)
+}
+
+// imbalanceRatio returns busiest/mean over the given per-slot counts, or 0
+// for no slots / all-zero counts.  It is the shared core of ShardImbalance
+// and StripeImbalance.
+func imbalanceRatio(counts []int64) float64 {
+	if len(counts) == 0 {
 		return 0
 	}
 	var total, max int64
-	for _, s := range shards {
-		a := s.Accesses()
-		total += a
-		if a > max {
-			max = a
+	for _, c := range counts {
+		total += c
+		if c > max {
+			max = c
 		}
 	}
 	if total == 0 {
 		return 0
 	}
-	mean := float64(total) / float64(len(shards))
+	mean := float64(total) / float64(len(counts))
 	return float64(max) / mean
+}
+
+// CacheStripeStats is the per-stripe breakdown of flash cache lookup
+// activity under the striped directory: one coherent counter snapshot per
+// stripe, in stripe order.  Comparing stripes diagnoses directory hot
+// spots the same way ShardStats does for the buffer pool.
+type CacheStripeStats struct {
+	// Stripe is the stripe index, in directory order.
+	Stripe int
+	// Lookups/Hits/FlashReads mirror the cache-wide lookup counters,
+	// restricted to this stripe.
+	Lookups    int64
+	Hits       int64
+	FlashReads int64
+}
+
+// StripeImbalance returns the ratio of the busiest stripe's lookup count
+// to the mean across stripes (1.0 = perfectly even, N = every probe on one
+// of N stripes).  It returns 0 when there are no stripes or no lookups.
+func StripeImbalance(stripes []CacheStripeStats) float64 {
+	counts := make([]int64, len(stripes))
+	for i, s := range stripes {
+		counts[i] = s.Lookups
+	}
+	return imbalanceRatio(counts)
 }
 
 // LockStats captures the activity of the page-level lock manager

@@ -254,7 +254,10 @@ func (m *Manager) writeControl() error {
 	binary.LittleEndian.PutUint64(ctrl[4:], uint64(m.lastCheckpoint))
 	binary.LittleEndian.PutUint64(ctrl[12:], uint64(m.durable))
 	binary.LittleEndian.PutUint64(ctrl[20:], uint64(m.base))
-	return m.dev.WriteAt(0, ctrl)
+	if err := m.dev.WriteAt(0, ctrl); err != nil {
+		return err
+	}
+	return device.Sync(m.dev)
 }
 
 // Append adds a record to the log tail and returns its LSN.  The record is
@@ -513,6 +516,13 @@ func (m *Manager) writeTailLocked() error {
 	}
 	if err := m.dev.WriteRun(startBlk, pages); err != nil {
 		return fmt.Errorf("wal: flushing log: %w", err)
+	}
+	// The durability barrier comes before durable advances: on file-backed
+	// devices Force must not return (and commits must not be acknowledged)
+	// until the log bytes are fsynced.  Simulated devices make this a
+	// no-op.
+	if err := device.Sync(m.dev); err != nil {
+		return fmt.Errorf("wal: syncing log: %w", err)
 	}
 	m.durable += page.LSN(n)
 	m.pending = append([]byte(nil), m.pending[n:]...)

@@ -1,0 +1,152 @@
+package wal
+
+// Sync-ordering tests: on a device with a durability barrier (file-backed
+// devices), Force must not return before the barrier, and a failed barrier
+// must not let durable advance.  The tests drive the manager over a
+// recording wrapper so they run against the simulated device yet assert
+// the exact write/sync interleaving a file-backed device would see.
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"github.com/reprolab/face/internal/device"
+)
+
+// syncRecorder wraps a device, records the order of write and sync events,
+// and implements device.Syncer with optional fault injection.
+type syncRecorder struct {
+	device.Dev
+
+	mu      sync.Mutex
+	events  []string
+	syncErr error
+}
+
+func (r *syncRecorder) record(ev string) {
+	r.mu.Lock()
+	r.events = append(r.events, ev)
+	r.mu.Unlock()
+}
+
+func (r *syncRecorder) WriteAt(blk int64, p []byte) error {
+	if err := r.Dev.WriteAt(blk, p); err != nil {
+		return err
+	}
+	r.record("write")
+	return nil
+}
+
+func (r *syncRecorder) WriteRun(blk int64, pages [][]byte) error {
+	if err := r.Dev.WriteRun(blk, pages); err != nil {
+		return err
+	}
+	r.record("write")
+	return nil
+}
+
+func (r *syncRecorder) Sync() error {
+	r.mu.Lock()
+	err := r.syncErr
+	r.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	r.record("sync")
+	return nil
+}
+
+func (r *syncRecorder) reset() {
+	r.mu.Lock()
+	r.events = nil
+	r.mu.Unlock()
+}
+
+func (r *syncRecorder) snapshot() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.events...)
+}
+
+func TestForceSyncsAfterWrite(t *testing.T) {
+	rec := &syncRecorder{Dev: device.New("log", device.ProfileCheetah15K, 1<<12)}
+	m, err := Open(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.reset()
+
+	lsn, err := m.Append(&Record{Type: TypeCommit, TxID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.snapshot(); len(got) != 0 {
+		t.Fatalf("Append touched the device: %v", got)
+	}
+	if err := m.Force(lsn + 1); err != nil {
+		t.Fatal(err)
+	}
+	events := rec.snapshot()
+	if len(events) == 0 {
+		t.Fatal("Force performed no device I/O")
+	}
+	// Every write must be followed by a sync before Force returns: the
+	// last event is the barrier, and no write may trail it.
+	if events[len(events)-1] != "sync" {
+		t.Fatalf("Force returned with trailing events %v; the last must be sync", events)
+	}
+	sawWrite := false
+	for _, ev := range events {
+		if ev == "write" {
+			sawWrite = true
+		}
+	}
+	if !sawWrite {
+		t.Fatalf("no write recorded before the sync: %v", events)
+	}
+	// Already durable: no further I/O.
+	rec.reset()
+	if err := m.Force(lsn); err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.snapshot(); len(got) != 0 {
+		t.Fatalf("redundant Force touched the device: %v", got)
+	}
+}
+
+func TestForceFailedSyncDoesNotAdvanceDurable(t *testing.T) {
+	rec := &syncRecorder{Dev: device.New("log", device.ProfileCheetah15K, 1<<12)}
+	m, err := Open(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wantErr := errors.New("injected fsync failure")
+	rec.mu.Lock()
+	rec.syncErr = wantErr
+	rec.mu.Unlock()
+
+	durableBefore := m.Durable()
+	lsn, err := m.Append(&Record{Type: TypeCommit, TxID: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Force(lsn + 1); !errors.Is(err, wantErr) {
+		t.Fatalf("Force with failing sync: %v, want injected error", err)
+	}
+	if got := m.Durable(); got != durableBefore {
+		t.Fatalf("durable advanced to %d despite failed sync (was %d)", got, durableBefore)
+	}
+
+	// Once the barrier works again the same records become durable.
+	rec.mu.Lock()
+	rec.syncErr = nil
+	rec.mu.Unlock()
+	if err := m.Force(lsn + 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Durable(); got <= durableBefore {
+		t.Fatalf("durable did not advance after successful retry: %d", got)
+	}
+}

@@ -26,6 +26,84 @@ func WithDevices(data, log Dev) Option {
 	}
 }
 
+// WithDir opens the database on persistent file-backed devices inside the
+// directory (created when missing): data.db holds the database pages,
+// wal.log the write-ahead log and flash.cache the flash cache when the
+// policy uses one.  It replaces WithDevices/WithFlashDevice; combining
+// them fails at Open.
+//
+// Unlike the simulated devices, the files have real latency and a real
+// fsync: commit-time log forces, the flash cache's
+// destage-before-front-advance invariant and checkpoints all call Sync()
+// on the underlying files, so acknowledged commits survive a crash of the
+// host, not just of the process (assuming atomic 4 KiB block writes: the
+// log rewrites its partial tail block in place, so a torn tail write on
+// hardware without power-loss protection can clip the newest commits in
+// that block — see the README's Persistence section).  Reopening a
+// directory whose data file already exists automatically runs restart
+// recovery — kill-and-reopen is the normal restart path and needs no
+// WithRecovery.
+//
+// On Unix-like systems the directory is guarded by an exclusive flock for
+// the database's lifetime, so a second concurrent Open of the same
+// directory fails cleanly; platforms without flock do not detect
+// concurrent openers.
+func WithDir(path string) Option {
+	return func(c *engine.Config) error {
+		if path == "" {
+			return fmt.Errorf("face: WithDir: empty directory path")
+		}
+		c.Dir = path
+		return nil
+	}
+}
+
+// WithFsync enables or disables the fsync durability barrier of the
+// file-backed devices opened by WithDir (enabled by default).
+// WithFsync(false) trades host-crash durability for speed: Sync points are
+// still counted but no longer reach the disk, so a process crash loses
+// nothing while a host crash may lose acknowledged commits.  It has no
+// effect on simulated devices.
+func WithFsync(enabled bool) Option {
+	return func(c *engine.Config) error {
+		c.NoFsync = !enabled
+		return nil
+	}
+}
+
+// WithFileDevices overrides the logical capacities (in 4 KiB blocks) of
+// the device files opened by WithDir: the data file, the log file and the
+// flash cache file.  Zero keeps a field at its default (generous sparse
+// capacities; the flash file is sized from WithFlashFrames).  Files are
+// sparse, so large capacities cost no disk space until written.
+func WithFileDevices(dataBlocks, logBlocks, flashBlocks int64) Option {
+	return func(c *engine.Config) error {
+		if dataBlocks < 0 || logBlocks < 0 || flashBlocks < 0 {
+			return fmt.Errorf("face: WithFileDevices(%d, %d, %d): capacities must not be negative",
+				dataBlocks, logBlocks, flashBlocks)
+		}
+		c.FileDataBlocks = dataBlocks
+		c.FileLogBlocks = logBlocks
+		c.FileFlashBlocks = flashBlocks
+		return nil
+	}
+}
+
+// WithFileWorkers sets the data file's positioned-I/O worker pool width
+// under WithDir (default engine.DefaultFileWorkers).  Run operations are
+// split across the pool and the count is reported as the device's
+// Parallelism, playing the role the member count plays for a simulated
+// disk array.
+func WithFileWorkers(n int) Option {
+	return func(c *engine.Config) error {
+		if n < 1 {
+			return fmt.Errorf("face: WithFileWorkers(%d): must be at least 1", n)
+		}
+		c.FileWorkers = n
+		return nil
+	}
+}
+
 // WithFlashDevice sets the flash device holding the cache extension.  It
 // is required by every policy except "none".
 func WithFlashDevice(flash Dev) Option {
