@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"strings"
 	"testing"
+
+	"github.com/reprolab/face/internal/bench"
 )
 
 func TestPoliciesText(t *testing.T) {
@@ -23,7 +25,7 @@ func TestPoliciesJSON(t *testing.T) {
 	if code := run([]string{"-json", "policies"}, &out, &errOut); code != 0 {
 		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
 	}
-	// Every -json invocation emits the same facebench/v4 envelope.
+	// Every -json invocation emits the same versioned envelope.
 	var doc struct {
 		Schema      string `json:"schema"`
 		Experiments struct {
@@ -33,7 +35,7 @@ func TestPoliciesJSON(t *testing.T) {
 	if err := json.Unmarshal([]byte(out.String()), &doc); err != nil {
 		t.Fatalf("invalid JSON: %v\n%s", err, out.String())
 	}
-	if doc.Schema != "facebench/v4" {
+	if doc.Schema != bench.ReportSchema {
 		t.Fatalf("schema = %q", doc.Schema)
 	}
 	if len(doc.Experiments.Policies) < 6 {
@@ -53,7 +55,7 @@ func TestTable1JSONUsesEnvelope(t *testing.T) {
 	if err := json.Unmarshal([]byte(out.String()), &doc); err != nil {
 		t.Fatalf("invalid JSON: %v\n%s", err, out.String())
 	}
-	if doc.Schema != "facebench/v4" || doc.Experiments["table1"] == nil {
+	if doc.Schema != bench.ReportSchema || doc.Experiments["table1"] == nil {
 		t.Fatalf("envelope malformed: schema=%q keys=%v", doc.Schema, doc.Experiments)
 	}
 }

@@ -1,0 +1,144 @@
+// Command faced serves a file-backed FaCE database over TCP.
+//
+// Usage:
+//
+//	faced -dir /var/lib/face [flags]
+//
+// The database lives in -dir (created on first start); reopening the same
+// directory after a crash or a restart runs the engine's restart recovery
+// automatically, so drain-and-restart and kill-and-restart converge on
+// the same path.  Clients speak the length-prefixed binary protocol of
+// internal/server/wire; internal/server/client is the Go client and
+// cmd/faceload the load generator.
+//
+// Write admission is bounded by -writers concurrently executing write
+// requests plus a -queue of waiters; anything beyond both is refused with
+// a retryable BUSY instead of queueing without bound.
+//
+// SIGINT or SIGTERM drains gracefully: listeners close, in-flight
+// requests and open batches get up to -drain to finish (stragglers are
+// cancelled through their request contexts), then the engine closes with
+// a final checkpoint.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/reprolab/face"
+	"github.com/reprolab/face/internal/server"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stderr))
+}
+
+func run(args []string, stderr io.Writer) int {
+	fs := flag.NewFlagSet("faced", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr        = fs.String("addr", "127.0.0.1:4320", "TCP listen address")
+		dir         = fs.String("dir", "", "database directory (required; created on first start)")
+		policy      = fs.String("policy", face.PolicyFaCEGSC, "flash cache policy ("+strings.Join(face.Policies(), ", ")+")")
+		flashFrames = fs.Int("flash-frames", 4096, "flash cache frames")
+		bufferPages = fs.Int("buffer-pages", 1024, "DRAM buffer pool pages")
+		writers     = fs.Int("writers", server.DefaultWriters, "concurrently executing write requests")
+		queue       = fs.Int("queue", 0, "write requests allowed to wait beyond -writers (0 = 4x writers, negative = none)")
+		timeout     = fs.Duration("timeout", server.DefaultRequestTimeout, "per-request deadline cap (negative = none)")
+		drain       = fs.Duration("drain", 30*time.Second, "graceful drain deadline on SIGINT/SIGTERM")
+		nofsync     = fs.Bool("nofsync", false, "disable commit/checkpoint fsync (faster, crash-unsafe)")
+		verbose     = fs.Bool("v", false, "log per-lifecycle diagnostics")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *dir == "" {
+		fmt.Fprintln(stderr, "faced: -dir is required")
+		fs.Usage()
+		return 2
+	}
+
+	logger := log.New(stderr, "faced: ", log.LstdFlags|log.Lmicroseconds)
+
+	start := time.Now()
+	opts := []face.Option{
+		face.WithDir(*dir),
+		face.WithPolicy(*policy),
+		face.WithFlashFrames(*flashFrames),
+		face.WithBufferPages(*bufferPages),
+		face.WithLockManager(),
+		face.WithMaxWriters(*writers),
+	}
+	if *nofsync {
+		opts = append(opts, face.WithFsync(false))
+	}
+	db, err := face.Open(opts...)
+	if err != nil {
+		logger.Printf("open %s: %v", *dir, err)
+		return 1
+	}
+	if rep := db.RecoveryReport(); rep != nil {
+		logger.Printf("recovered %s in %v (%d records scanned, %d redo, %d undo, %d winners, %d losers, %d flash reads)",
+			*dir, time.Since(start).Round(time.Millisecond),
+			rep.RecordsScanned, rep.RedoApplied, rep.UndoApplied,
+			rep.WinnerTxns, rep.LoserTxns, rep.FlashReads)
+	} else {
+		logger.Printf("opened %s in %v", *dir, time.Since(start).Round(time.Millisecond))
+	}
+
+	cfg := server.Config{Writers: *writers, Queue: *queue, RequestTimeout: *timeout}
+	if *verbose {
+		cfg.Logf = logger.Printf
+	}
+	srv, err := server.New(db, cfg)
+	if err != nil {
+		logger.Printf("server: %v", err)
+		db.Close()
+		return 1
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Printf("listen %s: %v", *addr, err)
+		db.Close()
+		return 1
+	}
+	logger.Printf("serving on %s (policy %s, %d writers)", ln.Addr(), *policy, *writers)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		logger.Printf("%v: draining (deadline %v)", s, *drain)
+	case err := <-serveErr:
+		if err != nil {
+			logger.Printf("serve: %v", err)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		logger.Printf("drain: %v", err)
+	}
+	if err := db.Close(); err != nil {
+		logger.Printf("close: %v", err)
+		return 1
+	}
+	st := srv.Stats()
+	logger.Printf("stopped (%d requests: %d ok, %d not-found, %d busy, %d timeout, %d errors)",
+		st.Requests, st.OK, st.NotFound, st.Busy, st.Timeout, st.Errors)
+	return 0
+}

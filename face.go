@@ -36,6 +36,9 @@
 //
 // Reopening an existing directory runs restart recovery automatically, so
 // a process kill followed by Open recovers every committed transaction.
+// cmd/faced serves such a directory over TCP (KV namespaces, admission
+// control, graceful drain); see internal/server and the README's
+// "Serving" section.
 //
 // # Transactions
 //

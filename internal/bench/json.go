@@ -18,7 +18,11 @@ import (
 // NoFsync options, the Backend field on RunSpec and Result, the wall-clock
 // headline throughput (TpmCWall, Wallclock), and the striped cache
 // directory diagnostics (CacheStripeImbalance).
-const ReportSchema = "facebench/v4"
+// v5 adds served traffic: the ServeResult payload emitted by cmd/faceload
+// (offered vs achieved QPS, latency percentiles, admission rejects) and
+// the wall-clock restart fields on RecoveryRun (RestartWall, measured by
+// really closing and reopening file-backed devices).
+const ReportSchema = "facebench/v5"
 
 // Report is the machine-readable form of a facebench run: the options the
 // golden image was built with plus one entry per executed experiment.  The

@@ -77,6 +77,19 @@ func (db *DB) beginTx(ctx context.Context, readonly bool) (*Tx, error) {
 	return tx, nil
 }
 
+// ctxErr reports whether the transaction's context has ended.  Every
+// page operation checks it, so a request whose deadline expired or whose
+// client went away stops at the next operation instead of running its
+// closure to completion — the scheduler then rolls the transaction back.
+// Unscheduled transactions (nil ctx) are never cancelled this way, and
+// the abort path never consults it: rollback must always finish.
+func (tx *Tx) ctxErr() error {
+	if tx.ctx == nil {
+		return nil
+	}
+	return tx.ctx.Err()
+}
+
 // lockPage acquires the page lock in the given mode for scheduled
 // transactions under the page-lock scheduler; elsewhere it is a no-op.
 func (tx *Tx) lockPage(id page.ID, mode lock.Mode) error {
@@ -110,6 +123,9 @@ func (tx *Tx) Read(id page.ID, fn func(buf page.Buf) error) error {
 	if tx.done {
 		return ErrTxDone
 	}
+	if err := tx.ctxErr(); err != nil {
+		return err
+	}
 	if err := tx.lockPage(id, lock.Shared); err != nil {
 		return err
 	}
@@ -131,6 +147,9 @@ func (tx *Tx) Modify(id page.ID, fn func(buf page.Buf) error) error {
 	}
 	if tx.readonly {
 		return fmt.Errorf("%w: Modify of page %d", ErrConflict, id)
+	}
+	if err := tx.ctxErr(); err != nil {
+		return err
 	}
 	if err := tx.lockPage(id, lock.Exclusive); err != nil {
 		return err
@@ -181,6 +200,9 @@ func (tx *Tx) Alloc(t page.Type) (page.ID, error) {
 	}
 	if tx.readonly {
 		return page.InvalidID, fmt.Errorf("%w: Alloc", ErrConflict)
+	}
+	if err := tx.ctxErr(); err != nil {
+		return page.InvalidID, err
 	}
 	db := tx.db
 	db.mu.Lock()

@@ -60,6 +60,8 @@ const (
 	TypeBTreeLeaf
 	TypeBTreeInternal
 	TypeMeta
+	TypeKVCatalog
+	TypeKVMeta
 )
 
 // String returns a readable page type name.
@@ -77,6 +79,10 @@ func (t Type) String() string {
 		return "btree-internal"
 	case TypeMeta:
 		return "meta"
+	case TypeKVCatalog:
+		return "kv-catalog"
+	case TypeKVMeta:
+		return "kv-meta"
 	default:
 		return fmt.Sprintf("type(%d)", uint16(t))
 	}

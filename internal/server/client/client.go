@@ -1,0 +1,380 @@
+// Package client is the Go client for faced's wire protocol.
+//
+// A Client multiplexes requests over a small pool of TCP connections:
+// each connection has one reader goroutine dispatching responses to
+// waiting callers by sequence number, so any number of goroutines can
+// issue requests concurrently and the server sees them pipelined.
+//
+// Transactional batches (Begin/Set/Del/Commit) are per-connection state
+// on the server, so a Txn runs on a dedicated connection of its own.
+//
+// BUSY responses surface as ErrBusy: the server shed the request under
+// overload or the transaction lost a deadlock.  Both are retryable after
+// a backoff; the load generator counts them instead of retrying so
+// overload stays visible.
+package client
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/reprolab/face/internal/server/wire"
+)
+
+// Errors mapped from response statuses.
+var (
+	// ErrBusy is a retryable refusal (admission shed or deadlock victim).
+	ErrBusy = errors.New("client: server busy")
+	// ErrTimeout is a request whose deadline expired server-side.
+	ErrTimeout = errors.New("client: request timed out")
+	// ErrClosed is a request refused because the server is draining.
+	ErrClosed = errors.New("client: server closed")
+	// ErrConnClosed is a request that died with its connection.
+	ErrConnClosed = errors.New("client: connection closed")
+)
+
+// Options tunes a Client.
+type Options struct {
+	// Conns is the connection pool size (default 1).
+	Conns int
+	// DialTimeout bounds each dial (default 5s).  Dials are retried
+	// until the timeout so a client may start before its server.
+	DialTimeout time.Duration
+	// RequestTimeout, when positive, is sent as the per-request deadline.
+	RequestTimeout time.Duration
+}
+
+// Client is a pooled, multiplexing connection to one server.
+type Client struct {
+	addr  string
+	opts  Options
+	conns []*Conn
+	next  atomic.Uint64
+}
+
+// Dial connects the pool.
+func Dial(addr string, opts Options) (*Client, error) {
+	if opts.Conns <= 0 {
+		opts.Conns = 1
+	}
+	if opts.DialTimeout <= 0 {
+		opts.DialTimeout = 5 * time.Second
+	}
+	c := &Client{addr: addr, opts: opts}
+	for i := 0; i < opts.Conns; i++ {
+		conn, err := dialConn(addr, opts)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.conns = append(c.conns, conn)
+	}
+	return c, nil
+}
+
+// dialConn dials with retry until the timeout: servers and load
+// generators start concurrently in scripts and CI.
+func dialConn(addr string, opts Options) (*Conn, error) {
+	deadline := time.Now().Add(opts.DialTimeout)
+	for {
+		nc, err := net.DialTimeout("tcp", addr, time.Until(deadline))
+		if err == nil {
+			return newConn(nc, opts), nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("client: dialing %s: %w", addr, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// Close closes every pooled connection.
+func (c *Client) Close() error {
+	var err error
+	for _, conn := range c.conns {
+		if cerr := conn.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+func (c *Client) pick() *Conn {
+	return c.conns[c.next.Add(1)%uint64(len(c.conns))]
+}
+
+// Ping round-trips an empty request.
+func (c *Client) Ping() error {
+	_, err := c.pick().roundTrip(&wire.Request{Op: wire.OpPing})
+	return err
+}
+
+// Create ensures the namespace exists.
+func (c *Client) Create(ns string) error {
+	_, err := c.pick().roundTrip(&wire.Request{Op: wire.OpCreate, NS: ns})
+	return err
+}
+
+// Get reads a key; the boolean reports whether it exists.
+func (c *Client) Get(ns string, key uint64) ([]byte, bool, error) {
+	resp, err := c.pick().roundTrip(&wire.Request{Op: wire.OpGet, NS: ns, Key: key})
+	return decodeGet(resp, err)
+}
+
+func decodeGet(resp *wire.Response, err error) ([]byte, bool, error) {
+	if err != nil {
+		return nil, false, err
+	}
+	if resp.Status == wire.StatusNotFound {
+		return nil, false, nil
+	}
+	val, err := wire.DecodeValue(resp.Body)
+	if err != nil {
+		return nil, false, err
+	}
+	return val, true, nil
+}
+
+// Set writes a key.
+func (c *Client) Set(ns string, key uint64, val []byte) error {
+	_, err := c.pick().roundTrip(&wire.Request{Op: wire.OpSet, NS: ns, Key: key, Value: val})
+	return err
+}
+
+// Del deletes a key; the boolean reports whether it existed.
+func (c *Client) Del(ns string, key uint64) (bool, error) {
+	resp, err := c.pick().roundTrip(&wire.Request{Op: wire.OpDel, NS: ns, Key: key})
+	if err != nil {
+		return false, err
+	}
+	return resp.Status != wire.StatusNotFound, nil
+}
+
+// Scan returns the pairs with lo <= key <= hi in key order, at most
+// limit of them (0 = unlimited, bounded by the frame size).
+func (c *Client) Scan(ns string, lo, hi uint64, limit int) ([]wire.KV, error) {
+	resp, err := c.pick().roundTrip(&wire.Request{
+		Op: wire.OpScan, NS: ns, Lo: lo, Hi: hi, Limit: uint32(limit),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return wire.DecodePairs(resp.Body)
+}
+
+// --- transactions --------------------------------------------------------
+
+// Txn is a server-side batch: writes are buffered on the server, reads
+// see the buffer merged over a committed snapshot, and Commit applies
+// everything as one engine transaction.  A Txn owns a dedicated
+// connection while open; Commit or Abort must be called exactly once.
+type Txn struct {
+	conn *Conn
+	done bool
+}
+
+// Begin opens a batch on a dedicated connection: batch state lives on
+// the server per connection, so sharing a pooled connection would sweep
+// concurrent plain requests into the batch.  The connection is released
+// when the Txn finishes.
+func (c *Client) Begin() (*Txn, error) {
+	conn, err := dialConn(c.addr, c.opts)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := conn.roundTrip(&wire.Request{Op: wire.OpBegin}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return &Txn{conn: conn}, nil
+}
+
+func (t *Txn) check() error {
+	if t.done {
+		return errors.New("client: transaction already finished")
+	}
+	return nil
+}
+
+// Get reads through the batch overlay.
+func (t *Txn) Get(ns string, key uint64) ([]byte, bool, error) {
+	if err := t.check(); err != nil {
+		return nil, false, err
+	}
+	resp, err := t.conn.roundTrip(&wire.Request{Op: wire.OpGet, NS: ns, Key: key})
+	return decodeGet(resp, err)
+}
+
+// Set buffers a write.
+func (t *Txn) Set(ns string, key uint64, val []byte) error {
+	if err := t.check(); err != nil {
+		return err
+	}
+	_, err := t.conn.roundTrip(&wire.Request{Op: wire.OpSet, NS: ns, Key: key, Value: val})
+	return err
+}
+
+// Scan reads a range through the batch overlay.
+func (t *Txn) Scan(ns string, lo, hi uint64, limit int) ([]wire.KV, error) {
+	if err := t.check(); err != nil {
+		return nil, err
+	}
+	resp, err := t.conn.roundTrip(&wire.Request{
+		Op: wire.OpScan, NS: ns, Lo: lo, Hi: hi, Limit: uint32(limit),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return wire.DecodePairs(resp.Body)
+}
+
+// Del buffers a deletion.
+func (t *Txn) Del(ns string, key uint64) error {
+	if err := t.check(); err != nil {
+		return err
+	}
+	_, err := t.conn.roundTrip(&wire.Request{Op: wire.OpDel, NS: ns, Key: key})
+	return err
+}
+
+// Commit applies the batch as one transaction.  On ErrBusy or ErrTimeout
+// the batch stays buffered server-side and Commit may be retried.
+func (t *Txn) Commit() error {
+	if err := t.check(); err != nil {
+		return err
+	}
+	_, err := t.conn.roundTrip(&wire.Request{Op: wire.OpCommit})
+	if errors.Is(err, ErrBusy) || errors.Is(err, ErrTimeout) {
+		return err // retryable: the batch is still open
+	}
+	t.done = true
+	t.conn.Close()
+	return err
+}
+
+// Abort drops the batch.
+func (t *Txn) Abort() error {
+	if err := t.check(); err != nil {
+		return err
+	}
+	t.done = true
+	_, err := t.conn.roundTrip(&wire.Request{Op: wire.OpAbort})
+	t.conn.Close()
+	return err
+}
+
+// --- one multiplexed connection ------------------------------------------
+
+// Conn is one wire connection.  Concurrent roundTrip calls interleave:
+// the write side is serialized by a mutex, responses are matched to
+// callers by sequence number.
+type Conn struct {
+	opts Options
+	nc   net.Conn
+
+	mu      sync.Mutex // guards bw, seq, pending, err
+	bw      *bufio.Writer
+	seq     uint32
+	pending map[uint32]chan *wire.Response
+	err     error
+}
+
+func newConn(nc net.Conn, opts Options) *Conn {
+	c := &Conn{opts: opts, nc: nc, bw: bufio.NewWriter(nc), pending: make(map[uint32]chan *wire.Response)}
+	go c.readLoop()
+	return c
+}
+
+// Close tears the connection down; in-flight requests fail with
+// ErrConnClosed.
+func (c *Conn) Close() error {
+	c.fail(ErrConnClosed)
+	return nil
+}
+
+// fail marks the connection dead and wakes every waiter.
+func (c *Conn) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+		c.nc.Close()
+	}
+	for seq, ch := range c.pending {
+		close(ch)
+		delete(c.pending, seq)
+	}
+	c.mu.Unlock()
+}
+
+func (c *Conn) readLoop() {
+	br := bufio.NewReader(c.nc)
+	for {
+		resp, err := wire.ReadResponse(br)
+		if err != nil {
+			c.fail(fmt.Errorf("%w: %v", ErrConnClosed, err))
+			return
+		}
+		c.mu.Lock()
+		ch := c.pending[resp.Seq]
+		delete(c.pending, resp.Seq)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- resp
+		}
+	}
+}
+
+// roundTrip sends one request and waits for its response, mapping non-OK
+// statuses to errors (except NOT_FOUND, which the typed wrappers
+// interpret).
+func (c *Conn) roundTrip(req *wire.Request) (*wire.Response, error) {
+	if d := c.opts.RequestTimeout; d > 0 {
+		req.DeadlineMS = uint32(d.Milliseconds())
+	}
+	ch := make(chan *wire.Response, 1)
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.seq++
+	req.Seq = c.seq
+	c.pending[req.Seq] = ch
+	err := wire.WriteRequest(c.bw, req)
+	if err == nil {
+		err = c.bw.Flush()
+	}
+	if err != nil {
+		delete(c.pending, req.Seq)
+		c.mu.Unlock()
+		c.fail(fmt.Errorf("%w: %v", ErrConnClosed, err))
+		return nil, err
+	}
+	c.mu.Unlock()
+
+	resp, ok := <-ch
+	if !ok {
+		c.mu.Lock()
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	switch resp.Status {
+	case wire.StatusOK, wire.StatusNotFound:
+		return resp, nil
+	case wire.StatusBusy:
+		return nil, fmt.Errorf("%w: %s", ErrBusy, wire.DecodeMessage(resp.Body))
+	case wire.StatusTimeout:
+		return nil, fmt.Errorf("%w: %s", ErrTimeout, wire.DecodeMessage(resp.Body))
+	case wire.StatusClosed:
+		return nil, fmt.Errorf("%w: %s", ErrClosed, wire.DecodeMessage(resp.Body))
+	default:
+		return nil, fmt.Errorf("client: %s: %s", wire.StatusName(resp.Status), wire.DecodeMessage(resp.Body))
+	}
+}

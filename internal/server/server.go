@@ -1,0 +1,747 @@
+// Package server is faced's network front end: a TCP server exposing the
+// engine's KV namespaces (internal/kv) over the length-prefixed binary
+// protocol of internal/server/wire.
+//
+// Each connection gets a reader/writer goroutine pair.  The reader
+// decodes and executes requests in arrival order; the writer streams the
+// responses back, flushing opportunistically — so a client may pipeline
+// any number of requests without waiting, and responses come back in
+// request order.
+//
+// Write requests pass through an admission controller that generalizes
+// the engine's WithMaxWriters semaphore to the network edge: a bounded
+// number of writer tokens plus a bounded wait queue, with everything
+// beyond both shed immediately as a retryable BUSY (see admission.go).
+// Deadlock victims surface as BUSY too: in both cases the right client
+// move is to back off and retry.
+//
+// Every request runs under a context bounded by the client-supplied
+// deadline and the server's RequestTimeout, propagated into View/Update,
+// so an expired or cancelled request aborts promptly even while queued
+// on page locks.
+//
+// BEGIN opens a per-connection batch: SET and DEL are buffered (last
+// write per key wins), GET and SCAN merge the buffered overlay over a
+// committed snapshot, and COMMIT applies the whole batch as one Update
+// transaction — one admission token, one commit force — in deterministic
+// (namespace, key) order to keep lock acquisition order stable across
+// concurrent batches.  A batch whose COMMIT fails with BUSY or TIMEOUT
+// stays buffered so the client can retry COMMIT; ABORT drops it.
+//
+// Shutdown drains gracefully: listeners close, requests already
+// executing finish (new ones are refused with CLOSED), stragglers past
+// the drain deadline are cancelled through their request contexts, and
+// only then do connections close.  The engine is left to the caller to
+// Close; reopening the same directory afterwards is the ordinary
+// recovery path.
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/reprolab/face/internal/engine"
+	"github.com/reprolab/face/internal/kv"
+	"github.com/reprolab/face/internal/server/wire"
+)
+
+// Defaults for Config fields left zero.
+const (
+	DefaultWriters        = 8
+	DefaultRequestTimeout = 5 * time.Second
+)
+
+// Config tunes a Server.
+type Config struct {
+	// Writers bounds concurrently executing write requests (single-op
+	// writes, CREATEs and batch COMMITs).  Default DefaultWriters.  It
+	// should match the engine's MaxWriters so the admission edge and the
+	// group-commit fan-in hint agree.
+	Writers int
+	// Queue bounds how many write requests may wait for a writer token
+	// beyond those executing; arrivals past it get BUSY.  Default
+	// 4*Writers; negative disables waiting (immediate BUSY when all
+	// tokens are taken).
+	Queue int
+	// RequestTimeout caps every request's context deadline, including
+	// client-supplied ones.  Default DefaultRequestTimeout; negative
+	// means no server-side cap.
+	RequestTimeout time.Duration
+	// Logf, when set, receives server lifecycle diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// Stats is a snapshot of the server's request counters.
+type Stats struct {
+	Requests  int64          `json:"requests"`
+	OK        int64          `json:"ok"`
+	NotFound  int64          `json:"not_found"`
+	Busy      int64          `json:"busy"`
+	Timeout   int64          `json:"timeout"`
+	Closed    int64          `json:"closed"`
+	Errors    int64          `json:"errors"`
+	Admission AdmissionStats `json:"admission"`
+}
+
+// Server serves one engine over TCP.  Create with New, start with Serve,
+// stop with Shutdown.
+type Server struct {
+	db  *engine.DB
+	kv  *kv.Store
+	cfg Config
+	adm *admission
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	gate     gate
+	draining atomic.Bool
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	conns     map[net.Conn]struct{}
+	connWG    sync.WaitGroup
+
+	requests atomic.Int64
+	statuses [8]atomic.Int64
+}
+
+// New wires a server to the database, attaching to (or initialising) its
+// KV catalog.
+func New(db *engine.DB, cfg Config) (*Server, error) {
+	if cfg.Writers <= 0 {
+		cfg.Writers = DefaultWriters
+	}
+	if cfg.Queue == 0 {
+		cfg.Queue = 4 * cfg.Writers
+	}
+	if cfg.Queue < 0 {
+		cfg.Queue = 0
+	}
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = DefaultRequestTimeout
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	store, err := kv.Open(ctx, db)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	return &Server{
+		db:         db,
+		kv:         store,
+		cfg:        cfg,
+		adm:        newAdmission(cfg.Writers, cfg.Queue),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		listeners:  make(map[net.Listener]struct{}),
+		conns:      make(map[net.Conn]struct{}),
+	}, nil
+}
+
+// Store exposes the server's KV store (for preloading and tests).
+func (s *Server) Store() *kv.Store { return s.kv }
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Serve accepts connections on the listener until it closes (normally by
+// Shutdown).  Several Serve calls may run on different listeners.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.draining.Load() {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("server: Serve after Shutdown")
+	}
+	s.listeners[ln] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.listeners, ln)
+		s.mu.Unlock()
+	}()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			if s.draining.Load() {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.draining.Load() {
+			s.mu.Unlock()
+			c.Close()
+			continue
+		}
+		s.conns[c] = struct{}{}
+		s.connWG.Add(1)
+		s.mu.Unlock()
+		go s.handleConn(c)
+	}
+}
+
+// Shutdown drains the server: stop accepting, let executing requests
+// finish until the context ends, cancel whatever is left, close the
+// connections and return once every connection goroutine exited.  The
+// engine itself is not closed; the caller owns it.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.mu.Lock()
+	for ln := range s.listeners {
+		ln.Close()
+	}
+	s.mu.Unlock()
+
+	var late error
+	select {
+	case <-s.gate.drained():
+	case <-ctx.Done():
+		// Past the drain deadline: cancel every in-flight request through
+		// the shared base context and wait for the aborts to unwind.  Lock
+		// waits and admission waits observe the cancel directly; commits
+		// already past their context check finish their bounded log force.
+		// Connections close too, so an abandoned batch (which holds the
+		// gate open awaiting its COMMIT) releases its hold.
+		late = ctx.Err()
+		s.baseCancel()
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-s.gate.drained()
+	}
+	s.baseCancel()
+
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.connWG.Wait()
+	st := s.Stats()
+	s.logf("server: drained (%d requests: %d ok, %d busy, %d timeout, %d errors)",
+		st.Requests, st.OK, st.Busy, st.Timeout, st.Errors)
+	if late != nil {
+		return fmt.Errorf("server: drain deadline passed, in-flight requests were cancelled: %w", late)
+	}
+	return nil
+}
+
+// Stats returns the request counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Requests:  s.requests.Load(),
+		OK:        s.statuses[wire.StatusOK].Load(),
+		NotFound:  s.statuses[wire.StatusNotFound].Load(),
+		Busy:      s.statuses[wire.StatusBusy].Load(),
+		Timeout:   s.statuses[wire.StatusTimeout].Load(),
+		Closed:    s.statuses[wire.StatusClosed].Load(),
+		Errors:    s.statuses[wire.StatusErr].Load(),
+		Admission: s.adm.Stats(),
+	}
+}
+
+// --- connection handling -------------------------------------------------
+
+// connWriter is the response side of one connection; dead marks a failed
+// socket so the writer goroutine keeps draining instead of blocking the
+// reader.
+type connWriter struct {
+	w    *bufio.Writer
+	dead bool
+}
+
+func newConnWriter(c net.Conn) *connWriter { return &connWriter{w: bufio.NewWriter(c)} }
+
+func newConnReader(c net.Conn) *bufio.Reader { return bufio.NewReader(c) }
+
+// batchVal is the buffered effect of one batch write on one key.
+type batchVal struct {
+	del bool
+	val []byte
+}
+
+// connState is the per-connection request state (touched only by the
+// connection's reader goroutine).
+type connState struct {
+	inBatch  bool
+	batch    map[string]map[uint64]batchVal
+	batchOps int
+}
+
+func (s *Server) handleConn(c net.Conn) {
+	defer s.connWG.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		c.Close()
+	}()
+
+	respCh := make(chan *wire.Response, 64)
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		bw := newConnWriter(c)
+		for resp := range respCh {
+			if bw.dead {
+				continue // drain so the reader never blocks
+			}
+			if err := wire.WriteResponse(bw.w, resp); err != nil {
+				bw.dead = true
+				c.Close()
+				continue
+			}
+			// Flush when the pipeline is momentarily empty: responses to a
+			// burst of pipelined requests share buffer flushes.
+			if len(respCh) == 0 {
+				if err := bw.w.Flush(); err != nil {
+					bw.dead = true
+					c.Close()
+				}
+			}
+		}
+		if !bw.dead {
+			bw.w.Flush()
+		}
+	}()
+	defer func() { close(respCh); <-writerDone }()
+
+	cs := &connState{}
+	// An open batch holds the drain gate (see execute); if the connection
+	// dies mid-batch the hold must be released here.
+	defer func() {
+		if cs.inBatch {
+			s.gate.leave()
+		}
+	}()
+	br := newConnReader(c)
+	for {
+		req, err := wire.ReadRequest(br)
+		if err != nil {
+			return // client went away, or Shutdown closed the socket
+		}
+		respCh <- s.execute(cs, req)
+	}
+}
+
+// execute runs one request and builds its response.
+func (s *Server) execute(cs *connState, req *wire.Request) *wire.Response {
+	s.requests.Add(1)
+	resp := &wire.Response{Seq: req.Seq}
+	// A connection with an open batch is in-flight work: its requests may
+	// still enter during a drain so the batch can reach its COMMIT.
+	if !s.gate.enter(cs.inBatch) {
+		resp.Status = wire.StatusClosed
+		resp.Body = wire.MessageBody("server is draining")
+		s.statuses[resp.Status].Add(1)
+		return resp
+	}
+	defer s.gate.leave()
+
+	ctx, cancel := s.requestCtx(req)
+	defer cancel()
+
+	wasBatch := cs.inBatch
+	body, err := s.dispatch(ctx, cs, req)
+	// Keep the gate's batch hold in sync: BEGIN takes an extra reference,
+	// COMMIT/ABORT (or a commit error that drops the batch) releases it.
+	if cs.inBatch && !wasBatch {
+		s.gate.hold()
+	} else if wasBatch && !cs.inBatch {
+		s.gate.leave()
+	}
+	resp.Status, resp.Body = s.finish(err, body)
+	s.statuses[resp.Status].Add(1)
+	return resp
+}
+
+// requestCtx derives the request's context: the server base context (so
+// a drain deadline cancels everything at once) bounded by the smaller of
+// the client deadline and the configured cap.
+func (s *Server) requestCtx(req *wire.Request) (context.Context, context.CancelFunc) {
+	timeout := s.cfg.RequestTimeout
+	if timeout < 0 {
+		timeout = 0
+	}
+	if d := time.Duration(req.DeadlineMS) * time.Millisecond; d > 0 && (timeout == 0 || d < timeout) {
+		timeout = d
+	}
+	if timeout > 0 {
+		return context.WithTimeout(s.baseCtx, timeout)
+	}
+	return context.WithCancel(s.baseCtx)
+}
+
+// errNotFound marks a missing key on the Get/Del path.
+var errNotFound = errors.New("server: key not found")
+
+// finish maps an error to the wire status and body.
+func (s *Server) finish(err error, body []byte) (byte, []byte) {
+	switch {
+	case err == nil:
+		return wire.StatusOK, body
+	case errors.Is(err, errNotFound):
+		return wire.StatusNotFound, nil
+	case errors.Is(err, ErrBusy), errors.Is(err, engine.ErrDeadlock):
+		return wire.StatusBusy, wire.MessageBody(err.Error())
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return wire.StatusTimeout, wire.MessageBody(err.Error())
+	case errors.Is(err, engine.ErrClosed), errors.Is(err, engine.ErrCrashed):
+		return wire.StatusClosed, wire.MessageBody(err.Error())
+	default:
+		return wire.StatusErr, wire.MessageBody(err.Error())
+	}
+}
+
+func (s *Server) dispatch(ctx context.Context, cs *connState, req *wire.Request) ([]byte, error) {
+	switch req.Op {
+	case wire.OpPing:
+		return nil, nil
+	case wire.OpCreate:
+		if err := s.adm.Acquire(ctx); err != nil {
+			return nil, err
+		}
+		defer s.adm.Release()
+		_, err := s.kv.Create(ctx, req.NS)
+		return nil, err
+	case wire.OpGet:
+		return s.doGet(ctx, cs, req)
+	case wire.OpSet:
+		return nil, s.doSet(ctx, cs, req)
+	case wire.OpDel:
+		return nil, s.doDel(ctx, cs, req)
+	case wire.OpScan:
+		return s.doScan(ctx, cs, req)
+	case wire.OpBegin:
+		if cs.inBatch {
+			return nil, errors.New("server: BEGIN inside an open batch")
+		}
+		cs.inBatch = true
+		cs.batch = make(map[string]map[uint64]batchVal)
+		cs.batchOps = 0
+		return nil, nil
+	case wire.OpCommit:
+		return nil, s.doCommit(ctx, cs)
+	case wire.OpAbort:
+		if !cs.inBatch {
+			return nil, errors.New("server: ABORT without a batch")
+		}
+		cs.dropBatch()
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("server: unknown opcode %d", req.Op)
+	}
+}
+
+func (cs *connState) dropBatch() {
+	cs.inBatch = false
+	cs.batch = nil
+	cs.batchOps = 0
+}
+
+// bufferWrite records a batch write, last write per key winning.
+func (cs *connState) bufferWrite(ns string, key uint64, v batchVal) {
+	m := cs.batch[ns]
+	if m == nil {
+		m = make(map[uint64]batchVal)
+		cs.batch[ns] = m
+	}
+	m[key] = v
+	cs.batchOps++
+}
+
+func (s *Server) doGet(ctx context.Context, cs *connState, req *wire.Request) ([]byte, error) {
+	if cs.inBatch {
+		if v, ok := cs.batch[req.NS][req.Key]; ok {
+			if v.del {
+				return nil, errNotFound
+			}
+			return wire.ValueBody(v.val), nil
+		}
+	}
+	ns, err := s.kv.Namespace(req.NS)
+	if err != nil {
+		return nil, err
+	}
+	var body []byte
+	err = s.db.View(ctx, func(tx *engine.Tx) error {
+		val, found, err := ns.Get(tx, req.Key)
+		if err != nil {
+			return err
+		}
+		if !found {
+			return errNotFound
+		}
+		body = wire.ValueBody(val)
+		return nil
+	})
+	return body, err
+}
+
+func (s *Server) doSet(ctx context.Context, cs *connState, req *wire.Request) error {
+	if len(req.Value) > kv.MaxValueSize {
+		return fmt.Errorf("%w: %d bytes (max %d)", kv.ErrTooLarge, len(req.Value), kv.MaxValueSize)
+	}
+	if cs.inBatch {
+		if _, err := s.kv.Namespace(req.NS); err != nil {
+			return err
+		}
+		cs.bufferWrite(req.NS, req.Key, batchVal{val: append([]byte(nil), req.Value...)})
+		return nil
+	}
+	ns, err := s.kv.Namespace(req.NS)
+	if err != nil {
+		return err
+	}
+	if err := s.adm.Acquire(ctx); err != nil {
+		return err
+	}
+	defer s.adm.Release()
+	p := kv.NewPending()
+	if err := s.db.Update(ctx, func(tx *engine.Tx) error {
+		return ns.Set(tx, p, req.Key, req.Value)
+	}); err != nil {
+		return err
+	}
+	p.Apply()
+	return nil
+}
+
+func (s *Server) doDel(ctx context.Context, cs *connState, req *wire.Request) error {
+	if cs.inBatch {
+		if _, err := s.kv.Namespace(req.NS); err != nil {
+			return err
+		}
+		cs.bufferWrite(req.NS, req.Key, batchVal{del: true})
+		return nil
+	}
+	ns, err := s.kv.Namespace(req.NS)
+	if err != nil {
+		return err
+	}
+	if err := s.adm.Acquire(ctx); err != nil {
+		return err
+	}
+	defer s.adm.Release()
+	var existed bool
+	if err := s.db.Update(ctx, func(tx *engine.Tx) error {
+		var err error
+		existed, err = ns.Delete(tx, req.Key)
+		return err
+	}); err != nil {
+		return err
+	}
+	if !existed {
+		return errNotFound
+	}
+	return nil
+}
+
+func (s *Server) doScan(ctx context.Context, cs *connState, req *wire.Request) ([]byte, error) {
+	ns, err := s.kv.Namespace(req.NS)
+	if err != nil {
+		return nil, err
+	}
+	limit := int(req.Limit)
+	scanLimit := limit
+	var overlay map[uint64]batchVal
+	if cs.inBatch {
+		overlay = cs.batch[req.NS]
+		if limit > 0 {
+			// Buffered deletions may knock committed keys out of the
+			// result: scan far enough past the limit to replace them.
+			scanLimit = limit + len(overlay)
+		}
+	}
+	var pairs []wire.KV
+	err = s.db.View(ctx, func(tx *engine.Tx) error {
+		pairs = pairs[:0]
+		return ns.Scan(tx, req.Lo, req.Hi, scanLimit, func(key uint64, val []byte) error {
+			pairs = append(pairs, wire.KV{Key: key, Value: append([]byte(nil), val...)})
+			return nil
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(overlay) > 0 {
+		pairs = mergeOverlay(pairs, overlay, req.Lo, req.Hi)
+	}
+	if limit > 0 && len(pairs) > limit {
+		pairs = pairs[:limit]
+	}
+	return wire.PairsBody(pairs), nil
+}
+
+// mergeOverlay applies a batch's buffered writes over a committed scan
+// result, keeping key order.
+func mergeOverlay(pairs []wire.KV, overlay map[uint64]batchVal, lo, hi uint64) []wire.KV {
+	out := pairs[:0]
+	for _, p := range pairs {
+		if v, ok := overlay[p.Key]; ok {
+			if v.del {
+				continue
+			}
+			p.Value = v.val
+		}
+		out = append(out, p)
+	}
+	seen := make(map[uint64]bool, len(out))
+	for _, p := range out {
+		seen[p.Key] = true
+	}
+	added := false
+	for key, v := range overlay {
+		if v.del || key < lo || key > hi || seen[key] {
+			continue
+		}
+		out = append(out, wire.KV{Key: key, Value: v.val})
+		added = true
+	}
+	if added {
+		sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	}
+	return out
+}
+
+func (s *Server) doCommit(ctx context.Context, cs *connState) error {
+	if !cs.inBatch {
+		return errors.New("server: COMMIT without a batch")
+	}
+	if cs.batchOps == 0 {
+		cs.dropBatch()
+		return nil
+	}
+	// Resolve namespaces and order the work deterministically so
+	// concurrent batches acquire page locks in a stable order.
+	names := make([]string, 0, len(cs.batch))
+	for name := range cs.batch {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	spaces := make([]*kv.Namespace, len(names))
+	for i, name := range names {
+		ns, err := s.kv.Namespace(name)
+		if err != nil {
+			cs.dropBatch()
+			return err
+		}
+		spaces[i] = ns
+	}
+	if err := s.adm.Acquire(ctx); err != nil {
+		return err
+	}
+	defer s.adm.Release()
+	p := kv.NewPending()
+	err := s.db.Update(ctx, func(tx *engine.Tx) error {
+		for i, name := range names {
+			m := cs.batch[name]
+			keys := make([]uint64, 0, len(m))
+			for k := range m {
+				keys = append(keys, k)
+			}
+			sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+			for _, k := range keys {
+				v := m[k]
+				if v.del {
+					if _, err := spaces[i].Delete(tx, k); err != nil {
+						return err
+					}
+					continue
+				}
+				if err := spaces[i].Set(tx, p, k, v.val); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		// BUSY and TIMEOUT keep the batch buffered so the client can
+		// retry COMMIT; anything else drops it.
+		status, _ := s.finish(err, nil)
+		if status != wire.StatusBusy && status != wire.StatusTimeout {
+			cs.dropBatch()
+		}
+		return err
+	}
+	p.Apply()
+	cs.dropBatch()
+	return nil
+}
+
+// --- drain gate ----------------------------------------------------------
+
+// gate counts in-flight work — executing requests plus open batches —
+// and refuses new entries once closed; it replaces a sync.WaitGroup
+// because Add-after-Wait races are exactly the drain scenario.
+type gate struct {
+	mu     sync.Mutex
+	n      int
+	closed bool
+	idle   chan struct{}
+}
+
+// enter admits one request; false means the gate is closed.  held is
+// true when the caller already owns a live reference (an open batch):
+// its requests keep flowing during a drain so the batch can finish.
+func (g *gate) enter(held bool) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed && !held {
+		return false
+	}
+	g.n++
+	return true
+}
+
+// hold takes an extra reference; the caller must already be inside the
+// gate (so the count cannot have reached zero).
+func (g *gate) hold() {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+}
+
+// leave retires one request.
+func (g *gate) leave() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.n--
+	if g.closed && g.n == 0 && g.idle != nil {
+		close(g.idle)
+		g.idle = nil
+	}
+}
+
+// drained closes the gate and returns a channel that closes once the
+// last admitted request leaves (immediately when none are in flight).
+func (g *gate) drained() <-chan struct{} {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.closed = true
+	ch := make(chan struct{})
+	if g.n == 0 {
+		close(ch)
+		return ch
+	}
+	if g.idle == nil {
+		g.idle = ch
+		return ch
+	}
+	return g.idle
+}
