@@ -18,6 +18,8 @@
 //	lockmgr   single-writer vs page-level 2PL scheduler at 1/2/4/8 terminals
 //	shards    striped vs single-mutex buffer pool and cache directory at
 //	          1/2/4/8 terminals (wall-clock hit-path scaling)
+//	wal       mutex-compat WAL front end vs the lock-free reservation
+//	          pipeline at 1/2/4/8 terminals (force coalescing)
 //	ablations design-choice ablations (sync policy, async I/O, group size,
 //	          segment size, lock manager)
 //	policies  list the registered cache policies
@@ -41,8 +43,8 @@
 //	facebench -quick -dir $(mktemp -d) shards
 //
 // With -json the results are emitted as one machine-readable JSON document
-// (schema "facebench/v4") instead of text tables, so a perf trajectory can
-// be tracked across commits, e.g.:
+// (schema bench.ReportSchema, currently "facebench/v6") instead of text
+// tables, so a perf trajectory can be tracked across commits, e.g.:
 //
 //	facebench -quick -json ablations > BENCH_ablations.json
 package main
@@ -81,7 +83,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		nofsync    = fs.Bool("nofsync", false, "disable the fsync durability barrier of the file backend (-dir)")
 	)
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: facebench [flags] <table1|table3|table4|fig4|table5|fig5|table6|fig6|lockmgr|shards|ablations|policies|all>\n")
+		fmt.Fprintf(stderr, "usage: facebench [flags] <table1|table3|table4|fig4|table5|fig5|table6|fig6|lockmgr|shards|wal|ablations|policies|all>\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -169,7 +171,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	experiments := []string{what}
 	if what == "all" {
-		experiments = []string{"table1", "table3", "table4", "fig4", "table5", "fig5", "table6", "fig6", "lockmgr", "shards", "ablations"}
+		experiments = []string{"table1", "table3", "table4", "fig4", "table5", "fig5", "table6", "fig6", "lockmgr", "shards", "wal", "ablations"}
 	}
 	for _, exp := range experiments {
 		if err := runExperiment(golden, exp, stdout, report); err != nil {
@@ -272,6 +274,19 @@ func runExperiment(g *bench.Golden, what string, out io.Writer, report *bench.Re
 			return err
 		}
 		record("ablation_shards", rows, func() string { return bench.FormatShardAblation(rows) })
+	case "wal":
+		// -terminals M sweeps {1, M} terminals; without it the ablation
+		// uses its default 1/2/4/8 sweep.  Both WAL front ends run at
+		// every count.
+		var terminalCounts []int
+		if n := g.Options().Terminals; n > 1 {
+			terminalCounts = []int{1, n}
+		}
+		rows, err := g.AblationWalPipeline(terminalCounts)
+		if err != nil {
+			return err
+		}
+		record("ablation_wal_pipeline", rows, func() string { return bench.FormatWalAblation(rows) })
 	case "ablations":
 		sync, err := g.AblationSyncPolicy(0)
 		if err != nil {

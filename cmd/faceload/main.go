@@ -1,5 +1,6 @@
 // Command faceload drives a faced server with an open-loop workload and
-// reports served-traffic results in the facebench/v5 schema.
+// reports served-traffic results in the facebench JSON schema
+// (bench.ReportSchema).
 //
 // Usage:
 //

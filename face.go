@@ -147,6 +147,10 @@ type (
 	// batching (requests, device writes, piggybacked forces); it is part
 	// of DB.Snapshot.
 	GroupCommitStats = metrics.GroupCommitStats
+	// WalStats is a snapshot of the write-ahead log's commit pipeline
+	// (reservations, stalls, syncer coalescing, torn-slot writes); it is
+	// part of DB.Snapshot and selected by WithWalSegments.
+	WalStats = metrics.WalStats
 
 	// BenchOptions scales the paper-reproduction experiments.
 	BenchOptions = bench.Options

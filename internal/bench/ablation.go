@@ -113,6 +113,60 @@ func (g *Golden) AblationLockManager(terminalCounts []int) ([]Result, error) {
 	return out, nil
 }
 
+// AblationWalPipeline compares the WAL's mutex-compat front end (one lock
+// serializes every append, the leader/follower protocol batches forces)
+// against the lock-free reservation pipeline (atomic log-space
+// reservation, parallel record copy, dedicated syncer coalescing forces)
+// at increasing terminal counts.
+//
+// Like AblationLockManager the configuration is deliberately log-bound:
+// the DRAM buffer holds the whole database and no flash cache is
+// attached, so the commit path is what the rows measure.  All rows run
+// under 2PL with group commit; they differ only in the log front end.
+// The headline columns are Forces — which must grow sublinearly in
+// terminals as the syncer coalesces parked commits — and the wall-clock
+// throughput, where removing the append mutex and moving fsync off the
+// commit path shows up.
+func (g *Golden) AblationWalPipeline(terminalCounts []int) ([]Result, error) {
+	if len(terminalCounts) == 0 {
+		terminalCounts = []int{1, 2, 4, 8}
+	}
+	bufPages := int(g.dbPages) + 64
+	// Deep warm-up, as in AblationLockManager: the window must start hot
+	// so commit-path costs dominate.
+	warmup := g.opts.WarmupTx + 3*g.opts.MeasureTx
+	modes := []struct {
+		segments int
+		name     string
+	}{
+		{1, "mutex"},
+		{0, "reserved"},
+	}
+	var specs []RunSpec
+	for _, mode := range modes {
+		for _, n := range terminalCounts {
+			specs = append(specs, RunSpec{
+				Policy:      engine.PolicyNone,
+				BufferPages: bufPages,
+				PageLocks:   true,
+				Terminals:   n,
+				WalSegments: mode.segments,
+				WarmupTx:    warmup,
+				Label:       fmt.Sprintf("wal=%s x%d", mode.name, n),
+			})
+		}
+	}
+	var out []Result
+	for _, spec := range specs {
+		res, err := g.Run(spec)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
 // AblationShards measures the DRAM/flash hot-path sharding: the striped
 // buffer pool and cache directory against the historical single-mutex
 // structures, at increasing terminal counts.

@@ -329,6 +329,35 @@ func FormatLockAblation(rows []Result) string {
 	return "Ablation: single-writer vs page-level 2PL transaction scheduler\n" + formatTable(headers, out)
 }
 
+// FormatWalAblation renders the WAL front-end ablation: the mutex-compat
+// log against the lock-free reservation pipeline.  The columns to read
+// are "log writes" (Forces), which must grow sublinearly in terminals as
+// the syncer coalesces parked commits, and the coalesce factor (force
+// requests per device flush round); under wall-clock mode the tpmC (wall)
+// column shows what removing the append convoy buys end to end.
+func FormatWalAblation(rows []Result) string {
+	wall := wallclockMode(rows)
+	headers := []string{"Config", "terminals", "tpmC", "log writes",
+		"coalesce", "parks", "reserve stalls", "copy wait", "sync time"}
+	if wall {
+		headers = append(headers, "tpmC (wall)")
+	}
+	var out [][]string
+	for _, r := range rows {
+		row := []string{
+			r.Label, fmt.Sprintf("%d", r.Terminals), fnum(r.TpmC),
+			fmt.Sprintf("%d", r.Wal.Forces), fmt.Sprintf("%.2f", r.Wal.CoalesceFactor()),
+			fmt.Sprintf("%d", r.Wal.DurableWaits), fmt.Sprintf("%d", r.Wal.ReserveStalls),
+			fdur(r.Wal.CopyWaitTime), fdur(r.Wal.SyncTime),
+		}
+		if wall {
+			row = append(row, fnum(r.TpmCWall))
+		}
+		out = append(out, row)
+	}
+	return "Ablation: mutex-compat WAL vs lock-free reservation pipeline\n" + formatTable(headers, out)
+}
+
 // FormatShardAblation renders the hot-path sharding ablation.  The
 // simulated tpmC column is expected to be flat across shard counts (the
 // model charges the same work either way); the wall-clock hit throughput

@@ -135,6 +135,11 @@ type RunSpec struct {
 	// scheduled workload from one terminal, which is the fair baseline
 	// for multi-terminal comparisons.
 	Terminals int
+	// WalSegments selects the WAL front end (engine.Config.WalSegments):
+	// 0 = the lock-free reservation pipeline with default geometry, 1 =
+	// the mutex-compat baseline, >1 = the pipeline with that many log
+	// buffer segments.
+	WalSegments int
 	// WarmupTx/MeasureTx override the option values when non-zero.
 	WarmupTx  int
 	MeasureTx int
@@ -202,6 +207,12 @@ type Result struct {
 	DeadlockRetries int64
 	Locks           metrics.LockStats
 	GroupCommit     metrics.GroupCommitStats
+
+	// WalSegments echoes the WAL front-end configuration (0 = default
+	// pipeline, 1 = mutex-compat baseline) and Wal the commit pipeline's
+	// activity over the measurement window.
+	WalSegments int
+	Wal         metrics.WalStats
 
 	// BufferShards echoes the buffer pool shard / cache stripe count and
 	// ShardImbalance the busiest-to-mean access ratio across shards over
@@ -436,6 +447,7 @@ func (g *Golden) build(spec RunSpec, recoverMode bool, reuse *runEnv) (*runEnv, 
 		AsyncIODepth:    spec.AsyncDepth,
 		IOWriters:       spec.IOWriters,
 		PageLocks:       spec.PageLocks,
+		WalSegments:     spec.WalSegments,
 		Recover:         recoverMode,
 	}
 	if spec.PageLocks && spec.Terminals > 1 {
@@ -572,6 +584,8 @@ func (g *Golden) summarize(env *runEnv, spec RunSpec, before, after engine.Snaps
 	res.DeadlockRetries = ac.DeadlockRetries - bc.DeadlockRetries
 	res.Locks = after.Locks.Sub(before.Locks)
 	res.GroupCommit = after.GroupCommit.Sub(before.GroupCommit)
+	res.WalSegments = spec.WalSegments
+	res.Wal = after.Wal.Sub(before.Wal)
 	res.BufferShards = env.shards
 	res.ShardImbalance = metrics.ShardImbalance(after.PoolShards)
 	res.CacheStripeImbalance = metrics.StripeImbalance(after.CacheStripes)

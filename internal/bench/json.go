@@ -22,7 +22,10 @@ import (
 // (offered vs achieved QPS, latency percentiles, admission rejects) and
 // the wall-clock restart fields on RecoveryRun (RestartWall, measured by
 // really closing and reopening file-backed devices).
-const ReportSchema = "facebench/v5"
+// v6 adds the WAL commit pipeline: the Wal stats block and WalSegments
+// field on Result, the WalSegments knob on RunSpec/Options, and the wal
+// ablation experiment (mutex-compat front end vs lock-free reservation).
+const ReportSchema = "facebench/v6"
 
 // Report is the machine-readable form of a facebench run: the options the
 // golden image was built with plus one entry per executed experiment.  The

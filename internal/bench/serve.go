@@ -9,9 +9,10 @@ import (
 
 // ServeResult is one served-traffic measurement: cmd/faceload driving
 // cmd/faced over TCP with an open-loop arrival process.  It is the
-// payload the facebench/v5 schema adds for network serving, emitted as
+// payload the facebench schema (since v5) carries for network serving,
+// emitted as
 //
-//	{"schema": "facebench/v5", "experiments": {"serve": {...}}}
+//	{"schema": "facebench/v6", "experiments": {"serve": {...}}}
 //
 // Latencies are measured from each request's scheduled arrival time, not
 // from its send time, so a stalled server shows up as growing latency

@@ -177,6 +177,12 @@ type Config struct {
 	// DefaultGroupCommitWindow, a negative value disables batching.  It
 	// is ignored without PageLocks, where commits cannot overlap.
 	GroupCommitWindow time.Duration
+	// WalSegments selects the WAL front end: zero runs the lock-free
+	// commit pipeline with the default log-buffer geometry, 1 selects the
+	// historical mutex path (every append serializes on one lock; kept as
+	// the ablation baseline), and values above 1 run the pipeline with
+	// that many log buffer segments.
+	WalSegments int
 
 	// CheckpointEvery triggers a database checkpoint whenever this much
 	// simulated time has passed since the previous one.  Zero disables
@@ -270,6 +276,9 @@ func (c *Config) validate() error {
 	}
 	if c.MaxWriters < 0 {
 		return fmt.Errorf("engine: MaxWriters must not be negative")
+	}
+	if c.WalSegments < 0 {
+		return fmt.Errorf("engine: WalSegments must not be negative")
 	}
 	if c.Policy.UsesFlash() {
 		if c.FlashDev == nil {

@@ -172,10 +172,16 @@ func Open(cfg Config) (*DB, error) {
 	}
 
 	var err error
-	db.log, err = wal.Open(cfg.LogDev)
+	db.log, err = wal.OpenConfig(cfg.LogDev, wal.Config{Segments: cfg.WalSegments})
 	if err != nil {
 		closeFiles()
 		return nil, err
+	}
+	// From here on a failed Open must also stop the WAL's syncer
+	// goroutine.
+	abortLog := func() {
+		db.log.Close()
+		closeFiles()
 	}
 	if cfg.PageLocks {
 		// Concurrent committers batch their commit-time forces through
@@ -196,7 +202,7 @@ func Open(cfg Config) (*DB, error) {
 	}
 
 	if err := db.readSuperblock(); err != nil {
-		closeFiles()
+		abortLog()
 		return nil, err
 	}
 	// If the database pages carry LSNs from an earlier log incarnation
@@ -205,14 +211,14 @@ func Open(cfg Config) (*DB, error) {
 	// redo and in the flash cache stay meaningful.
 	if db.maxLSNSeen > db.log.Next() && db.log.Durable() == db.log.Next() && db.log.LastCheckpoint() == 0 {
 		if err := db.log.SetStart(db.maxLSNSeen); err != nil {
-			closeFiles()
+			abortLog()
 			return nil, err
 		}
 	}
 
 	db.cache, err = cfg.buildCache(db.diskWritePage, db.pullVictims)
 	if err != nil {
-		closeFiles()
+		abortLog()
 		return nil, err
 	}
 
@@ -222,7 +228,7 @@ func Open(cfg Config) (*DB, error) {
 		if s, ok := db.cache.(face.Shutdowner); ok {
 			s.Abort()
 		}
-		closeFiles()
+		abortLog()
 	}
 
 	db.pool, err = buffer.NewSharded(cfg.BufferPages, cfg.BufferShards, db.fetchPage, db.evictPage)
@@ -388,6 +394,7 @@ func (db *DB) Close() error {
 			s.Abort()
 		}
 		db.pool.Close()
+		db.log.Close()
 		db.closeFilesLocked()
 		db.closed = true
 		return err
@@ -396,6 +403,9 @@ func (db *DB) Close() error {
 	// condition (for example a transaction begun outside the scheduler)
 	// with ErrClosed instead of leaving it blocked forever.
 	db.pool.Close()
+	// The final checkpoint forced the log tail, so stopping the WAL's
+	// syncer strands nothing.
+	db.log.Close()
 	db.closed = true
 	return db.closeFilesLocked()
 }
@@ -695,9 +705,13 @@ type Snapshot struct {
 	// and GroupCommit the WAL's commit-force batching.
 	Locks       metrics.LockStats
 	GroupCommit metrics.GroupCommitStats
-	Data        device.Stats
-	Log         device.Stats
-	Flash       device.Stats
+	// Wal reports the WAL commit pipeline: reservation stalls, copy
+	// waits, syncer coalescing, barrier count/latency, parked forces.
+	// Sampling it reads only atomics — never the WAL's locks.
+	Wal   metrics.WalStats
+	Data  device.Stats
+	Log   device.Stats
+	Flash device.Stats
 }
 
 // Snapshot returns the current counters.  The buffer pool is sampled once
@@ -727,6 +741,7 @@ func (db *DB) Snapshot() Snapshot {
 		Pool:         ps,
 		PoolShards:   shards,
 		GroupCommit:  db.log.GroupCommitStats(),
+		Wal:          db.log.Stats(),
 		Data:         db.dataDev.Stats(),
 		Log:          db.logDev.Stats(),
 	}

@@ -311,6 +311,68 @@ func (g GroupCommitStats) Sub(prior GroupCommitStats) GroupCommitStats {
 	}
 }
 
+// WalStats captures the activity of the write-ahead log's commit pipeline:
+// the lock-free reservation ring the appenders copy into, the dedicated
+// syncer goroutine that coalesces Force requests into device writes, and
+// the fsync barrier.  All fields are cumulative counters; two snapshots
+// subtract to measure a window of work.
+type WalStats struct {
+	// Appends counts records appended to the log.
+	Appends int64
+	// ReserveStalls counts Append reservations that found the log buffer
+	// ring full and had to wait for the syncer to drain it.
+	ReserveStalls int64
+	// CopyWaits counts syncer flush rounds that had to wait for an
+	// in-flight record copy to publish before the high-water mark covered
+	// the requested LSN, and CopyWaitTime the total wall-clock time spent
+	// in those waits.
+	CopyWaits    int64
+	CopyWaitTime time.Duration
+	// ForceRequests counts Force calls that found the log not yet durable
+	// at their LSN, Forces the flush rounds that performed device I/O for
+	// them, and Piggybacked the requests satisfied by another request's
+	// round: ForceRequests / Forces is the syncer's coalesce factor.
+	ForceRequests int64
+	Forces        int64
+	Piggybacked   int64
+	// Syncs counts durability barriers issued (fsync on file-backed
+	// devices, free on simulated ones) and SyncTime their total wall-clock
+	// latency.
+	Syncs    int64
+	SyncTime time.Duration
+	// DurableWaits counts committers parked on the durable-LSN waitlist.
+	DurableWaits int64
+	// TornSlotWrites counts partial tail blocks staged through the
+	// double-write slot before being rewritten in place.
+	TornSlotWrites int64
+}
+
+// CoalesceFactor returns the mean number of force requests satisfied per
+// device-write round (1.0 = no coalescing).
+func (w WalStats) CoalesceFactor() float64 {
+	if w.Forces == 0 {
+		return 0
+	}
+	return float64(w.ForceRequests) / float64(w.Forces)
+}
+
+// Sub returns the counter difference w - prior.
+func (w WalStats) Sub(prior WalStats) WalStats {
+	return WalStats{
+		Appends:        w.Appends - prior.Appends,
+		ReserveStalls:  w.ReserveStalls - prior.ReserveStalls,
+		CopyWaits:      w.CopyWaits - prior.CopyWaits,
+		CopyWaitTime:   w.CopyWaitTime - prior.CopyWaitTime,
+		ForceRequests:  w.ForceRequests - prior.ForceRequests,
+		Forces:         w.Forces - prior.Forces,
+		Piggybacked:    w.Piggybacked - prior.Piggybacked,
+		Syncs:          w.Syncs - prior.Syncs,
+		SyncTime:       w.SyncTime - prior.SyncTime,
+		DurableWaits:   w.DurableWaits - prior.DurableWaits,
+		TornSlotWrites: w.TornSlotWrites - prior.TornSlotWrites,
+	}
+}
+
 // Utilization returns busy/elapsed clamped to [0, 1].
 func Utilization(busy, elapsed time.Duration) float64 {
 	if elapsed <= 0 {

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/reprolab/face/internal/device"
@@ -19,133 +20,223 @@ const controlBlocks = 1
 // controlMagic identifies an initialised control block.
 const controlMagic = 0xFACE10C0
 
+// Default commit-pipeline geometry: the in-memory log buffer is a ring of
+// DefaultSegments segments of DefaultSegmentBytes each that committers
+// reserve space in with one CAS and fill without holding any lock.
+const (
+	DefaultSegments     = 8
+	DefaultSegmentBytes = 64 << 10
+)
+
+// Config tunes the log manager.  The zero value selects the lock-free
+// commit pipeline with the default buffer geometry.
+type Config struct {
+	// Segments selects the log front end: 0 means DefaultSegments
+	// (the lock-free reservation pipeline), 1 selects the mutex-compat
+	// path (every Append serializes on one lock and Force writes inline —
+	// the pre-pipeline behaviour, kept as the ablation baseline), and
+	// values above 1 run the pipeline with that many buffer segments.
+	Segments int
+	// SegmentBytes is the size of one ring segment (0 = the default).
+	SegmentBytes int
+}
+
 // Manager is the write-ahead log manager.
 //
-// Records are appended to an in-memory tail and become durable when Force
-// is called (commit, page eviction, checkpoint).  Log writes are strictly
-// sequential; the log device is typically a dedicated disk, as in the
-// paper's experimental setup.
+// Records are appended to an in-memory log buffer and become durable when
+// Force is called (commit, page eviction, checkpoint).  Log writes are
+// strictly sequential; the log device is typically a dedicated disk, as in
+// the paper's experimental setup.
+//
+// The default front end is a three-stage pipeline in the Aether /
+// scalable-ARIES-logging style: Append performs an atomic LSN/space
+// reservation on a ring of buffer segments (one CAS, no lock), copies the
+// record bytes into the reserved slot in parallel with other appenders, and
+// publishes completion; a high-water mark — the largest LSN below which
+// every copy has landed — replaces the mutex-guarded tail (reserve.go).
+// Force parks the caller on a durable-LSN waitlist serviced by a dedicated
+// syncer goroutine that coalesces concurrent requests into one device
+// write + fsync round (syncer.go).  On devices with a real durability
+// barrier the partial tail block is staged through a double-write slot at
+// the end of the device before being rewritten in place, so a torn 4 KiB
+// write cannot clip previously durable records (tornslot.go).
+//
+// Config{Segments: 1} selects the historical mutex path instead
+// (compat.go); the on-device format is identical in both modes.
 type Manager struct {
-	mu sync.Mutex
-
 	dev device.Dev
 
 	// base is the LSN assigned to the first byte of the log data region.
 	// A freshly initialised log normally starts at 0; SetStart raises the
 	// base so LSNs stay monotonic when a new log is attached to a
 	// database whose pages already carry LSNs from an earlier log (e.g. a
-	// database image cloned by the benchmark harness).
+	// database image cloned by the benchmark harness).  Immutable once
+	// records exist.
 	base page.LSN
-	// next is the LSN that will be assigned to the next record.
-	next page.LSN
-	// durable is the LSN up to which the log is on the device.
-	durable page.LSN
+
+	// protect is set when the device has a durability barrier
+	// (device.Syncer) and room for the torn-tail double-write slot; the
+	// partial tail block is then staged through the slot before every
+	// in-place rewrite.  dataBlocks is the device capacity available to
+	// log data (the slot blocks at the device end are excluded).
+	protect    bool
+	dataBlocks int64
+
+	// Hot read-only state is atomic so stats sampling (engine.Snapshot)
+	// never contends with the commit path.
+	durableA       atomic.Uint64 // LSN up to which the log is on the device
+	nextA          atomic.Uint64 // next LSN (maintained by the compat path; the pipeline derives it from its position word)
+	forcesA        atomic.Int64  // flush rounds that performed device I/O for a Force
+	lastCheckpoint atomic.Uint64
+
+	gcRequests    atomic.Int64
+	gcPiggybacked atomic.Int64
+
+	appends        atomic.Int64
+	reserveStalls  atomic.Int64
+	copyWaits      atomic.Int64
+	copyWaitNS     atomic.Int64
+	syncCount      atomic.Int64
+	syncNS         atomic.Int64
+	durableWaits   atomic.Int64
+	tornSlotWrites atomic.Int64
+
+	// Group-commit pacing hints, shared by both front ends.  gcWindowNS is
+	// the leader/syncer collection window; committers the dynamic count of
+	// registered committers (AddCommitter); committersHint a static
+	// expectation (SetCommitters) that takes precedence when set.  The
+	// hint matters on machines where concurrent commits never overlap by
+	// chance (few cores): it tells the first force of a batch to open a
+	// collection window so the other committers get scheduled into it.
+	gcWindowNS     atomic.Int64
+	committers     atomic.Int64
+	committersHint atomic.Int64
+
+	closed atomic.Bool
+
+	// pipe is the lock-free front end (nil under Config{Segments: 1}).
+	pipe *pipeline
+
+	// Mutex-compat state (compat.go); unused when pipe != nil.
+	mu sync.Mutex
 	// pending holds encoded records in [durable, next).
 	pending []byte
 	// partial holds the bytes of the last durable block that precede
 	// offset durable (so the block can be rewritten when more data is
-	// appended to it).
+	// appended to it).  The pipeline moves it into its own state at Open.
 	partial []byte
-
-	// lastCheckpoint is the LSN of the begin record of the most recent
-	// completed checkpoint.
-	lastCheckpoint page.LSN
-
-	forces int64
-
-	// Group commit (leader/follower).  With a non-zero collection window
-	// and more than one registered committer, the first Force caller that
-	// finds the log short of its LSN becomes the leader: it opens a batch,
-	// waits up to gcWindow for concurrent committers to append their
-	// records and join, then performs one device write covering the
-	// maximum requested LSN.  Followers block on the batch and return once
-	// durable has passed their LSN, without touching the device.
-	gcWindow time.Duration
-	// committers is the dynamic count of registered committers
-	// (AddCommitter); committersHint is a static expectation
-	// (SetCommitters) that takes precedence when set.  The hint matters on
-	// machines where concurrent commits never overlap by chance (few
-	// cores): it tells the first Force to open a collection window so the
-	// other committers get scheduled into it.
-	committers     int
-	committersHint int
-	batch          *forceBatch
+	batch   *forceBatch
 	// gcSolo counts consecutive forces that found no companion while a
-	// committer hint was active.  After a short streak the leaders stop
-	// paying the collection window (the hint is evidently stale — e.g. a
-	// lone writer on a pool opened with MaxWriters > 1), probing with a
-	// window again every soloProbeEvery forces so real concurrency is
-	// re-detected within a bounded number of commits.
+	// committer hint was active; see shouldCollect.
 	gcSolo int
-
-	gcRequests    int64
-	gcPiggybacked int64
 }
 
 // Adaptive solo-leader thresholds: after soloStreakLimit companion-less
-// batches the window is skipped; every soloProbeEvery solo forces one
-// window is paid as a probe.
+// batches the collection window is skipped; every soloProbeEvery solo
+// forces one window is paid as a probe so real concurrency is re-detected
+// within a bounded number of commits.
 const (
 	soloStreakLimit = 3
 	soloProbeEvery  = 16
 )
 
-// forceBatch is one group-commit round: the leader's collection state and
-// the channel its followers wait on.
-type forceBatch struct {
-	// requests counts the callers riding this batch, the leader included.
-	requests int
-	// full is closed (once) when every registered committer has joined,
-	// letting the leader cut its collection window short.
-	full       chan struct{}
-	fullClosed bool
-	// done is closed after the leader's device write; err carries its
-	// outcome to the followers.
-	done chan struct{}
-	err  error
-}
+// Open creates a manager with the default configuration on the given log
+// device.  If the device contains an initialised control block, the
+// existing log is preserved and the manager resumes appending after its
+// durable end; otherwise a fresh log is initialised.
+func Open(dev device.Dev) (*Manager, error) { return OpenConfig(dev, Config{}) }
 
-// Open creates a manager on the given log device.  If the device contains
-// an initialised control block, the existing log is preserved and the
-// manager resumes appending after its durable end; otherwise a fresh log is
-// initialised.
-func Open(dev device.Dev) (*Manager, error) {
-	m := &Manager{dev: dev}
+// OpenConfig is Open with an explicit front-end configuration.
+func OpenConfig(dev device.Dev, cfg Config) (*Manager, error) {
+	m := &Manager{dev: dev, dataBlocks: dev.NumBlocks()}
+	if _, ok := dev.(device.Syncer); ok && dev.NumBlocks() >= controlBlocks+tornSlotBlocks+1 {
+		m.protect = true
+		m.dataBlocks -= tornSlotBlocks
+	}
 	ctrl := make([]byte, device.BlockSize)
 	if err := dev.ReadAt(0, ctrl); err != nil {
 		return nil, fmt.Errorf("wal: reading control block: %w", err)
 	}
 	if binary.LittleEndian.Uint32(ctrl[0:]) == controlMagic {
-		m.lastCheckpoint = page.LSN(binary.LittleEndian.Uint64(ctrl[4:]))
+		m.lastCheckpoint.Store(binary.LittleEndian.Uint64(ctrl[4:]))
 		m.base = page.LSN(binary.LittleEndian.Uint64(ctrl[20:]))
+		// Repair a torn tail block from the double-write slot before
+		// trusting anything the end-of-log scan reads.
+		if m.protect {
+			if err := m.repairTornTail(); err != nil {
+				return nil, err
+			}
+		}
 		// The control block is only rewritten at checkpoints (real systems
 		// do not touch their control file on every commit), so the durable
 		// end of the log is found by scanning forward from the last known
 		// record boundary until the records stop decoding.
-		scanFrom := m.lastCheckpoint
+		scanFrom := m.LastCheckpoint()
 		if scanFrom < m.base {
 			scanFrom = m.base
-		}
-		m.durable = page.LSN(binary.LittleEndian.Uint64(ctrl[12:]))
-		if m.durable < scanFrom {
-			m.durable = scanFrom
 		}
 		end, err := m.scanDurableEnd(scanFrom)
 		if err != nil {
 			return nil, err
 		}
-		m.durable = end
-		m.next = end
+		m.durableA.Store(uint64(end))
+		m.nextA.Store(uint64(end))
 		if err := m.loadPartial(); err != nil {
 			return nil, err
 		}
-		return m, nil
+		return m, m.start(cfg)
 	}
 	// Fresh log.
 	if err := m.writeControl(); err != nil {
 		return nil, err
 	}
-	return m, nil
+	// A slot left behind by an earlier log incarnation on the same device
+	// must not repair a block of the new log.
+	if m.protect {
+		if err := m.invalidateTornSlot(); err != nil {
+			return nil, err
+		}
+	}
+	return m, m.start(cfg)
+}
+
+// start brings up the configured front end once the shared on-device state
+// has been recovered.
+func (m *Manager) start(cfg Config) error {
+	segs := cfg.Segments
+	if segs == 0 {
+		segs = DefaultSegments
+	}
+	if segs < 1 {
+		return fmt.Errorf("wal: Segments must be at least 1 (got %d)", cfg.Segments)
+	}
+	if segs == 1 {
+		return nil // mutex-compat front end
+	}
+	segBytes := cfg.SegmentBytes
+	if segBytes <= 0 {
+		segBytes = DefaultSegmentBytes
+	}
+	p, err := newPipeline(m, segs, segBytes)
+	if err != nil {
+		return err
+	}
+	m.pipe = p
+	go p.syncerLoop()
+	return nil
+}
+
+// Close stops the syncer goroutine of the pipeline front end.  It does not
+// force the log: callers that need the tail durable force it first (the
+// engine checkpoints on Close).  Idempotent.
+func (m *Manager) Close() error {
+	if m.closed.Swap(true) {
+		return nil
+	}
+	if m.pipe != nil {
+		m.pipe.stop()
+	}
+	return nil
 }
 
 // scanDurableEnd walks the log from a known record boundary and returns the
@@ -159,7 +250,7 @@ func (m *Manager) scanDurableEnd(from page.LSN) (page.LSN, error) {
 	buf := make([]byte, device.BlockSize)
 
 	readMore := func() (bool, error) {
-		if nextBlk >= m.dev.NumBlocks() {
+		if nextBlk >= m.dataBlocks {
 			return false, nil
 		}
 		if err := m.dev.ReadAt(nextBlk, buf); err != nil {
@@ -219,27 +310,28 @@ func (m *Manager) off(lsn page.LSN) uint64 { return uint64(lsn - m.base) }
 func (m *Manager) SetStart(lsn page.LSN) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if m.next != m.base || m.durable != m.base || len(m.pending) > 0 {
-		return fmt.Errorf("wal: SetStart on a non-empty log (next %d, base %d)", m.next, m.base)
+	if m.Next() != m.base || m.Durable() != m.base || len(m.pending) > 0 ||
+		(m.pipe != nil && !m.pipe.empty()) {
+		return fmt.Errorf("wal: SetStart on a non-empty log (next %d, base %d)", m.Next(), m.base)
 	}
 	if lsn < m.base {
 		return nil
 	}
 	m.base = lsn
-	m.next = lsn
-	m.durable = lsn
+	m.nextA.Store(uint64(lsn))
+	m.durableA.Store(uint64(lsn))
 	return m.writeControl()
 }
 
 // loadPartial reads the partially filled last durable block so appends can
 // rewrite it.
 func (m *Manager) loadPartial() error {
-	rem := int(m.off(m.durable) % device.BlockSize)
+	rem := int(m.off(m.Durable()) % device.BlockSize)
 	m.partial = nil
 	if rem == 0 {
 		return nil
 	}
-	blk := int64(m.off(m.durable)/device.BlockSize) + controlBlocks
+	blk := int64(m.off(m.Durable())/device.BlockSize) + controlBlocks
 	buf := make([]byte, device.BlockSize)
 	if err := m.dev.ReadAt(blk, buf); err != nil {
 		return fmt.Errorf("wal: reading partial tail block: %w", err)
@@ -251,8 +343,8 @@ func (m *Manager) loadPartial() error {
 func (m *Manager) writeControl() error {
 	ctrl := make([]byte, device.BlockSize)
 	binary.LittleEndian.PutUint32(ctrl[0:], controlMagic)
-	binary.LittleEndian.PutUint64(ctrl[4:], uint64(m.lastCheckpoint))
-	binary.LittleEndian.PutUint64(ctrl[12:], uint64(m.durable))
+	binary.LittleEndian.PutUint64(ctrl[4:], m.lastCheckpoint.Load())
+	binary.LittleEndian.PutUint64(ctrl[12:], uint64(m.Durable()))
 	binary.LittleEndian.PutUint64(ctrl[20:], uint64(m.base))
 	if err := m.dev.WriteAt(0, ctrl); err != nil {
 		return err
@@ -260,64 +352,112 @@ func (m *Manager) writeControl() error {
 	return device.Sync(m.dev)
 }
 
+// writeBlocks writes a run of log blocks, staging the first block through
+// the torn-tail double-write slot when it extends a previously durable
+// partial block on a device without atomic block writes.  Both front ends
+// funnel their device writes through here.
+func (m *Manager) writeBlocks(startBlk int64, pages [][]byte, firstPartial bool) error {
+	if startBlk+int64(len(pages)) > m.dataBlocks {
+		return fmt.Errorf("wal: log device full (%d blocks)", m.dataBlocks)
+	}
+	if m.protect && firstPartial && len(pages) > 0 {
+		if err := m.writeTornSlot(startBlk, pages[0]); err != nil {
+			return err
+		}
+	}
+	if err := m.dev.WriteRun(startBlk, pages); err != nil {
+		return fmt.Errorf("wal: flushing log: %w", err)
+	}
+	return nil
+}
+
+// syncDevice issues the durability barrier and accounts for it.
+func (m *Manager) syncDevice() error {
+	start := time.Now()
+	err := device.Sync(m.dev)
+	m.syncCount.Add(1)
+	m.syncNS.Add(int64(time.Since(start)))
+	return err
+}
+
 // Append adds a record to the log tail and returns its LSN.  The record is
-// not durable until Force is called with an LSN past it.
+// not durable until Force is called with an LSN past it.  Under the
+// pipeline front end Append acquires no mutex: it reserves log space with
+// one CAS and copies the record bytes concurrently with other appenders.
 func (m *Manager) Append(r *Record) (page.LSN, error) {
+	if m.pipe != nil {
+		return m.pipe.append(r)
+	}
+	return m.appendCompat(r)
+}
+
+// Force makes the log durable at least up to lsn.  It is a no-op when the
+// log is already durable past lsn.  Concurrent callers are coalesced: under
+// the pipeline front end they park on the syncer's durable-LSN waitlist and
+// one flush round covers the maximum requested LSN; under the compat front
+// end the historical leader/follower protocol batches them.
+func (m *Manager) Force(lsn page.LSN) error {
+	if m.pipe != nil {
+		return m.pipe.force(lsn)
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	r.LSN = m.next
-	m.pending = r.encode(m.pending)
-	m.next += page.LSN(r.encodedSize())
-	return r.LSN, nil
+	return m.forceLocked(lsn)
+}
+
+// ForceAll makes the entire log tail durable.
+func (m *Manager) ForceAll() error {
+	if m.pipe != nil {
+		return m.pipe.force(m.Next())
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.forceLocked(m.Next())
 }
 
 // Next returns the LSN that will be assigned to the next appended record.
 func (m *Manager) Next() page.LSN {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.next
+	if m.pipe != nil {
+		return m.pipe.next()
+	}
+	return page.LSN(m.nextA.Load())
 }
 
 // Durable returns the LSN up to which the log is persistent.
-func (m *Manager) Durable() page.LSN {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.durable
-}
+func (m *Manager) Durable() page.LSN { return page.LSN(m.durableA.Load()) }
 
-// Forces returns the number of Force calls that performed device I/O.
-func (m *Manager) Forces() int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.forces
-}
+// Forces returns the number of Force flush rounds that performed device
+// I/O.
+func (m *Manager) Forces() int64 { return m.forcesA.Load() }
 
-// SetGroupCommitWindow sets the leader's collection window for group
-// commit.  Zero (the default) disables batching: every Force that finds
-// the log short of its LSN writes immediately.  The engine enables a small
-// window under the multi-writer scheduler, where concurrent committers can
-// actually fill a batch.
+// Pipelined reports whether the lock-free front end is active.
+func (m *Manager) Pipelined() bool { return m.pipe != nil }
+
+// SetGroupCommitWindow sets the collection window for coalescing commit
+// forces.  Zero (the default) disables batching: every Force that finds
+// the log short of its LSN triggers an immediate flush round.  The engine
+// enables a small window under the multi-writer scheduler, where
+// concurrent committers can actually fill a batch.
 func (m *Manager) SetGroupCommitWindow(d time.Duration) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	if d < 0 {
 		d = 0
 	}
-	m.gcWindow = d
+	m.gcWindowNS.Store(int64(d))
 }
 
 // AddCommitter adjusts the number of registered committers (transactions
-// currently able to request a commit force).  The leader of a group-commit
-// batch stops collecting early once every registered committer has joined,
-// so single-writer phases pay no window latency.
+// currently able to request a commit force).  A collecting flush round
+// completes early once every registered committer has joined, so
+// single-writer phases pay no window latency.
 func (m *Manager) AddCommitter(delta int) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.committers += delta
-	if m.committers < 0 {
-		m.committers = 0
+	m.committers.Add(int64(delta))
+	if m.pipe != nil {
+		m.pipe.kick()
+		return
 	}
+	m.mu.Lock()
 	m.checkBatchFullLocked()
+	m.mu.Unlock()
 }
 
 // SetCommitters sets a static expected-committer count that overrides the
@@ -328,213 +468,70 @@ func (m *Manager) AddCommitter(delta int) {
 // goroutines rarely overlap (GOMAXPROCS=1).  Set it back to zero when the
 // run ends.
 func (m *Manager) SetCommitters(n int) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	if n < 0 {
 		n = 0
 	}
-	m.committersHint = n
-	// A fresh expectation invalidates any stale-solo verdict.
+	m.committersHint.Store(int64(n))
+	if m.pipe != nil {
+		// A fresh expectation invalidates any stale-solo verdict.
+		m.pipe.resetSolo()
+		m.pipe.kick()
+		return
+	}
+	m.mu.Lock()
 	m.gcSolo = 0
 	m.checkBatchFullLocked()
+	m.mu.Unlock()
 }
 
 // CommittersHint returns the static expected-committer count (zero when
 // unset).  Callers that set a temporary hint restore the previous value.
-func (m *Manager) CommittersHint() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.committersHint
-}
+func (m *Manager) CommittersHint() int { return int(m.committersHint.Load()) }
 
-// effectiveCommittersLocked returns the committer count batching decisions
-// use: the static hint when set, the dynamic tally otherwise.
-func (m *Manager) effectiveCommittersLocked() int {
-	if m.committersHint > 0 {
-		return m.committersHint
+// dynCommitters returns the dynamic committer tally, floored at zero.
+func (m *Manager) dynCommitters() int {
+	n := m.committers.Load()
+	if n < 0 {
+		n = 0
 	}
-	return m.committers
+	return int(n)
 }
 
-// checkBatchFullLocked completes the collecting batch early when every
-// expected committer has joined it.
-func (m *Manager) checkBatchFullLocked() {
-	n := m.effectiveCommittersLocked()
-	if b := m.batch; b != nil && !b.fullClosed && n > 0 && b.requests >= n {
-		b.fullClosed = true
-		close(b.full)
+// effectiveCommitters returns the committer count batching decisions use:
+// the static hint when set, the dynamic tally otherwise.
+func (m *Manager) effectiveCommitters() int {
+	if h := m.committersHint.Load(); h > 0 {
+		return int(h)
 	}
+	return m.dynCommitters()
 }
 
-// GroupCommitStats returns the batching counters of the group-commit
-// protocol.
+// GroupCommitStats returns the batching counters of the commit-force
+// coalescing protocol.
 func (m *Manager) GroupCommitStats() metrics.GroupCommitStats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	return metrics.GroupCommitStats{
-		Requests:    m.gcRequests,
-		Forces:      m.forces,
-		Piggybacked: m.gcPiggybacked,
+		Requests:    m.gcRequests.Load(),
+		Forces:      m.forcesA.Load(),
+		Piggybacked: m.gcPiggybacked.Load(),
 	}
 }
 
-// Force makes the log durable at least up to lsn.  It is a no-op when the
-// log is already durable past lsn.  Concurrent callers are batched by a
-// leader/follower protocol: one caller performs a device write covering
-// the maximum requested LSN, the others return once the log is durable
-// past their own LSN.
-func (m *Manager) Force(lsn page.LSN) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.forceLocked(lsn)
-}
-
-// ForceAll makes the entire log tail durable.
-func (m *Manager) ForceAll() error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.forceLocked(m.next)
-}
-
-// forceLocked implements Force.  m.mu is held on entry and return; it is
-// released while the caller sleeps on a batch and while a leader sits in
-// its collection window (appends proceed in that gap — that is what fills
-// the batch), but never during the device write itself.
-func (m *Manager) forceLocked(lsn page.LSN) error {
-	if lsn > m.next {
-		lsn = m.next
+// Stats returns the commit-pipeline counters.  All sources are atomics, so
+// sampling never contends with appenders or the syncer.
+func (m *Manager) Stats() metrics.WalStats {
+	return metrics.WalStats{
+		Appends:        m.appends.Load(),
+		ReserveStalls:  m.reserveStalls.Load(),
+		CopyWaits:      m.copyWaits.Load(),
+		CopyWaitTime:   time.Duration(m.copyWaitNS.Load()),
+		ForceRequests:  m.gcRequests.Load(),
+		Forces:         m.forcesA.Load(),
+		Piggybacked:    m.gcPiggybacked.Load(),
+		Syncs:          m.syncCount.Load(),
+		SyncTime:       time.Duration(m.syncNS.Load()),
+		DurableWaits:   m.durableWaits.Load(),
+		TornSlotWrites: m.tornSlotWrites.Load(),
 	}
-	if lsn <= m.durable {
-		return nil
-	}
-	m.gcRequests++
-	for {
-		if lsn <= m.durable {
-			// Another caller's write covered this request.
-			m.gcPiggybacked++
-			return nil
-		}
-		if b := m.batch; b != nil {
-			// A leader is collecting: join its batch and wait.
-			b.requests++
-			m.checkBatchFullLocked()
-			m.mu.Unlock()
-			<-b.done
-			m.mu.Lock()
-			if b.err != nil {
-				return b.err
-			}
-			continue
-		}
-		if m.gcWindow > 0 && m.effectiveCommittersLocked() > 1 && m.shouldCollectLocked() {
-			// Become the leader: collect followers for up to gcWindow,
-			// or until every registered committer has joined.
-			b := &forceBatch{requests: 1, full: make(chan struct{}), done: make(chan struct{})}
-			m.batch = b
-			timer := time.NewTimer(m.gcWindow)
-			m.mu.Unlock()
-			select {
-			case <-b.full:
-			case <-timer.C:
-			}
-			timer.Stop()
-			m.mu.Lock()
-			err := m.writeTailLocked()
-			m.batch = nil
-			if b.requests > 1 {
-				m.gcSolo = 0
-			} else {
-				m.gcSolo++
-			}
-			b.err = err
-			close(b.done)
-			if err != nil {
-				return err
-			}
-			// writeTailLocked forced everything appended so far, which
-			// includes lsn (it was <= next on entry).
-			return nil
-		}
-		// No batching possible (no window, no concurrent committers, or
-		// a solo streak proved the hint stale): write immediately.  Only
-		// forces that could actually have collected — at least one
-		// committer registered — advance the solo streak; lifecycle
-		// forces (checkpoint, close) run with transactions fenced out
-		// and say nothing about the hint's staleness.
-		if m.gcWindow > 0 && m.committers >= 1 && m.effectiveCommittersLocked() > 1 {
-			m.gcSolo++
-		}
-		return m.writeTailLocked()
-	}
-}
-
-// shouldCollectLocked decides whether a would-be leader pays the
-// collection window: never when no committer is even registered (the
-// force comes from a lifecycle path — checkpoint, close — that runs with
-// transactions fenced out, so nobody can join); always while companions
-// have been showing up; and periodically as a probe once a solo streak
-// suggests the committer hint is stale.  Genuine concurrency (dynamic
-// tally above one) always collects.
-func (m *Manager) shouldCollectLocked() bool {
-	if m.committers == 0 {
-		return false
-	}
-	if m.committers > 1 {
-		return true
-	}
-	if m.gcSolo < soloStreakLimit {
-		return true
-	}
-	return m.gcSolo%soloProbeEvery == soloProbeEvery-1
-}
-
-// writeTailLocked writes the whole pending tail to the device, advancing
-// durable to the pre-write value of next.  m.mu is held throughout.
-func (m *Manager) writeTailLocked() error {
-	if len(m.pending) == 0 {
-		return nil
-	}
-	// Flush the whole pending tail: records are appended as units, so
-	// flushing to m.next always lands on a record boundary, and a larger
-	// sequential write costs essentially the same as a partial one.
-	n := len(m.pending)
-	data := append(append([]byte(nil), m.partial...), m.pending[:n]...)
-	startBlk := int64(m.off(m.durable-page.LSN(len(m.partial)))/device.BlockSize) + controlBlocks
-	nBlocks := (len(data) + device.BlockSize - 1) / device.BlockSize
-	pages := make([][]byte, nBlocks)
-	for i := 0; i < nBlocks; i++ {
-		blkData := make([]byte, device.BlockSize)
-		end := (i + 1) * device.BlockSize
-		if end > len(data) {
-			end = len(data)
-		}
-		copy(blkData, data[i*device.BlockSize:end])
-		pages[i] = blkData
-	}
-	if startBlk+int64(nBlocks) > m.dev.NumBlocks() {
-		return fmt.Errorf("wal: log device full (%d blocks)", m.dev.NumBlocks())
-	}
-	if err := m.dev.WriteRun(startBlk, pages); err != nil {
-		return fmt.Errorf("wal: flushing log: %w", err)
-	}
-	// The durability barrier comes before durable advances: on file-backed
-	// devices Force must not return (and commits must not be acknowledged)
-	// until the log bytes are fsynced.  Simulated devices make this a
-	// no-op.
-	if err := device.Sync(m.dev); err != nil {
-		return fmt.Errorf("wal: syncing log: %w", err)
-	}
-	m.durable += page.LSN(n)
-	m.pending = append([]byte(nil), m.pending[n:]...)
-	rem := int(m.off(m.durable) % device.BlockSize)
-	if rem == 0 {
-		m.partial = nil
-	} else {
-		last := pages[nBlocks-1]
-		m.partial = append([]byte(nil), last[:rem]...)
-	}
-	m.forces++
-	return nil
 }
 
 // LogCheckpointBegin appends a checkpoint-begin record and returns its LSN.
@@ -549,40 +546,35 @@ func (m *Manager) LogCheckpointEnd(beginLSN page.LSN) error {
 	if _, err := m.Append(&Record{Type: TypeCheckpointEnd, After: EncodeLSN(beginLSN)}); err != nil {
 		return err
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if err := m.forceLocked(m.next); err != nil {
+	if err := m.ForceAll(); err != nil {
 		return err
 	}
-	m.lastCheckpoint = beginLSN
+	m.lastCheckpoint.Store(uint64(beginLSN))
 	return m.writeControl()
 }
 
 // LastCheckpoint returns the LSN of the begin record of the most recent
 // completed checkpoint, or 0 when no checkpoint has completed.
 func (m *Manager) LastCheckpoint() page.LSN {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.lastCheckpoint
+	return page.LSN(m.lastCheckpoint.Load())
 }
 
 // Crash simulates a process failure: all non-durable log records are lost.
 // The manager must not be used afterwards; reopen the log with Open.
 func (m *Manager) Crash() {
+	m.Close()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.pending = nil
 	m.partial = nil
-	m.next = m.durable
+	m.nextA.Store(m.durableA.Load())
 }
 
 // Iterate replays durable log records with LSN >= from, in order.  The
 // callback receives each decoded record; iteration stops at the durable end
 // of the log or when the callback returns an error.
 func (m *Manager) Iterate(from page.LSN, fn func(*Record) error) error {
-	m.mu.Lock()
-	durable := m.durable
-	m.mu.Unlock()
+	durable := m.Durable()
 	if from < m.base {
 		from = m.base
 	}

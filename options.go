@@ -36,10 +36,10 @@ func WithDevices(data, log Dev) Option {
 // fsync: commit-time log forces, the flash cache's
 // destage-before-front-advance invariant and checkpoints all call Sync()
 // on the underlying files, so acknowledged commits survive a crash of the
-// host, not just of the process (assuming atomic 4 KiB block writes: the
-// log rewrites its partial tail block in place, so a torn tail write on
-// hardware without power-loss protection can clip the newest commits in
-// that block — see the README's Persistence section).  Reopening a
+// host, not just of the process.  The log's partial tail block is staged
+// through a double-write slot before each in-place rewrite, so a torn
+// 4 KiB tail write on hardware without power-loss protection is repaired
+// at the next open — see the README's Logging section.  Reopening a
 // directory whose data file already exists automatically runs restart
 // recovery — kill-and-reopen is the normal restart path and needs no
 // WithRecovery.
@@ -290,6 +290,24 @@ func WithMaxWriters(n int) Option {
 			return fmt.Errorf("face: WithMaxWriters(%d): must be at least 1", n)
 		}
 		c.MaxWriters = n
+		return nil
+	}
+}
+
+// WithWalSegments selects the write-ahead log front end.  The default
+// (zero) is the lock-free commit pipeline: appenders reserve log space
+// with one atomic compare-and-swap on a ring of log buffer segments and
+// copy their records in parallel, while a dedicated syncer goroutine
+// coalesces commit forces and issues the fsync barrier off the append
+// path.  WithWalSegments(1) selects the historical mutex front end
+// (every append serializes on one lock), kept as a comparison baseline;
+// values above 1 run the pipeline with that many buffer segments.
+func WithWalSegments(n int) Option {
+	return func(c *engine.Config) error {
+		if n < 0 {
+			return fmt.Errorf("face: WithWalSegments(%d): must not be negative", n)
+		}
+		c.WalSegments = n
 		return nil
 	}
 }
