@@ -20,6 +20,8 @@
 //	          1/2/4/8 terminals (wall-clock hit-path scaling)
 //	wal       mutex-compat WAL front end vs the lock-free reservation
 //	          pipeline at 1/2/4/8 terminals (force coalescing)
+//	obs       observability layer cost: commit-path phase tracing and
+//	          histograms on vs off (wall-clock overhead, phase p99s)
 //	ablations design-choice ablations (sync policy, async I/O, group size,
 //	          segment size, lock manager)
 //	policies  list the registered cache policies
@@ -43,7 +45,7 @@
 //	facebench -quick -dir $(mktemp -d) shards
 //
 // With -json the results are emitted as one machine-readable JSON document
-// (schema bench.ReportSchema, currently "facebench/v6") instead of text
+// (schema bench.ReportSchema, currently "facebench/v7") instead of text
 // tables, so a perf trajectory can be tracked across commits, e.g.:
 //
 //	facebench -quick -json ablations > BENCH_ablations.json
@@ -83,7 +85,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		nofsync    = fs.Bool("nofsync", false, "disable the fsync durability barrier of the file backend (-dir)")
 	)
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: facebench [flags] <table1|table3|table4|fig4|table5|fig5|table6|fig6|lockmgr|shards|wal|ablations|policies|all>\n")
+		fmt.Fprintf(stderr, "usage: facebench [flags] <table1|table3|table4|fig4|table5|fig5|table6|fig6|lockmgr|shards|wal|obs|ablations|policies|all>\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -171,7 +173,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	experiments := []string{what}
 	if what == "all" {
-		experiments = []string{"table1", "table3", "table4", "fig4", "table5", "fig5", "table6", "fig6", "lockmgr", "shards", "wal", "ablations"}
+		experiments = []string{"table1", "table3", "table4", "fig4", "table5", "fig5", "table6", "fig6", "lockmgr", "shards", "wal", "obs", "ablations"}
 	}
 	for _, exp := range experiments {
 		if err := runExperiment(golden, exp, stdout, report); err != nil {
@@ -287,6 +289,19 @@ func runExperiment(g *bench.Golden, what string, out io.Writer, report *bench.Re
 			return err
 		}
 		record("ablation_wal_pipeline", rows, func() string { return bench.FormatWalAblation(rows) })
+	case "obs":
+		// -terminals M compares {1, M} terminals; without it the ablation
+		// uses its default {1, 4}.  Each count runs with observability on
+		// and off.
+		var terminalCounts []int
+		if n := g.Options().Terminals; n > 1 {
+			terminalCounts = []int{1, n}
+		}
+		rows, err := g.AblationObservability(terminalCounts)
+		if err != nil {
+			return err
+		}
+		record("ablation_observability", rows, func() string { return bench.FormatObsAblation(rows) })
 	case "ablations":
 		sync, err := g.AblationSyncPolicy(0)
 		if err != nil {

@@ -15,6 +15,19 @@
 // requests plus a -queue of waiters; anything beyond both is refused with
 // a retryable BUSY instead of queueing without bound.
 //
+// With -metrics-addr the server also exposes a plain HTTP observability
+// endpoint on a second listener:
+//
+//	/metrics       Prometheus text exposition: per-op server latency
+//	               histograms, commit-path phase histograms, per-layer
+//	               counters, admission and drain-gate gauges
+//	/debug/vars    the same registry as expvar JSON
+//	/debug/pprof/  net/http/pprof profiles of the live process
+//
+// -stats-interval logs a one-line throughput/latency digest periodically,
+// and -slow-tx logs a per-phase breakdown of every write transaction
+// slower than the threshold.
+//
 // SIGINT or SIGTERM drains gracefully: listeners close, in-flight
 // requests and open batches get up to -drain to finish (stragglers are
 // cancelled through their request contexts), then the engine closes with
@@ -23,11 +36,14 @@ package main
 
 import (
 	"context"
+	"expvar"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -35,6 +51,7 @@ import (
 	"time"
 
 	"github.com/reprolab/face"
+	"github.com/reprolab/face/internal/obs"
 	"github.com/reprolab/face/internal/server"
 )
 
@@ -56,6 +73,9 @@ func run(args []string, stderr io.Writer) int {
 		timeout     = fs.Duration("timeout", server.DefaultRequestTimeout, "per-request deadline cap (negative = none)")
 		drain       = fs.Duration("drain", 30*time.Second, "graceful drain deadline on SIGINT/SIGTERM")
 		nofsync     = fs.Bool("nofsync", false, "disable commit/checkpoint fsync (faster, crash-unsafe)")
+		metricsAddr = fs.String("metrics-addr", "", "HTTP listen address for /metrics, /debug/vars and /debug/pprof/ (empty = disabled)")
+		statsEvery  = fs.Duration("stats-interval", 0, "log a periodic stats line at this interval (0 = disabled)")
+		slowTx      = fs.Duration("slow-tx", 0, "log a per-phase breakdown of write transactions slower than this (0 = disabled)")
 		verbose     = fs.Bool("v", false, "log per-lifecycle diagnostics")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -69,6 +89,10 @@ func run(args []string, stderr io.Writer) int {
 
 	logger := log.New(stderr, "faced: ", log.LstdFlags|log.Lmicroseconds)
 
+	// One registry shared by the engine and the server, so /metrics shows
+	// the whole stack.
+	reg := obs.NewRegistry()
+
 	start := time.Now()
 	opts := []face.Option{
 		face.WithDir(*dir),
@@ -77,6 +101,11 @@ func run(args []string, stderr io.Writer) int {
 		face.WithBufferPages(*bufferPages),
 		face.WithLockManager(),
 		face.WithMaxWriters(*writers),
+		face.WithMetricsRegistry(reg),
+		face.WithSlowTxLog(logger.Printf),
+	}
+	if *slowTx > 0 {
+		opts = append(opts, face.WithSlowTxThreshold(*slowTx))
 	}
 	if *nofsync {
 		opts = append(opts, face.WithFsync(false))
@@ -95,7 +124,7 @@ func run(args []string, stderr io.Writer) int {
 		logger.Printf("opened %s in %v", *dir, time.Since(start).Round(time.Millisecond))
 	}
 
-	cfg := server.Config{Writers: *writers, Queue: *queue, RequestTimeout: *timeout}
+	cfg := server.Config{Writers: *writers, Queue: *queue, RequestTimeout: *timeout, Obs: reg}
 	if *verbose {
 		cfg.Logf = logger.Printf
 	}
@@ -114,6 +143,29 @@ func run(args []string, stderr io.Writer) int {
 	}
 	logger.Printf("serving on %s (policy %s, %d writers)", ln.Addr(), *policy, *writers)
 
+	var metricsSrv *http.Server
+	if *metricsAddr != "" {
+		mln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			logger.Printf("metrics listen %s: %v", *metricsAddr, err)
+			ln.Close()
+			db.Close()
+			return 1
+		}
+		metricsSrv = &http.Server{Handler: metricsMux(reg)}
+		go func() {
+			if err := metricsSrv.Serve(mln); err != nil && err != http.ErrServerClosed {
+				logger.Printf("metrics serve: %v", err)
+			}
+		}()
+		logger.Printf("metrics on http://%s/metrics (also /debug/vars, /debug/pprof/)", mln.Addr())
+	}
+
+	statsStop := make(chan struct{})
+	if *statsEvery > 0 {
+		go statsLoop(logger, srv, reg, *statsEvery, statsStop)
+	}
+
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 
@@ -128,17 +180,73 @@ func run(args []string, stderr io.Writer) int {
 		}
 	}
 
+	close(statsStop)
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
 		logger.Printf("drain: %v", err)
+	}
+	if metricsSrv != nil {
+		metricsSrv.Shutdown(ctx)
 	}
 	if err := db.Close(); err != nil {
 		logger.Printf("close: %v", err)
 		return 1
 	}
 	st := srv.Stats()
-	logger.Printf("stopped (%d requests: %d ok, %d not-found, %d busy, %d timeout, %d errors)",
-		st.Requests, st.OK, st.NotFound, st.Busy, st.Timeout, st.Errors)
+	logger.Printf("stopped (%d requests: %d ok, %d not-found, %d busy, %d timeout, %d errors; admission: %d admitted, %d shed, %d waited; %d in flight)",
+		st.Requests, st.OK, st.NotFound, st.Busy, st.Timeout, st.Errors,
+		st.Admission.Admitted, st.Admission.Rejected, st.Admission.Waits, srv.InFlight())
 	return 0
+}
+
+// metricsMux builds the observability endpoint: Prometheus text at
+// /metrics, the same registry as expvar JSON at /debug/vars, and the
+// stdlib pprof handlers at /debug/pprof/.
+func metricsMux(reg *face.MetricsRegistry) *http.ServeMux {
+	// Publish once per process: a second run of run() (tests) must not
+	// hit expvar's duplicate-name panic.
+	if expvar.Get("face") == nil {
+		expvar.Publish("face", reg.Expvar())
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// statsLoop logs a one-line digest every interval: request deltas plus
+// the server-side SET p99 from the shared registry.
+func statsLoop(logger *log.Logger, srv *server.Server, reg *face.MetricsRegistry, every time.Duration, stop <-chan struct{}) {
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	var last server.Stats
+	setHist := reg.Histogram(`face_server_op_seconds{op="set"}`)
+	getHist := reg.Histogram(`face_server_op_seconds{op="get"}`)
+	lastSet, lastGet := setHist.Snapshot(), getHist.Snapshot()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+		}
+		st := srv.Stats()
+		set := setHist.Snapshot()
+		get := getHist.Snapshot()
+		setW, getW := set.Sub(lastSet), get.Sub(lastGet)
+		logger.Printf("stats: %d req (%d ok, %d busy, %d timeout) | set p50=%v p99=%v | get p50=%v p99=%v | inflight=%d",
+			st.Requests-last.Requests, st.OK-last.OK, st.Busy-last.Busy, st.Timeout-last.Timeout,
+			setW.Quantile(0.50), setW.Quantile(0.99),
+			getW.Quantile(0.50), getW.Quantile(0.99),
+			srv.InFlight())
+		last, lastSet, lastGet = st, set, get
+	}
 }

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/reprolab/face/internal/obs"
+)
+
+// TestMetricsEndpoint checks the observability mux faced mounts on
+// -metrics-addr: Prometheus text on /metrics with the right content
+// type, the registry as JSON on /debug/vars, and the pprof index.
+func TestMetricsEndpoint(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Histogram(`face_server_op_seconds{op="get"}`).Observe(3 * time.Millisecond)
+	reg.Counter("face_server_requests_total").Add(1)
+
+	ts := httptest.NewServer(metricsMux(reg))
+	defer ts.Close()
+
+	get := func(path string) (string, *http.Response) {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: reading body: %v", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		return string(body), resp
+	}
+
+	body, resp := get("/metrics")
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics Content-Type = %q, want text/plain", ct)
+	}
+	for _, want := range []string{
+		"# TYPE face_server_op_seconds summary",
+		`face_server_op_seconds_count{op="get"} 1`,
+		`face_server_op_seconds{op="get",quantile="0.99"} `,
+		"face_server_requests_total 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	body, _ = get("/debug/vars")
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v\n%s", err, body)
+	}
+	if _, ok := vars["face"]; !ok {
+		t.Errorf("/debug/vars missing the face registry:\n%s", body)
+	}
+
+	body, _ = get("/debug/pprof/")
+	if !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ index missing profiles:\n%s", body)
+	}
+}

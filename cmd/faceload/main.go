@@ -19,6 +19,12 @@
 // Keys are drawn from a Zipf distribution over -keys keys with exponent
 // -skew (use 0 for uniform); -reads sets the GET fraction, the rest are
 // SETs of -value-byte payloads.
+//
+// With -metrics pointing at faced's -metrics-addr, the generator scrapes
+// the server's /metrics endpoint when the run ends and folds the
+// server-side GET/SET latency quantiles and the admission shed count
+// into the report, making the client-vs-server latency gap (queueing)
+// visible alongside the open-loop client percentiles.
 package main
 
 import (
@@ -27,7 +33,9 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"net/http"
 	"os"
+	"strings"
 	"sync"
 	"time"
 
@@ -70,6 +78,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		verify   = fs.Uint64("verify", 0, "verify keys 0..N-1 exist and exit")
 		jsonOut  = fs.Bool("json", false, "emit a facebench JSON report instead of text")
 		label    = fs.String("label", "", "label for the result (default: derived from the workload)")
+		metrics  = fs.String("metrics", "", "faced /metrics URL to scrape at run end (folds server-side p99 + shed into the report)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -111,6 +120,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *label != "" {
 		res.Label = *label
 	}
+	if *metrics != "" {
+		if err := scrapeMetrics(*metrics, res); err != nil {
+			fmt.Fprintf(stderr, "faceload: metrics scrape: %v\n", err)
+		}
+	}
 
 	if *jsonOut {
 		rep := &bench.Report{
@@ -125,6 +139,34 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	bench.FormatServe(stdout, res)
 	return 0
+}
+
+// scrapeMetrics fetches the server's Prometheus /metrics endpoint and
+// folds the server-side latency quantiles and shed count into the serve
+// result, so the client-vs-server latency gap (queueing) is visible in
+// one report.  A bare host:port is accepted and completed to a URL.
+func scrapeMetrics(url string, res *bench.ServeResult) error {
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	if !strings.Contains(url, "/metrics") {
+		url = strings.TrimRight(url, "/") + "/metrics"
+	}
+	hc := &http.Client{Timeout: 5 * time.Second}
+	resp, err := hc.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		return err
+	}
+	res.FillServerMetrics(string(body))
+	return nil
 }
 
 func doPreload(c *client.Client, ns string, n uint64, size int) error {

@@ -96,6 +96,7 @@ import (
 	"github.com/reprolab/face/internal/engine"
 	intface "github.com/reprolab/face/internal/face"
 	"github.com/reprolab/face/internal/metrics"
+	"github.com/reprolab/face/internal/obs"
 	"github.com/reprolab/face/internal/page"
 )
 
@@ -151,6 +152,23 @@ type (
 	// (reservations, stalls, syncer coalescing, torn-slot writes); it is
 	// part of DB.Snapshot and selected by WithWalSegments.
 	WalStats = metrics.WalStats
+
+	// MetricsRegistry is the named registry of histograms, counters and
+	// gauges behind DB.Metrics; share one across engine and embedder with
+	// WithMetricsRegistry and render it with its WritePrometheus method.
+	MetricsRegistry = obs.Registry
+	// LatencyHistogram is the lock-free log-bucketed latency histogram
+	// the observability layer records into.
+	LatencyHistogram = obs.Histogram
+	// LatencySummary condenses a histogram window into count, mean and
+	// p50/p95/p99/p999/max.
+	LatencySummary = obs.Summary
+	// TxPhases is the commit-path phase breakdown carried by DB.Snapshot
+	// (histogram snapshots per phase; Sub isolates a window and
+	// Summaries condenses it).
+	TxPhases = obs.TxPhases
+	// TxPhaseSummaries is the condensed, JSON-friendly form of TxPhases.
+	TxPhaseSummaries = obs.TxPhaseSummaries
 
 	// BenchOptions scales the paper-reproduction experiments.
 	BenchOptions = bench.Options
@@ -259,6 +277,11 @@ func NewSSD(name string, blocks int64) *device.Device {
 func NewSLCSSD(name string, blocks int64) *device.Device {
 	return device.New(name, device.ProfileIntelX25E, blocks)
 }
+
+// NewMetricsRegistry creates an empty metrics registry to share between
+// the engine (WithMetricsRegistry) and the embedder's own exporter; see
+// MetricsRegistry.WritePrometheus and MetricsRegistry.Expvar.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
 
 // DefaultBenchOptions returns the experiment scale used by the facebench
 // command.

@@ -167,6 +167,55 @@ func (g *Golden) AblationWalPipeline(terminalCounts []int) ([]Result, error) {
 	return out, nil
 }
 
+// AblationObservability prices the observability layer: identical
+// log-bound configurations run with the commit-path phase tracing and
+// registry enabled (the default) and with DisableObs, which compiles the
+// layer down to nil checks.
+//
+// Like AblationLockManager the configuration is log-bound (whole
+// database in DRAM, no flash cache) so the per-transaction commit path —
+// exactly where the tracing sits — dominates; any overhead the histogram
+// records and time.Now calls add appears in the wall-clock columns.  The
+// simulated-time figures (TpmC) charge modeled device and CPU time only,
+// so they are observability-independent by construction; the wall-clock
+// throughput (TpmCWall) is the column the rows are compared on, and the
+// acceptance bar is observability costing no more than ~2%.
+func (g *Golden) AblationObservability(terminalCounts []int) ([]Result, error) {
+	if len(terminalCounts) == 0 {
+		terminalCounts = []int{1, 4}
+	}
+	bufPages := int(g.dbPages) + 64
+	// Deep warm-up, as in AblationLockManager: the window must start hot
+	// so commit-path costs dominate.
+	warmup := g.opts.WarmupTx + 3*g.opts.MeasureTx
+	modes := []struct {
+		disable bool
+		name    string
+	}{
+		{false, "obs on"},
+		{true, "obs off"},
+	}
+	var out []Result
+	for _, mode := range modes {
+		for _, n := range terminalCounts {
+			res, err := g.Run(RunSpec{
+				Policy:      engine.PolicyNone,
+				BufferPages: bufPages,
+				PageLocks:   true,
+				Terminals:   n,
+				DisableObs:  mode.disable,
+				WarmupTx:    warmup,
+				Label:       fmt.Sprintf("%s x%d", mode.name, n),
+			})
+			if err != nil {
+				return out, err
+			}
+			out = append(out, res)
+		}
+	}
+	return out, nil
+}
+
 // AblationShards measures the DRAM/flash hot-path sharding: the striped
 // buffer pool and cache directory against the historical single-mutex
 // structures, at increasing terminal counts.

@@ -48,6 +48,15 @@ func pct(v float64) string        { return fmt.Sprintf("%.1f", v*100) }
 func fnum(v float64) string       { return fmt.Sprintf("%.0f", v) }
 func fdur(d time.Duration) string { return d.Round(time.Millisecond).String() }
 
+// flat renders a latency for table cells at microsecond resolution ("-"
+// when the window recorded nothing).
+func flat(d time.Duration) string {
+	if d <= 0 {
+		return "-"
+	}
+	return d.Round(time.Microsecond).String()
+}
+
 // wallclockMode reports whether the rows ask for the wall-clock headline
 // columns (file backend, or the -wallclock flag).  Reports for the default
 // in-memory simulated runs stay byte-identical.
@@ -384,21 +393,51 @@ func FormatShardAblation(rows []Result) string {
 	return "Ablation: striped buffer pool / cache directory (hot-path sharding)\n" + formatTable(headers, out)
 }
 
+// FormatObsAblation renders the observability-cost ablation: identical
+// configurations with the tracing layer on and off.  The simulated tpmC
+// is observability-independent by construction (the model charges device
+// and CPU time, not host-side bookkeeping), so the column the rows are
+// compared on is the wall-clock throughput; the phase columns show what
+// the enabled rows bought — the commit path split into its waits.
+func FormatObsAblation(rows []Result) string {
+	headers := []string{"Config", "terminals", "tpmC", "tpmC (wall)", "wall clock",
+		"tx p50", "tx p99", "lock p99", "wal p99", "durable p99"}
+	var out [][]string
+	for _, r := range rows {
+		lock, walp, durable := "-", "-", "-"
+		if !r.DisableObs {
+			lock = flat(r.Phases.LockWait.P99)
+			walp = flat(r.Phases.WalAppend.P99)
+			durable = flat(r.Phases.DurableWait.P99)
+		}
+		out = append(out, []string{
+			r.Label, fmt.Sprintf("%d", r.Terminals), fnum(r.TpmC), fnum(r.TpmCWall),
+			fdur(r.WallClock), flat(r.TxLatency.P50), flat(r.TxLatency.P99),
+			lock, walp, durable,
+		})
+	}
+	return "Ablation: observability layer cost (phase tracing + histograms on vs off)\n" +
+		formatTable(headers, out) +
+		"(simulated tpmC is observability-independent by design; compare the wall-clock columns)\n"
+}
+
 // FormatResults renders a flat list of results (used by the ablations).
 // Under wall-clock mode (file backend or -wallclock) the wall-clock
 // throughput leads the row: on real devices the simulated-time tpmC no
-// longer models the run.
+// longer models the run — and the row carries the committed-transaction
+// wall-clock latency percentiles the observability layer records.
 func FormatResults(title string, rows []Result) string {
 	wall := wallclockMode(rows)
 	headers := []string{"Config", "tpmC", "total tpm", "flash hit %", "write red. %", "flash util %", "flash IOPS", "DRAM hit %"}
 	if wall {
-		headers = []string{"Config", "tpmC (wall)", "wall clock", "tpmC (sim)", "flash hit %", "write red. %", "DRAM hit %"}
+		headers = []string{"Config", "tpmC (wall)", "wall clock", "tx p95", "tx p99", "tpmC (sim)", "flash hit %", "write red. %", "DRAM hit %"}
 	}
 	var out [][]string
 	for _, r := range rows {
 		if wall {
 			out = append(out, []string{
-				r.Label, fnum(r.TpmCWall), fdur(r.WallClock), fnum(r.TpmC),
+				r.Label, fnum(r.TpmCWall), fdur(r.WallClock),
+				flat(r.TxLatency.P95), flat(r.TxLatency.P99), fnum(r.TpmC),
 				pct(r.FlashHitRate), pct(r.WriteReduction), pct(r.DRAMHitRate),
 			})
 			continue

@@ -11,6 +11,7 @@ import (
 	"github.com/reprolab/face/internal/engine"
 	"github.com/reprolab/face/internal/face"
 	"github.com/reprolab/face/internal/metrics"
+	"github.com/reprolab/face/internal/obs"
 	"github.com/reprolab/face/internal/tpcc"
 )
 
@@ -140,6 +141,10 @@ type RunSpec struct {
 	// the mutex-compat baseline, >1 = the pipeline with that many log
 	// buffer segments.
 	WalSegments int
+	// DisableObs opens the engine with the observability layer compiled
+	// out (engine.Config.DisableObs): no phase histograms, no registry.
+	// The AblationObservability experiment uses it to price the layer.
+	DisableObs bool
 	// WarmupTx/MeasureTx override the option values when non-zero.
 	WarmupTx  int
 	MeasureTx int
@@ -238,6 +243,18 @@ type Result struct {
 	// name deliberately avoids a case-only collision with the WallClock
 	// duration in the JSON schema.
 	WallclockMode bool
+
+	// DisableObs echoes RunSpec.DisableObs.  When observability ran,
+	// Phases carries the commit-path phase breakdown over the measurement
+	// window (admission wait, lock wait, buffer, WAL append, durable wait,
+	// closure), TxLatency the wall-clock latency summary over all
+	// committed transactions, and KindLatencies the same per TPC-C
+	// transaction kind.  All latencies are host wall-clock time, so on the
+	// simulated backend they price the host, not the modeled hardware.
+	DisableObs    bool
+	Phases        obs.TxPhaseSummaries
+	TxLatency     obs.Summary
+	KindLatencies map[string]obs.Summary
 }
 
 // runEnv is a fully constructed experiment instance.
@@ -448,6 +465,7 @@ func (g *Golden) build(spec RunSpec, recoverMode bool, reuse *runEnv) (*runEnv, 
 		IOWriters:       spec.IOWriters,
 		PageLocks:       spec.PageLocks,
 		WalSegments:     spec.WalSegments,
+		DisableObs:      spec.DisableObs,
 		Recover:         recoverMode,
 	}
 	if spec.PageLocks && spec.Terminals > 1 {
@@ -512,6 +530,7 @@ func (g *Golden) Run(spec RunSpec) (Result, error) {
 	}
 	before := env.eng.Snapshot()
 	beforeCounts := env.driver.Counts()
+	beforeKinds := env.driver.KindLatencies()
 	wallStart := time.Now()
 	if err := runPhase(measure); err != nil {
 		env.eng.Crash()
@@ -520,9 +539,27 @@ func (g *Golden) Run(spec RunSpec) (Result, error) {
 	wall := time.Since(wallStart)
 	after := env.eng.Snapshot()
 	afterCounts := env.driver.Counts()
+	afterKinds := env.driver.KindLatencies()
 
 	res := g.summarize(env, spec, before, after, beforeCounts, afterCounts)
 	res.WallClock = wall
+	res.DisableObs = spec.DisableObs
+	if !spec.DisableObs {
+		res.Phases = after.Phases.Sub(before.Phases).Summaries()
+	}
+	// The per-kind wall-clock latency histograms live in the driver and
+	// are recorded whether or not engine observability is on.
+	var total obs.HistSnapshot
+	res.KindLatencies = make(map[string]obs.Summary, len(afterKinds))
+	for name, a := range afterKinds {
+		w := a.Sub(beforeKinds[name])
+		if w.Count == 0 {
+			continue
+		}
+		res.KindLatencies[name] = w.Summary()
+		total = total.Merge(w)
+	}
+	res.TxLatency = total.Summary()
 	if hits := after.Pool.Hits - before.Pool.Hits; hits > 0 && wall > 0 {
 		res.HitsPerSecWall = float64(hits) / wall.Seconds()
 	}

@@ -25,7 +25,13 @@ import (
 // v6 adds the WAL commit pipeline: the Wal stats block and WalSegments
 // field on Result, the WalSegments knob on RunSpec/Options, and the wal
 // ablation experiment (mutex-compat front end vs lock-free reservation).
-const ReportSchema = "facebench/v6"
+// v7 adds the observability layer: commit-path phase summaries (Phases),
+// wall-clock transaction latency percentiles overall (TxLatency) and per
+// TPC-C kind (KindLatencies) on Result, the DisableObs knob and the
+// ablation_observability experiment, and the server-side scrape fields
+// on ServeResult (server_get/set p50/p99, server_shed) filled by
+// faceload -metrics.
+const ReportSchema = "facebench/v7"
 
 // Report is the machine-readable form of a facebench run: the options the
 // golden image was built with plus one entry per executed experiment.  The

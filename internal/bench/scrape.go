@@ -1,0 +1,54 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"time"
+)
+
+// FillServerMetrics folds a Prometheus text-exposition scrape of faced's
+// /metrics endpoint into the result's server-side fields.  It reads the
+// face_server_op_seconds summary quantiles for GET and SET (exported in
+// seconds, stored here as durations) and the face_server_rejected_total
+// shed counter; everything else in the scrape is ignored.  Unparseable
+// lines are skipped, so a scrape from a newer or older server degrades
+// to missing fields rather than an error.
+func (r *ServeResult) FillServerMetrics(metricsText string) {
+	for _, line := range strings.Split(metricsText, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			continue
+		}
+		name, val := line[:sp], strings.TrimSpace(line[sp+1:])
+		switch name {
+		case `face_server_op_seconds{op="get",quantile="0.5"}`:
+			r.ServerGetP50 = secondsToDuration(val, &r.ServerScraped)
+		case `face_server_op_seconds{op="get",quantile="0.99"}`:
+			r.ServerGetP99 = secondsToDuration(val, &r.ServerScraped)
+		case `face_server_op_seconds{op="set",quantile="0.5"}`:
+			r.ServerSetP50 = secondsToDuration(val, &r.ServerScraped)
+		case `face_server_op_seconds{op="set",quantile="0.99"}`:
+			r.ServerSetP99 = secondsToDuration(val, &r.ServerScraped)
+		case "face_server_rejected_total":
+			if n, err := strconv.ParseInt(val, 10, 64); err == nil {
+				r.ServerShed = n
+				r.ServerScraped = true
+			}
+		}
+	}
+}
+
+// secondsToDuration parses a Prometheus seconds value into a Duration,
+// marking *ok on success.
+func secondsToDuration(s string, ok *bool) time.Duration {
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0
+	}
+	*ok = true
+	return time.Duration(f * float64(time.Second))
+}

@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestMetricsScrape checks that a faced /metrics scrape folds into the
+// serve result: summary quantiles become durations, the shed counter
+// lands, and unknown or malformed lines are ignored.
+func TestMetricsScrape(t *testing.T) {
+	scrape := strings.Join([]string{
+		`# HELP face_server_op_seconds request latency`,
+		`# TYPE face_server_op_seconds summary`,
+		`face_server_op_seconds{op="get",quantile="0.5"} 0.000128`,
+		`face_server_op_seconds{op="get",quantile="0.99"} 0.002048`,
+		`face_server_op_seconds{op="set",quantile="0.5"} 0.000256`,
+		`face_server_op_seconds{op="set",quantile="0.99"} 0.004096`,
+		`face_server_op_seconds_count{op="get"} 100`,
+		`face_server_rejected_total 7`,
+		`face_server_requests_total 123`,
+		`garbage line without value`,
+		`face_server_op_seconds{op="get",quantile="0.999"} not-a-number`,
+		``,
+	}, "\n")
+
+	var r ServeResult
+	r.FillServerMetrics(scrape)
+	if !r.ServerScraped {
+		t.Fatal("ServerScraped = false after a good scrape")
+	}
+	if want := 128 * time.Microsecond; r.ServerGetP50 != want {
+		t.Errorf("ServerGetP50 = %v, want %v", r.ServerGetP50, want)
+	}
+	if want := 2048 * time.Microsecond; r.ServerGetP99 != want {
+		t.Errorf("ServerGetP99 = %v, want %v", r.ServerGetP99, want)
+	}
+	if want := 256 * time.Microsecond; r.ServerSetP50 != want {
+		t.Errorf("ServerSetP50 = %v, want %v", r.ServerSetP50, want)
+	}
+	if want := 4096 * time.Microsecond; r.ServerSetP99 != want {
+		t.Errorf("ServerSetP99 = %v, want %v", r.ServerSetP99, want)
+	}
+	if r.ServerShed != 7 {
+		t.Errorf("ServerShed = %d, want 7", r.ServerShed)
+	}
+
+	var sb strings.Builder
+	FormatServe(&sb, &r)
+	if !strings.Contains(sb.String(), "shed 7") {
+		t.Errorf("FormatServe missing server line:\n%s", sb.String())
+	}
+}
+
+// TestMetricsScrapeEmpty checks that an empty or irrelevant scrape
+// leaves the server-side fields unset.
+func TestMetricsScrapeEmpty(t *testing.T) {
+	var r ServeResult
+	r.FillServerMetrics("go_goroutines 12\n")
+	if r.ServerScraped {
+		t.Fatal("ServerScraped = true for an irrelevant scrape")
+	}
+	var sb strings.Builder
+	FormatServe(&sb, &r)
+	if strings.Contains(sb.String(), "server ") {
+		t.Errorf("FormatServe printed server line without a scrape:\n%s", sb.String())
+	}
+}

@@ -12,7 +12,7 @@ import (
 // payload the facebench schema (since v5) carries for network serving,
 // emitted as
 //
-//	{"schema": "facebench/v6", "experiments": {"serve": {...}}}
+//	{"schema": "facebench/v7", "experiments": {"serve": {...}}}
 //
 // Latencies are measured from each request's scheduled arrival time, not
 // from its send time, so a stalled server shows up as growing latency
@@ -50,6 +50,18 @@ type ServeResult struct {
 	P99  time.Duration `json:"p99_ns"`
 	P999 time.Duration `json:"p999_ns"`
 	Max  time.Duration `json:"max_ns"`
+	// Server-side view, scraped from faced's /metrics endpoint at run
+	// end when faceload is given -metrics.  The client percentiles above
+	// include scheduling delay and network queueing; these do not, so the
+	// gap between client p99 and server p99 is time spent queued.
+	ServerScraped bool          `json:"server_scraped,omitempty"`
+	ServerGetP50  time.Duration `json:"server_get_p50_ns,omitempty"`
+	ServerGetP99  time.Duration `json:"server_get_p99_ns,omitempty"`
+	ServerSetP50  time.Duration `json:"server_set_p50_ns,omitempty"`
+	ServerSetP99  time.Duration `json:"server_set_p99_ns,omitempty"`
+	// ServerShed is face_server_rejected_total: write requests refused
+	// with BUSY by admission control over the server's lifetime.
+	ServerShed int64 `json:"server_shed,omitempty"`
 }
 
 // Percentile returns the p-th percentile (0 < p <= 100) of the sorted-
@@ -109,4 +121,10 @@ func FormatServe(w io.Writer, r *ServeResult) {
 		r.P50.Round(time.Microsecond), r.P95.Round(time.Microsecond),
 		r.P99.Round(time.Microsecond), r.P999.Round(time.Microsecond),
 		r.Max.Round(time.Microsecond))
+	if r.ServerScraped {
+		fmt.Fprintf(w, "  server  get p50 %v  p99 %v | set p50 %v  p99 %v | shed %d  (client-server p99 gap = queueing)\n",
+			r.ServerGetP50.Round(time.Microsecond), r.ServerGetP99.Round(time.Microsecond),
+			r.ServerSetP50.Round(time.Microsecond), r.ServerSetP99.Round(time.Microsecond),
+			r.ServerShed)
+	}
 }

@@ -19,6 +19,7 @@ import (
 	"github.com/reprolab/face/internal/face"
 	"github.com/reprolab/face/internal/lock"
 	"github.com/reprolab/face/internal/metrics"
+	"github.com/reprolab/face/internal/obs"
 )
 
 // CachePolicy names the flash cache manager.  Policies are resolved
@@ -192,6 +193,24 @@ type Config struct {
 	// Model is the CPU/overlap model used to derive elapsed simulated
 	// time.  The zero value uses metrics.DefaultModel.
 	Model metrics.Model
+
+	// DisableObs turns the observability layer off entirely: no
+	// histograms are allocated, commit-path tracing reduces to nil
+	// checks, and Metrics() returns nil.  Off by default because the
+	// measured overhead is small (see AblationObservability).
+	DisableObs bool
+	// Obs, when non-nil, is the metrics registry the engine registers
+	// its histograms and counters into, letting an embedder (faced)
+	// share one registry across the engine and the server.  Nil
+	// allocates a private registry.  Ignored with DisableObs.
+	Obs *obs.Registry
+	// SlowTxThreshold enables the slow-transaction log: every committed
+	// write transaction whose wall-clock latency reaches the threshold
+	// emits a one-line per-phase breakdown through Logf.  Zero disables
+	// the log; tracing itself stays on.
+	SlowTxThreshold time.Duration
+	// Logf receives slow-transaction log lines (default log.Printf).
+	Logf func(format string, args ...any)
 
 	// Recover runs crash recovery during Open.  Set it when reopening a
 	// database after Crash; leave it false for a freshly initialised set

@@ -13,6 +13,7 @@ import (
 	"github.com/reprolab/face/internal/face"
 	"github.com/reprolab/face/internal/lock"
 	"github.com/reprolab/face/internal/metrics"
+	"github.com/reprolab/face/internal/obs"
 	"github.com/reprolab/face/internal/page"
 	"github.com/reprolab/face/internal/recovery"
 	"github.com/reprolab/face/internal/simclock"
@@ -60,6 +61,10 @@ type DB struct {
 	cache face.Extension
 	log   *wal.Manager
 	clock *simclock.Clock
+
+	// obs is the observability layer: commit-path phase histograms and
+	// the metric registry (nil with Config.DisableObs; see obs.go).
+	obs *dbObs
 
 	// files holds the file-backed device set when the database was opened
 	// with Config.Dir; the engine owns it and closes it on Close/Crash.
@@ -170,6 +175,9 @@ func Open(cfg Config) (*DB, error) {
 			db.writerSem = make(chan struct{}, cfg.MaxWriters)
 		}
 	}
+	if !cfg.DisableObs {
+		db.obs = newDBObs(&db.cfg)
+	}
 
 	var err error
 	db.log, err = wal.OpenConfig(cfg.LogDev, wal.Config{Segments: cfg.WalSegments})
@@ -250,6 +258,7 @@ func Open(cfg Config) (*DB, error) {
 		}
 	}
 	db.lastCheckpoint = db.Elapsed()
+	db.registerMetrics()
 	return db, nil
 }
 
@@ -712,6 +721,11 @@ type Snapshot struct {
 	Data  device.Stats
 	Log   device.Stats
 	Flash device.Stats
+	// Phases is the commit-path phase breakdown as histogram snapshots
+	// (empty with Config.DisableObs).  Like every other field it
+	// subtracts: After.Phases.Sub(Before.Phases) isolates a window,
+	// and .Summaries() condenses it to quantiles.
+	Phases obs.TxPhases
 }
 
 // Snapshot returns the current counters.  The buffer pool is sampled once
@@ -744,6 +758,7 @@ func (db *DB) Snapshot() Snapshot {
 		Wal:          db.log.Stats(),
 		Data:         db.dataDev.Stats(),
 		Log:          db.logDev.Stats(),
+		Phases:       db.obs.phasesSnapshot(),
 	}
 	if db.locks != nil {
 		s.Locks = db.locks.Stats()

@@ -1,0 +1,183 @@
+package engine
+
+import (
+	"log"
+	"time"
+
+	"github.com/reprolab/face/internal/face"
+	"github.com/reprolab/face/internal/obs"
+	"github.com/reprolab/face/internal/wal"
+)
+
+// This file is the engine's observability layer: wall-clock phase tracing
+// on the commit path, latency histograms, and scrape-time counters for
+// every substrate (buffer pool, WAL, lock manager, flash cache pipeline).
+//
+// The layer is optional (Config.DisableObs) and its absence costs one nil
+// check per instrumentation site: a disabled database carries a nil
+// *dbObs, traced transactions carry a nil *txTrace, and every recording
+// method no-ops on a nil receiver.
+
+// Commit-path phases.  Each is a disjoint wall-time window inside one
+// Update transaction, so their sum never exceeds the transaction's total
+// latency:
+//
+//	admission    waiting to be admitted (writer semaphore, or the
+//	             single-writer scheduler's exclusive lock)
+//	lock_wait    blocked in the page lock manager
+//	buffer       pinning pages (DRAM hits, misses, eviction stalls)
+//	wal_append   reserving and copying log records
+//	durable_wait the commit-time log force (group-commit park included)
+//	closure      the transaction closure's own time net of the engine
+//	             phases above (user code + everything untraced)
+const (
+	phaseAdmission = iota
+	phaseLockWait
+	phaseBuffer
+	phaseWalAppend
+	phaseDurable
+	phaseClosure
+	numPhases
+)
+
+var phaseNames = [numPhases]string{
+	"admission", "lock_wait", "buffer", "wal_append", "durable_wait", "closure",
+}
+
+// txTrace accumulates per-phase wall time for one write transaction.  A
+// nil trace disables tracing for its transaction.
+type txTrace struct {
+	start time.Time
+	phase [numPhases]time.Duration
+}
+
+// dbObs holds the engine's registered metrics and the slow-transaction
+// log configuration.  A nil *dbObs disables the whole layer.
+type dbObs struct {
+	reg *obs.Registry
+
+	txTotal *obs.Histogram
+	view    *obs.Histogram
+	phases  [numPhases]*obs.Histogram
+
+	slowTx        *obs.Counter
+	slowThreshold time.Duration
+	logf          func(string, ...any)
+}
+
+// newDBObs builds the engine's metric set in cfg.Obs (or a private
+// registry when the caller supplied none).
+func newDBObs(cfg *Config) *dbObs {
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	o := &dbObs{
+		reg:           reg,
+		txTotal:       reg.Histogram("face_tx_total_seconds"),
+		view:          reg.Histogram("face_view_seconds"),
+		slowTx:        reg.Counter("face_slow_tx_total"),
+		slowThreshold: cfg.SlowTxThreshold,
+		logf:          cfg.Logf,
+	}
+	if o.logf == nil {
+		o.logf = log.Printf
+	}
+	for i := range o.phases {
+		o.phases[i] = reg.Histogram(`face_tx_phase_seconds{phase="` + phaseNames[i] + `"}`)
+	}
+	return o
+}
+
+// recordCommit folds a committed write transaction's trace into the phase
+// histograms and emits the slow-transaction log line for outliers.
+func (o *dbObs) recordCommit(id wal.TxID, tr *txTrace) {
+	if o == nil || tr == nil {
+		return
+	}
+	total := time.Since(tr.start)
+	o.txTotal.Observe(total)
+	for i, h := range o.phases {
+		h.Observe(tr.phase[i])
+	}
+	if o.slowThreshold > 0 && total >= o.slowThreshold {
+		o.slowTx.Add(1)
+		o.logf("obs: slow tx id=%d total=%v admission=%v lock=%v buffer=%v wal=%v durable=%v closure=%v",
+			id, total,
+			tr.phase[phaseAdmission], tr.phase[phaseLockWait], tr.phase[phaseBuffer],
+			tr.phase[phaseWalAppend], tr.phase[phaseDurable], tr.phase[phaseClosure])
+	}
+}
+
+// phasesSnapshot captures the phase histograms for engine.Snapshot.
+func (o *dbObs) phasesSnapshot() obs.TxPhases {
+	if o == nil {
+		return obs.TxPhases{}
+	}
+	return obs.TxPhases{
+		Total:       o.txTotal.Snapshot(),
+		Admission:   o.phases[phaseAdmission].Snapshot(),
+		LockWait:    o.phases[phaseLockWait].Snapshot(),
+		Buffer:      o.phases[phaseBuffer].Snapshot(),
+		WalAppend:   o.phases[phaseWalAppend].Snapshot(),
+		DurableWait: o.phases[phaseDurable].Snapshot(),
+		Closure:     o.phases[phaseClosure].Snapshot(),
+	}
+}
+
+// registerMetrics exposes each substrate's existing counters as
+// scrape-time callback metrics, so /metrics shows the whole stack without
+// adding a single write to any hot path.  Called once at the end of Open.
+func (db *DB) registerMetrics() {
+	if db.obs == nil {
+		return
+	}
+	reg := db.obs.reg
+	reg.CounterFunc("face_committed_total", db.Committed)
+	reg.CounterFunc("face_aborted_total", func() int64 {
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		return db.aborted
+	})
+	reg.CounterFunc("face_checkpoints_total", db.Checkpoints)
+
+	// Buffer pool.
+	reg.CounterFunc("face_pool_hits_total", func() int64 { return db.pool.Stats().Hits })
+	reg.CounterFunc("face_pool_misses_total", func() int64 { return db.pool.Stats().Misses })
+	reg.CounterFunc("face_pool_evictions_total", func() int64 { return db.pool.Stats().Evictions })
+	reg.CounterFunc("face_pool_pin_waits_total", func() int64 { return db.pool.Stats().PinWaits })
+
+	// WAL commit pipeline.
+	reg.CounterFunc("face_wal_appends_total", func() int64 { return db.log.Stats().Appends })
+	reg.CounterFunc("face_wal_forces_total", func() int64 { return db.log.Stats().Forces })
+	reg.CounterFunc("face_wal_reserve_stalls_total", func() int64 { return db.log.Stats().ReserveStalls })
+	reg.CounterFunc("face_wal_syncs_total", func() int64 { return db.log.Stats().Syncs })
+
+	// Page lock manager.
+	if db.locks != nil {
+		reg.CounterFunc("face_lock_waits_total", func() int64 { return db.locks.Stats().Waits })
+		reg.CounterFunc("face_lock_deadlocks_total", func() int64 { return db.locks.Stats().Deadlocks })
+	}
+
+	// Flash cache and its async I/O pipeline.
+	if db.cache != nil {
+		reg.CounterFunc("face_cache_lookups_total", func() int64 { return db.cache.Stats().Lookups })
+		reg.CounterFunc("face_cache_hits_total", func() int64 { return db.cache.Stats().Hits })
+		reg.CounterFunc("face_cache_flash_writes_total", func() int64 { return db.cache.Stats().FlashPageWrites })
+	}
+	if p, ok := db.cache.(face.PipelineReporter); ok {
+		reg.CounterFunc("face_iosched_staged_total", func() int64 { return p.PipelineStats().Staged })
+		reg.CounterFunc("face_iosched_stalls_total", func() int64 { return p.PipelineStats().Stalls })
+		reg.CounterFunc("face_iosched_destage_writes_total", func() int64 { return p.PipelineStats().DestageWrites })
+	}
+}
+
+// Metrics returns the registry holding the engine's histograms and
+// counters (nil when observability is disabled).  faced serves it at
+// /metrics; embedders can render it with obs.Registry.WritePrometheus.
+func (db *DB) Metrics() *obs.Registry {
+	if db.obs == nil {
+		return nil
+	}
+	return db.obs.reg
+}

@@ -1,0 +1,228 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/reprolab/face/internal/obs"
+	"github.com/reprolab/face/internal/page"
+)
+
+// TestObsPhaseSumInvariant checks the defining property of the commit
+// trace: the phases are disjoint wall-time windows inside one
+// transaction, so their sum never exceeds the total latency — and for a
+// transaction dominated by a slow closure, the closure phase captures
+// most of it.
+func TestObsPhaseSumInvariant(t *testing.T) {
+	r := newRig(t, PolicyNone)
+	db := r.open(t, false)
+	defer db.Close()
+
+	ctx := context.Background()
+	var id page.ID
+	if err := db.Update(ctx, func(tx *Tx) error {
+		var err error
+		id, err = tx.Alloc(page.TypeHeap)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	before := db.Snapshot().Phases
+	if err := db.Update(ctx, func(tx *Tx) error {
+		time.Sleep(5 * time.Millisecond)
+		writeValue(t, tx, id, 42)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	p := db.Snapshot().Phases.Sub(before)
+	if p.Total.Count != 1 {
+		t.Fatalf("total count = %d, want 1", p.Total.Count)
+	}
+	total := time.Duration(p.Total.Sum)
+	phaseSum := time.Duration(p.Admission.Sum + p.LockWait.Sum + p.Buffer.Sum +
+		p.WalAppend.Sum + p.DurableWait.Sum + p.Closure.Sum)
+	if phaseSum > total {
+		t.Fatalf("phase sum %v exceeds total %v", phaseSum, total)
+	}
+	// The 5ms sleep dominates; the untraced remainder (scheduler entry,
+	// commit bookkeeping) must be small, so phaseSum ≈ total.
+	if phaseSum < total/2 {
+		t.Fatalf("phase sum %v accounts for under half of total %v", phaseSum, total)
+	}
+	if c := time.Duration(p.Closure.Sum); c < 5*time.Millisecond {
+		t.Fatalf("closure phase %v did not absorb the 5ms sleep", c)
+	}
+}
+
+// TestObsSlowTxLogsOnce checks that the slow-transaction log fires
+// exactly once per outlier and not at all for fast transactions.
+func TestObsSlowTxLogsOnce(t *testing.T) {
+	r := newRig(t, PolicyNone)
+	var mu sync.Mutex
+	var lines []string
+	r.cfg.SlowTxThreshold = 2 * time.Millisecond
+	r.cfg.Logf = func(format string, args ...any) {
+		mu.Lock()
+		defer mu.Unlock()
+		lines = append(lines, fmt.Sprintf(format, args...))
+	}
+	db := r.open(t, false)
+	defer db.Close()
+
+	ctx := context.Background()
+	var id page.ID
+	if err := db.Update(ctx, func(tx *Tx) error {
+		var err error
+		id, err = tx.Alloc(page.TypeHeap)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Fast transactions: below threshold, no log lines.
+	for i := 0; i < 5; i++ {
+		if err := db.Update(ctx, func(tx *Tx) error {
+			writeValue(t, tx, id, uint64(i))
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mu.Lock()
+	fast := len(lines)
+	mu.Unlock()
+	if fast != 0 {
+		t.Fatalf("fast transactions emitted %d slow-tx lines: %q", fast, lines)
+	}
+	// One outlier: exactly one line.
+	if err := db.Update(ctx, func(tx *Tx) error {
+		time.Sleep(5 * time.Millisecond)
+		writeValue(t, tx, id, 99)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(lines) != 1 {
+		t.Fatalf("outlier emitted %d slow-tx lines, want 1: %q", len(lines), lines)
+	}
+	for _, field := range []string{"slow tx", "total=", "admission=", "lock=", "buffer=", "wal=", "durable=", "closure="} {
+		if !strings.Contains(lines[0], field) {
+			t.Errorf("slow-tx line missing %q: %s", field, lines[0])
+		}
+	}
+	if got := db.Metrics().Counter("face_slow_tx_total").Value(); got != 1 {
+		t.Errorf("face_slow_tx_total = %d, want 1", got)
+	}
+}
+
+// TestObsDisabled checks the opt-out: no registry, empty phase
+// snapshots, and transactions that still work.
+func TestObsDisabled(t *testing.T) {
+	r := newRig(t, PolicyNone)
+	r.cfg.DisableObs = true
+	r.cfg.SlowTxThreshold = time.Nanosecond // must be inert when disabled
+	db := r.open(t, false)
+	defer db.Close()
+
+	if db.Metrics() != nil {
+		t.Fatal("Metrics() non-nil with DisableObs")
+	}
+	ctx := context.Background()
+	if err := db.Update(ctx, func(tx *Tx) error {
+		id, err := tx.Alloc(page.TypeHeap)
+		if err != nil {
+			return err
+		}
+		writeValue(t, tx, id, 7)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.View(ctx, func(tx *Tx) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	p := db.Snapshot().Phases
+	if p.Total.Count != 0 || len(p.Total.Buckets) != 0 {
+		t.Fatalf("disabled obs produced phase data: %+v", p.Total)
+	}
+}
+
+// TestObsMetricsRegistered checks that a live database registers the
+// per-layer metrics on its registry and that traced work lands in them,
+// including under the page-lock scheduler.
+func TestObsMetricsRegistered(t *testing.T) {
+	r := newRig(t, PolicyFaCE)
+	r.cfg.PageLocks = true
+	r.cfg.MaxWriters = 2
+	db := r.open(t, false)
+	defer db.Close()
+
+	ctx := context.Background()
+	var id page.ID
+	if err := db.Update(ctx, func(tx *Tx) error {
+		var err error
+		id, err = tx.Alloc(page.TypeHeap)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := db.Update(ctx, func(tx *Tx) error {
+			writeValue(t, tx, id, uint64(i))
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var sb strings.Builder
+	db.Metrics().WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"face_tx_total_seconds_count 11",
+		`face_tx_phase_seconds_count{phase="durable_wait"} 11`,
+		"face_committed_total 11",
+		"face_wal_appends_total",
+		"face_pool_hits_total",
+		"face_lock_waits_total",
+		"face_cache_lookups_total",
+		"face_slow_tx_total 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in /metrics output", want)
+		}
+	}
+	// Shared-registry path: snapshot phases line up with the histograms.
+	if p := db.Snapshot().Phases; p.Total.Count != 11 {
+		t.Errorf("snapshot total count = %d, want 11", p.Total.Count)
+	}
+}
+
+// TestObsSharedRegistry checks that a caller-supplied registry receives
+// the engine's metrics (the faced wiring).
+func TestObsSharedRegistry(t *testing.T) {
+	reg := obs.NewRegistry()
+	r := newRig(t, PolicyNone)
+	r.cfg.Obs = reg
+	db := r.open(t, false)
+	defer db.Close()
+	if db.Metrics() != reg {
+		t.Fatal("engine did not adopt the supplied registry")
+	}
+	if err := db.Update(context.Background(), func(tx *Tx) error {
+		_, err := tx.Alloc(page.TypeHeap)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	if !strings.Contains(sb.String(), "face_tx_total_seconds_count 1") {
+		t.Error("supplied registry missing engine histograms")
+	}
+}

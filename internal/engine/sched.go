@@ -3,6 +3,7 @@ package engine
 import (
 	"context"
 	"errors"
+	"time"
 )
 
 // This file is the transaction scheduler: bolt-style closure transactions
@@ -27,6 +28,12 @@ import (
 // transaction begins and again before it commits — so a cancelled context
 // never commits; under page locks it also bounds lock waits, unblocking a
 // queued transaction mid-closure.
+//
+// With observability enabled the scheduler also drives the commit-path
+// phase trace (obs.go): Update starts the trace before it waits for
+// admission, the transaction's own hooks charge lock, buffer, WAL and
+// force waits to their phases, and runManaged attributes the remainder of
+// the closure's wall time to the closure phase.
 
 // View runs fn in a read-only transaction.  Any number of View
 // transactions run concurrently with each other.  The transaction is
@@ -38,9 +45,13 @@ func (db *DB) View(ctx context.Context, fn func(*Tx) error) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	if db.obs != nil {
+		t0 := time.Now()
+		defer func() { db.obs.view.Observe(time.Since(t0)) }()
+	}
 	db.txMu.RLock()
 	defer db.txMu.RUnlock()
-	return db.runManaged(ctx, true, fn)
+	return db.runManaged(ctx, true, nil, fn)
 }
 
 // Update runs fn in a read-write transaction.  If fn returns nil the
@@ -56,16 +67,28 @@ func (db *DB) Update(ctx context.Context, fn func(*Tx) error) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	var tr *txTrace
+	if db.obs != nil {
+		tr = &txTrace{start: time.Now()}
+	}
 	if db.locks == nil {
+		// Single-writer: waiting for the exclusive scheduler lock is this
+		// regime's admission wait.
 		db.txMu.Lock()
+		if tr != nil {
+			tr.phase[phaseAdmission] = time.Since(tr.start)
+		}
 		defer db.txMu.Unlock()
-		return db.runManaged(ctx, false, fn)
+		return db.runManaged(ctx, false, tr, fn)
 	}
 	db.txMu.RLock()
 	defer db.txMu.RUnlock()
 	if db.writerSem != nil {
 		select {
 		case db.writerSem <- struct{}{}:
+			if tr != nil {
+				tr.phase[phaseAdmission] = time.Since(tr.start)
+			}
 			defer func() { <-db.writerSem }()
 		case <-ctx.Done():
 			return ctx.Err()
@@ -75,16 +98,18 @@ func (db *DB) Update(ctx context.Context, fn func(*Tx) error) error {
 	// many concurrent commit forces it may collect.
 	db.log.AddCommitter(1)
 	defer db.log.AddCommitter(-1)
-	return db.runManaged(ctx, false, fn)
+	return db.runManaged(ctx, false, tr, fn)
 }
 
 // runManaged executes fn in a managed transaction under whichever side of
-// the scheduler lock the caller holds.
-func (db *DB) runManaged(ctx context.Context, readonly bool, fn func(*Tx) error) error {
+// the scheduler lock the caller holds.  A non-nil tr carries the phase
+// trace Update started before admission.
+func (db *DB) runManaged(ctx context.Context, readonly bool, tr *txTrace, fn func(*Tx) error) error {
 	tx, err := db.beginTx(ctx, readonly)
 	if err != nil {
 		return err
 	}
+	tx.tr = tr
 	tx.managed = true
 	defer func() {
 		// Safety net: roll back if fn panicked past the paths below.
@@ -92,11 +117,25 @@ func (db *DB) runManaged(ctx context.Context, readonly bool, fn func(*Tx) error)
 			tx.abort()
 		}
 	}()
+	var fnStart time.Time
+	if tr != nil {
+		fnStart = time.Now()
+	}
 	if err := fn(tx); err != nil {
 		if aerr := tx.abort(); aerr != nil {
 			return errors.Join(err, aerr)
 		}
 		return err
+	}
+	if tr != nil {
+		// The closure phase is fn's wall time net of the engine waits its
+		// page operations already charged (lock, buffer, WAL appends) —
+		// user code plus anything untraced.  Clamped at zero so clock
+		// skew between the measurements never produces a negative phase.
+		inner := tr.phase[phaseLockWait] + tr.phase[phaseBuffer] + tr.phase[phaseWalAppend]
+		if c := time.Since(fnStart) - inner; c > 0 {
+			tr.phase[phaseClosure] = c
+		}
 	}
 	if err := ctx.Err(); err != nil {
 		if aerr := tx.abort(); aerr != nil {

@@ -3,6 +3,7 @@ package engine
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"github.com/reprolab/face/internal/lock"
 	"github.com/reprolab/face/internal/page"
@@ -39,6 +40,11 @@ type Tx struct {
 	// undo keeps the before images of this transaction's changes so Abort
 	// can roll them back without reading the log backwards.
 	undo []undoRecord
+
+	// tr accumulates the commit-path phase trace for write transactions
+	// (nil when observability is disabled — every hook below starts with
+	// that nil check).
+	tr *txTrace
 }
 
 type undoRecord struct {
@@ -51,7 +57,16 @@ type undoRecord struct {
 // should prefer View or Update, which schedule concurrent transactions and
 // finish them automatically.  Unscheduled transactions bypass the page
 // lock manager, so they must not run concurrently with anything else.
-func (db *DB) Begin() (*Tx, error) { return db.beginTx(nil, false) }
+func (db *DB) Begin() (*Tx, error) {
+	tx, err := db.beginTx(nil, false)
+	if err != nil {
+		return nil, err
+	}
+	if db.obs != nil {
+		tx.tr = &txTrace{start: time.Now()}
+	}
+	return tx, nil
+}
 
 // beginTx starts a transaction.  A nil ctx marks it unscheduled (no page
 // locks); scheduled transactions inherit the lock manager when the
@@ -96,7 +111,37 @@ func (tx *Tx) lockPage(id page.ID, mode lock.Mode) error {
 	if tx.locks == nil {
 		return nil
 	}
-	return tx.locks.Acquire(tx.ctx, uint64(tx.id), id, mode)
+	if tx.tr == nil {
+		return tx.locks.Acquire(tx.ctx, uint64(tx.id), id, mode)
+	}
+	t0 := time.Now()
+	err := tx.locks.Acquire(tx.ctx, uint64(tx.id), id, mode)
+	tx.tr.phase[phaseLockWait] += time.Since(t0)
+	return err
+}
+
+// poolGet pins a page, charging the wait (DRAM hit or miss, eviction
+// stall, pin wait) to the buffer phase of a traced transaction.
+func (tx *Tx) poolGet(id page.ID) (page.Buf, error) {
+	if tx.tr == nil {
+		return tx.db.pool.Get(id)
+	}
+	t0 := time.Now()
+	buf, err := tx.db.pool.Get(id)
+	tx.tr.phase[phaseBuffer] += time.Since(t0)
+	return buf, err
+}
+
+// logAppend appends a record, charging the reservation and copy to the
+// wal_append phase of a traced transaction.
+func (tx *Tx) logAppend(rec *wal.Record) (page.LSN, error) {
+	if tx.tr == nil {
+		return tx.db.log.Append(rec)
+	}
+	t0 := time.Now()
+	lsn, err := tx.db.log.Append(rec)
+	tx.tr.phase[phaseWalAppend] += time.Since(t0)
+	return lsn, err
 }
 
 // releaseLocks drops every page lock the transaction holds, once: commit
@@ -129,7 +174,7 @@ func (tx *Tx) Read(id page.ID, fn func(buf page.Buf) error) error {
 	if err := tx.lockPage(id, lock.Shared); err != nil {
 		return err
 	}
-	buf, err := tx.db.pool.Get(id)
+	buf, err := tx.poolGet(id)
 	if err != nil {
 		return err
 	}
@@ -154,7 +199,7 @@ func (tx *Tx) Modify(id page.ID, fn func(buf page.Buf) error) error {
 	if err := tx.lockPage(id, lock.Exclusive); err != nil {
 		return err
 	}
-	buf, err := tx.db.pool.Get(id)
+	buf, err := tx.poolGet(id)
 	if err != nil {
 		return err
 	}
@@ -179,7 +224,7 @@ func (tx *Tx) Modify(id page.ID, fn func(buf page.Buf) error) error {
 		Before: append([]byte(nil), before[lo:hi]...),
 		After:  append([]byte(nil), buf[lo:hi]...),
 	}
-	lsn, err := tx.db.log.Append(rec)
+	lsn, err := tx.logAppend(rec)
 	if err != nil {
 		copy(buf, before)
 		return err
@@ -219,14 +264,21 @@ func (tx *Tx) Alloc(t page.Type) (page.ID, error) {
 	if err := tx.lockPage(id, lock.Exclusive); err != nil {
 		return page.InvalidID, err
 	}
+	var t0 time.Time
+	if tx.tr != nil {
+		t0 = time.Now()
+	}
 	buf, err := db.pool.Put(id, func(buf page.Buf) { buf.Init(id, t) })
+	if tx.tr != nil {
+		tx.tr.phase[phaseBuffer] += time.Since(t0)
+	}
 	if err != nil {
 		return page.InvalidID, err
 	}
 	defer db.pool.Unpin(id)
 
 	rec := &wal.Record{Type: wal.TypeFullPage, TxID: tx.id, PageID: id, After: buf.Clone()}
-	lsn, err := db.log.Append(rec)
+	lsn, err := tx.logAppend(rec)
 	if err != nil {
 		return page.InvalidID, err
 	}
@@ -258,7 +310,7 @@ func (tx *Tx) commit() error {
 	db := tx.db
 	if !tx.readonly {
 		rec := &wal.Record{Type: wal.TypeCommit, TxID: tx.id}
-		lsn, err := db.log.Append(rec)
+		lsn, err := tx.logAppend(rec)
 		if err != nil {
 			return err
 		}
@@ -270,7 +322,15 @@ func (tx *Tx) commit() error {
 		// our force's collection window instead of after it, which is
 		// what makes batches fill on hot-page workloads.
 		tx.releaseLocks()
-		if err := db.log.Force(lsn + 1); err != nil {
+		var t0 time.Time
+		if tx.tr != nil {
+			t0 = time.Now()
+		}
+		err = db.log.Force(lsn + 1)
+		if tx.tr != nil {
+			tx.tr.phase[phaseDurable] += time.Since(t0)
+		}
+		if err != nil {
 			return err
 		}
 	}
@@ -285,6 +345,7 @@ func (tx *Tx) commit() error {
 	db.mu.Lock()
 	db.committed++
 	db.mu.Unlock()
+	db.obs.recordCommit(tx.id, tx.tr)
 	return nil
 }
 

@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Bucket layout: values below 2^subBits nanoseconds get one bucket each;
+// above that, each power of two is split into 2^subBits sub-buckets, so
+// the relative quantization error is bounded by 2^-subBits (~6.25%).
+const (
+	subBits    = 4
+	subBuckets = 1 << subBits // 16
+	// maxExp is the largest power of two a positive int64 duration can
+	// reach (bit 62; ~292 years of nanoseconds).
+	maxExp = 62
+	// numBuckets covers [0, 2^subBits) linearly plus subBuckets per
+	// exponent in [subBits, maxExp].
+	numBuckets = subBuckets + (maxExp-subBits+1)*subBuckets
+)
+
+// bucketIndex maps a non-negative nanosecond value to its bucket.
+func bucketIndex(v int64) int {
+	if v < subBuckets {
+		return int(v)
+	}
+	exp := bits.Len64(uint64(v)) - 1 // >= subBits
+	sub := int((v >> (uint(exp) - subBits)) & (subBuckets - 1))
+	return subBuckets + (exp-subBits)*subBuckets + sub
+}
+
+// bucketUpper returns the inclusive upper bound (ns) of a bucket, the
+// value quantiles report so they never understate a latency.
+func bucketUpper(i int) int64 {
+	if i < subBuckets {
+		return int64(i)
+	}
+	exp := uint(subBits + (i-subBuckets)/subBuckets)
+	sub := int64((i - subBuckets) % subBuckets)
+	lower := int64(1)<<exp + sub<<(exp-subBits)
+	return lower + int64(1)<<(exp-subBits) - 1
+}
+
+// Histogram is a lock-free log-bucketed latency histogram: atomic
+// per-bucket counters with an atomic count/sum/max, safe for any number
+// of concurrent writers and snapshotters.  A nil Histogram ignores
+// Observe and yields an empty Snapshot, which is what makes disabled
+// observability a nil-check fast path.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+	buckets [numBuckets]atomic.Int64
+}
+
+// NewHistogram creates an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Observe records one duration.  Negative durations clamp to zero.
+// No-op on a nil receiver.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	v := int64(d)
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Snapshot returns a point-in-time copy of the histogram.  Concurrent
+// Observes may land between the bucket reads — each bucket is itself
+// coherent, and Count is recomputed from the buckets so the snapshot's
+// own invariants hold.  A nil receiver yields an empty snapshot.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	if h == nil {
+		return s
+	}
+	s.Max = h.max.Load()
+	s.Sum = h.sum.Load()
+	s.Buckets = make([]int64, numBuckets)
+	var count int64
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		s.Buckets[i] = n
+		count += n
+	}
+	s.Count = count
+	return s
+}
+
+// HistSnapshot is a mergeable, subtractable copy of a Histogram.  The
+// zero value is an empty snapshot.
+type HistSnapshot struct {
+	Count int64
+	// Sum and Max are nanoseconds.
+	Sum     int64
+	Max     int64
+	Buckets []int64
+}
+
+// Sub returns the histogram of the window between prior and s (counter
+// subtraction, the engine's standard measurement idiom).  Max cannot be
+// windowed, so the later snapshot's max is kept.
+func (s HistSnapshot) Sub(prior HistSnapshot) HistSnapshot {
+	out := HistSnapshot{
+		Count: s.Count - prior.Count,
+		Sum:   s.Sum - prior.Sum,
+		Max:   s.Max,
+	}
+	if len(s.Buckets) == 0 {
+		return out
+	}
+	out.Buckets = make([]int64, len(s.Buckets))
+	copy(out.Buckets, s.Buckets)
+	for i := range prior.Buckets {
+		if i < len(out.Buckets) {
+			out.Buckets[i] -= prior.Buckets[i]
+		}
+	}
+	return out
+}
+
+// Merge returns the union of two snapshots (for folding per-kind
+// histograms into an aggregate).
+func (s HistSnapshot) Merge(other HistSnapshot) HistSnapshot {
+	out := HistSnapshot{
+		Count: s.Count + other.Count,
+		Sum:   s.Sum + other.Sum,
+		Max:   s.Max,
+	}
+	if other.Max > out.Max {
+		out.Max = other.Max
+	}
+	n := len(s.Buckets)
+	if len(other.Buckets) > n {
+		n = len(other.Buckets)
+	}
+	if n == 0 {
+		return out
+	}
+	out.Buckets = make([]int64, n)
+	copy(out.Buckets, s.Buckets)
+	for i := range other.Buckets {
+		out.Buckets[i] += other.Buckets[i]
+	}
+	return out
+}
+
+// Quantile returns the q-th quantile (0 < q <= 1) as the upper bound of
+// the bucket containing it; 0 on an empty snapshot.
+func (s HistSnapshot) Quantile(q float64) time.Duration {
+	if s.Count <= 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	rank := int64(q*float64(s.Count) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > s.Count {
+		rank = s.Count
+	}
+	var seen int64
+	for i, n := range s.Buckets {
+		seen += n
+		if seen >= rank {
+			return time.Duration(bucketUpper(i))
+		}
+	}
+	return time.Duration(s.Max)
+}
+
+// Summary condenses the snapshot into the quantiles reports carry.
+func (s HistSnapshot) Summary() Summary {
+	sum := Summary{
+		Count: s.Count,
+		Max:   time.Duration(s.Max),
+	}
+	if s.Count > 0 {
+		sum.Mean = time.Duration(s.Sum / s.Count)
+		sum.P50 = s.Quantile(0.50)
+		sum.P95 = s.Quantile(0.95)
+		sum.P99 = s.Quantile(0.99)
+		sum.P999 = s.Quantile(0.999)
+	}
+	return sum
+}
+
+// Summary is the condensed form of a histogram window: count, mean and
+// the latency quantiles every report in this repository uses.  All
+// durations are wall-clock nanoseconds in JSON.
+type Summary struct {
+	Count int64         `json:"count"`
+	Mean  time.Duration `json:"mean_ns"`
+	P50   time.Duration `json:"p50_ns"`
+	P95   time.Duration `json:"p95_ns"`
+	P99   time.Duration `json:"p99_ns"`
+	P999  time.Duration `json:"p999_ns"`
+	Max   time.Duration `json:"max_ns"`
+}

@@ -1,0 +1,255 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistBucketRoundTrip(t *testing.T) {
+	// Every value must land in a bucket whose range contains it, and the
+	// bucket upper bound must never understate the value.
+	vals := []int64{0, 1, 15, 16, 17, 100, 1023, 1024, 1 << 20, 1<<40 + 12345, math.MaxInt64 / 2}
+	for _, v := range vals {
+		i := bucketIndex(v)
+		if i < 0 || i >= numBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of range", v, i)
+		}
+		up := bucketUpper(i)
+		if up < v {
+			t.Errorf("bucketUpper(%d)=%d understates value %d", i, up, v)
+		}
+		if v >= subBuckets {
+			// Relative error bound: upper/value <= 1 + 2^-subBits.
+			if float64(up) > float64(v)*(1+1.0/subBuckets)+1 {
+				t.Errorf("bucket for %d too wide: upper %d", v, up)
+			}
+		}
+		// Monotonicity across adjacent buckets.
+		if i+1 < numBuckets && bucketUpper(i+1) <= up {
+			t.Errorf("bucketUpper not monotone at %d", i)
+		}
+	}
+}
+
+func TestHistQuantiles(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 {
+		t.Fatalf("count = %d, want 1000", s.Count)
+	}
+	check := func(q float64, want time.Duration) {
+		got := s.Quantile(q)
+		// Quantile reports the bucket upper bound: never below the true
+		// value, at most ~6.25% above.
+		if got < want || float64(got) > float64(want)*1.07 {
+			t.Errorf("Quantile(%g) = %v, want within [%v, %v]", q, got, want, time.Duration(float64(want)*1.07))
+		}
+	}
+	check(0.50, 500*time.Microsecond)
+	check(0.95, 950*time.Microsecond)
+	check(0.99, 990*time.Microsecond)
+	if s.Max != int64(1000*time.Microsecond) {
+		t.Errorf("max = %v, want 1ms", time.Duration(s.Max))
+	}
+	sum := s.Summary()
+	if sum.Mean < 500*time.Microsecond || sum.Mean > 501*time.Microsecond {
+		t.Errorf("mean = %v, want ~500.5µs", sum.Mean)
+	}
+}
+
+func TestHistNilSafe(t *testing.T) {
+	var h *Histogram
+	h.Observe(time.Second) // must not panic
+	s := h.Snapshot()
+	if s.Count != 0 || s.Quantile(0.99) != 0 {
+		t.Errorf("nil histogram snapshot not empty: %+v", s)
+	}
+	var c *Counter
+	c.Add(1)
+	if c.Value() != 0 {
+		t.Error("nil counter value != 0")
+	}
+	var g *Gauge
+	g.Set(5)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Error("nil gauge value != 0")
+	}
+	var r *Registry
+	if r.Histogram("x") != nil || r.Counter("x") != nil || r.Gauge("x") != nil {
+		t.Error("nil registry returned non-nil metric")
+	}
+	r.GaugeFunc("x", func() int64 { return 1 })
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	if sb.Len() != 0 {
+		t.Error("nil registry rendered output")
+	}
+}
+
+// TestHistStorm hammers one histogram from many writers while snapshots,
+// merges and quantiles run concurrently; meant to run under -race.
+func TestHistStorm(t *testing.T) {
+	h := NewHistogram()
+	const (
+		writers = 8
+		perW    = 20000
+	)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Concurrent snapshotter folding merges while recording is live.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var acc HistSnapshot
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := h.Snapshot()
+			acc = acc.Merge(s.Sub(acc)) // exercise Sub+Merge under load
+			_ = s.Quantile(0.99)
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				h.Observe(time.Duration(w*1000+i) * time.Nanosecond)
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	// Writers finish first; then stop the snapshotter.
+	for {
+		s := h.Snapshot()
+		if s.Count >= writers*perW {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	<-done
+	s := h.Snapshot()
+	if s.Count != writers*perW {
+		t.Fatalf("final count = %d, want %d", s.Count, writers*perW)
+	}
+	var n int64
+	for _, b := range s.Buckets {
+		n += b
+	}
+	if n != s.Count {
+		t.Fatalf("bucket sum %d != count %d", n, s.Count)
+	}
+}
+
+func TestHistSubMerge(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(10 * time.Microsecond)
+	h.Observe(20 * time.Microsecond)
+	before := h.Snapshot()
+	h.Observe(30 * time.Microsecond)
+	h.Observe(40 * time.Microsecond)
+	window := h.Snapshot().Sub(before)
+	if window.Count != 2 {
+		t.Fatalf("window count = %d, want 2", window.Count)
+	}
+	if got := window.Quantile(1.0); got < 40*time.Microsecond {
+		t.Errorf("window p100 = %v, want >= 40µs", got)
+	}
+	merged := before.Merge(window)
+	if merged.Count != 4 {
+		t.Fatalf("merged count = %d, want 4", merged.Count)
+	}
+	if merged.Sum != before.Sum+window.Sum {
+		t.Errorf("merged sum mismatch")
+	}
+}
+
+// TestMetricsPrometheusFormat is the golden-format check for the text
+// exposition renderer.
+func TestMetricsPrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("face_commits_total").Add(7)
+	r.Gauge("face_server_inflight").Set(3)
+	r.GaugeFunc("face_server_queue_depth", func() int64 { return 11 })
+	h := r.Histogram(`face_server_op_seconds{op="get"}`)
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Millisecond)
+	}
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	out := sb.String()
+
+	for _, want := range []string{
+		"# TYPE face_commits_total counter\n",
+		"face_commits_total 7\n",
+		"# TYPE face_server_inflight gauge\n",
+		"face_server_inflight 3\n",
+		"# TYPE face_server_queue_depth gauge\n",
+		"face_server_queue_depth 11\n",
+		"# TYPE face_server_op_seconds summary\n",
+		`face_server_op_seconds{op="get",quantile="0.5"} `,
+		`face_server_op_seconds{op="get",quantile="0.99"} `,
+		`face_server_op_seconds_count{op="get"} 100`,
+		`face_server_op_seconds_sum{op="get"} 0.1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+	// Each # TYPE line must appear exactly once per base name.
+	if strings.Count(out, "# TYPE face_server_op_seconds ") != 1 {
+		t.Errorf("duplicate TYPE lines:\n%s", out)
+	}
+	// All lines must be either comments or "name value".
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if len(strings.Fields(line)) != 2 {
+			t.Errorf("malformed line %q", line)
+		}
+	}
+}
+
+func TestMetricsRegistryReuse(t *testing.T) {
+	r := NewRegistry()
+	a := r.Histogram("h")
+	b := r.Histogram("h")
+	if a != b {
+		t.Error("Histogram not get-or-create")
+	}
+	if r.Counter("c") != r.Counter("c") {
+		t.Error("Counter not get-or-create")
+	}
+	if r.Gauge("g") != r.Gauge("g") {
+		t.Error("Gauge not get-or-create")
+	}
+}
+
+func TestMetricsExpvar(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(5)
+	r.Histogram("h").Observe(time.Millisecond)
+	s := r.Expvar().String()
+	if !strings.Contains(s, `"c":5`) {
+		t.Errorf("expvar missing counter: %s", s)
+	}
+	if !strings.Contains(s, `"count":1`) {
+		t.Errorf("expvar missing histogram summary: %s", s)
+	}
+}

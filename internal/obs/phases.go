@@ -1,0 +1,52 @@
+package obs
+
+// TxPhases is the commit-path phase breakdown as histogram snapshots:
+// total Update latency plus the disjoint wall-time phases each committed
+// write transaction records (see internal/engine).  It subtracts like any
+// counter snapshot, so a measurement window is After.Sub(Before).
+type TxPhases struct {
+	Total       HistSnapshot
+	Admission   HistSnapshot
+	LockWait    HistSnapshot
+	Buffer      HistSnapshot
+	WalAppend   HistSnapshot
+	DurableWait HistSnapshot
+	Closure     HistSnapshot
+}
+
+// Sub returns the phase histograms of the window between prior and p.
+func (p TxPhases) Sub(prior TxPhases) TxPhases {
+	return TxPhases{
+		Total:       p.Total.Sub(prior.Total),
+		Admission:   p.Admission.Sub(prior.Admission),
+		LockWait:    p.LockWait.Sub(prior.LockWait),
+		Buffer:      p.Buffer.Sub(prior.Buffer),
+		WalAppend:   p.WalAppend.Sub(prior.WalAppend),
+		DurableWait: p.DurableWait.Sub(prior.DurableWait),
+		Closure:     p.Closure.Sub(prior.Closure),
+	}
+}
+
+// Summaries condenses every phase into the quantile form reports carry.
+func (p TxPhases) Summaries() TxPhaseSummaries {
+	return TxPhaseSummaries{
+		Total:       p.Total.Summary(),
+		Admission:   p.Admission.Summary(),
+		LockWait:    p.LockWait.Summary(),
+		Buffer:      p.Buffer.Summary(),
+		WalAppend:   p.WalAppend.Summary(),
+		DurableWait: p.DurableWait.Summary(),
+		Closure:     p.Closure.Summary(),
+	}
+}
+
+// TxPhaseSummaries is the JSON form of the commit-path phase breakdown.
+type TxPhaseSummaries struct {
+	Total       Summary `json:"total"`
+	Admission   Summary `json:"admission"`
+	LockWait    Summary `json:"lock_wait"`
+	Buffer      Summary `json:"buffer"`
+	WalAppend   Summary `json:"wal_append"`
+	DurableWait Summary `json:"durable_wait"`
+	Closure     Summary `json:"closure"`
+}

@@ -1,0 +1,255 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Registry is a named collection of histograms, counters, gauges and
+// callback metrics.  Histogram/Counter/Gauge are get-or-create, so every
+// layer of the stack registers its metrics independently into one shared
+// registry.  A nil Registry returns nil metrics from every constructor,
+// and nil metrics ignore recording — disabling observability therefore
+// needs no conditional at the instrumentation sites.
+//
+// Names may embed a literal Prometheus label set, e.g.
+// `face_server_op_seconds{op="get"}`; series sharing a base name are
+// grouped under one # TYPE line when rendered.
+type Registry struct {
+	mu       sync.Mutex
+	hists    map[string]*Histogram
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	funcs    map[string]funcMetric
+}
+
+// funcMetric is a callback metric sampled at render time, used for
+// values another subsystem already maintains (queue depths, in-flight
+// counts, admission totals).
+type funcMetric struct {
+	typ string // "counter" or "gauge"
+	fn  func() int64
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		hists:    make(map[string]*Histogram),
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		funcs:    make(map[string]funcMetric),
+	}
+}
+
+// Histogram returns the named histogram, creating it on first use (nil
+// on a nil registry).
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = NewHistogram()
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Counter returns the named counter, creating it on first use (nil on a
+// nil registry).
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use (nil on a nil
+// registry).
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// GaugeFunc registers a callback gauge sampled at render time.  No-op on
+// a nil registry.
+func (r *Registry) GaugeFunc(name string, fn func() int64) {
+	r.registerFunc(name, "gauge", fn)
+}
+
+// CounterFunc registers a callback counter sampled at render time, for
+// monotonic totals another subsystem already maintains.  No-op on a nil
+// registry.
+func (r *Registry) CounterFunc(name string, fn func() int64) {
+	r.registerFunc(name, "counter", fn)
+}
+
+func (r *Registry) registerFunc(name, typ string, fn func() int64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.funcs[name] = funcMetric{typ: typ, fn: fn}
+}
+
+// splitName separates a metric name from its embedded label set:
+// `x{op="get"}` -> ("x", `op="get"`).
+func splitName(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		return name[:i], name[i+1 : len(name)-1]
+	}
+	return name, ""
+}
+
+// series renders base plus a merged label set.
+func series(base, labels, extra string) string {
+	switch {
+	case labels == "" && extra == "":
+		return base
+	case labels == "":
+		return base + "{" + extra + "}"
+	case extra == "":
+		return base + "{" + labels + "}"
+	default:
+		return base + "{" + labels + "," + extra + "}"
+	}
+}
+
+// sortedKeys returns the map keys ordered so the rendered output is
+// stable (and series of one base name stay adjacent).
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// WritePrometheus renders every metric in the Prometheus text exposition
+// format.  Histograms render as summaries: quantile series (seconds)
+// plus _sum and _count, which is both scrape-friendly and trivially
+// parseable by faceload's report folding.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	funcs := make(map[string]funcMetric, len(r.funcs))
+	for k, v := range r.funcs {
+		funcs[k] = v
+	}
+	r.mu.Unlock()
+
+	typed := make(map[string]bool)
+	writeType := func(base, typ string) {
+		if !typed[base] {
+			fmt.Fprintf(w, "# TYPE %s %s\n", base, typ)
+			typed[base] = true
+		}
+	}
+
+	for _, name := range sortedKeys(counters) {
+		base, labels := splitName(name)
+		writeType(base, "counter")
+		fmt.Fprintf(w, "%s %d\n", series(base, labels, ""), counters[name].Value())
+	}
+	for _, name := range sortedKeys(gauges) {
+		base, labels := splitName(name)
+		writeType(base, "gauge")
+		fmt.Fprintf(w, "%s %d\n", series(base, labels, ""), gauges[name].Value())
+	}
+	for _, name := range sortedKeys(funcs) {
+		base, labels := splitName(name)
+		fm := funcs[name]
+		writeType(base, fm.typ)
+		fmt.Fprintf(w, "%s %d\n", series(base, labels, ""), fm.fn())
+	}
+	for _, name := range sortedKeys(hists) {
+		base, labels := splitName(name)
+		writeType(base, "summary")
+		s := hists[name].Snapshot()
+		for _, q := range []struct {
+			label string
+			q     float64
+		}{{"0.5", 0.50}, {"0.95", 0.95}, {"0.99", 0.99}, {"0.999", 0.999}} {
+			fmt.Fprintf(w, "%s %.9f\n",
+				series(base, labels, `quantile="`+q.label+`"`),
+				s.Quantile(q.q).Seconds())
+		}
+		fmt.Fprintf(w, "%s %.9f\n", series(base+"_sum", labels, ""), float64(s.Sum)/1e9)
+		fmt.Fprintf(w, "%s %d\n", series(base+"_count", labels, ""), s.Count)
+		fmt.Fprintf(w, "%s %.9f\n", series(base+"_max", labels, ""), float64(s.Max)/1e9)
+	}
+}
+
+// Expvar returns an expvar.Var rendering the registry as one JSON
+// object: counters and gauges as numbers, histograms as their Summary.
+// Publish it under a single name so repeated faced runs in one process
+// can guard against expvar's duplicate-name panic with one Get.
+func (r *Registry) Expvar() expvar.Var {
+	return expvar.Func(func() any {
+		if r == nil {
+			return nil
+		}
+		r.mu.Lock()
+		out := make(map[string]any, len(r.hists)+len(r.counters)+len(r.gauges)+len(r.funcs))
+		hists := make(map[string]*Histogram, len(r.hists))
+		for k, v := range r.hists {
+			hists[k] = v
+		}
+		for k, v := range r.counters {
+			out[k] = v.Value()
+		}
+		for k, v := range r.gauges {
+			out[k] = v.Value()
+		}
+		funcs := make(map[string]funcMetric, len(r.funcs))
+		for k, v := range r.funcs {
+			funcs[k] = v
+		}
+		r.mu.Unlock()
+		for k, v := range funcs {
+			out[k] = v.fn()
+		}
+		for k, h := range hists {
+			out[k] = h.Snapshot().Summary()
+		}
+		return out
+	})
+}

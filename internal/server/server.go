@@ -43,12 +43,14 @@ import (
 	"fmt"
 	"net"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/reprolab/face/internal/engine"
 	"github.com/reprolab/face/internal/kv"
+	"github.com/reprolab/face/internal/obs"
 	"github.com/reprolab/face/internal/server/wire"
 )
 
@@ -76,6 +78,11 @@ type Config struct {
 	RequestTimeout time.Duration
 	// Logf, when set, receives server lifecycle diagnostics.
 	Logf func(format string, args ...any)
+	// Obs, when set, receives the server's request metrics: per-op
+	// latency histograms (face_server_op_seconds{op="..."}), in-flight
+	// and queue-depth gauges and admission counters.  faced passes the
+	// engine's registry here so /metrics serves both layers.
+	Obs *obs.Registry
 }
 
 // Stats is a snapshot of the server's request counters.
@@ -111,6 +118,11 @@ type Server struct {
 
 	requests atomic.Int64
 	statuses [8]atomic.Int64
+
+	// ops holds one latency histogram per opcode (index = opcode byte).
+	// All entries are nil without Config.Obs — obs histograms no-op on a
+	// nil receiver, so the recording below needs no guard.
+	ops [wire.OpAbort + 1]*obs.Histogram
 }
 
 // New wires a server to the database, attaching to (or initialising) its
@@ -134,7 +146,7 @@ func New(db *engine.DB, cfg Config) (*Server, error) {
 		cancel()
 		return nil, err
 	}
-	return &Server{
+	s := &Server{
 		db:         db,
 		kv:         store,
 		cfg:        cfg,
@@ -143,8 +155,38 @@ func New(db *engine.DB, cfg Config) (*Server, error) {
 		baseCancel: cancel,
 		listeners:  make(map[net.Listener]struct{}),
 		conns:      make(map[net.Conn]struct{}),
-	}, nil
+	}
+	s.registerMetrics(cfg.Obs)
+	return s, nil
 }
+
+// registerMetrics wires the server's request tracing into reg: one
+// latency histogram per opcode, gauges for the live queue state and
+// counters for the admission controller's decisions.  A nil reg leaves
+// every histogram nil, which disables recording entirely.
+func (s *Server) registerMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	for op := byte(wire.OpPing); op <= wire.OpAbort; op++ {
+		s.ops[op] = reg.Histogram(
+			`face_server_op_seconds{op="` + strings.ToLower(wire.OpName(op)) + `"}`)
+	}
+	reg.GaugeFunc("face_server_inflight", func() int64 { return int64(s.gate.count()) })
+	reg.GaugeFunc("face_server_queue_depth", func() int64 { return int64(len(s.adm.queue)) })
+	reg.GaugeFunc("face_server_writers_busy", func() int64 { return int64(len(s.adm.tokens)) })
+	reg.CounterFunc("face_server_requests_total", s.requests.Load)
+	reg.CounterFunc("face_server_admitted_total", s.adm.admitted.Load)
+	reg.CounterFunc("face_server_rejected_total", s.adm.rejected.Load)
+	reg.CounterFunc("face_server_admission_waits_total", s.adm.waits.Load)
+	reg.CounterFunc("face_server_busy_total", s.statuses[wire.StatusBusy].Load)
+	reg.CounterFunc("face_server_timeout_total", s.statuses[wire.StatusTimeout].Load)
+	reg.CounterFunc("face_server_errors_total", s.statuses[wire.StatusErr].Load)
+}
+
+// InFlight returns the number of requests (plus open batches) currently
+// holding the drain gate.
+func (s *Server) InFlight() int { return s.gate.count() }
 
 // Store exposes the server's KV store (for preloading and tests).
 func (s *Server) Store() *kv.Store { return s.kv }
@@ -232,8 +274,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Unlock()
 	s.connWG.Wait()
 	st := s.Stats()
-	s.logf("server: drained (%d requests: %d ok, %d busy, %d timeout, %d errors)",
-		st.Requests, st.OK, st.Busy, st.Timeout, st.Errors)
+	s.logf("server: drained (%d requests: %d ok, %d busy, %d timeout, %d errors; admission: %d admitted, %d shed, %d waited; %d in flight at exit)",
+		st.Requests, st.OK, st.Busy, st.Timeout, st.Errors,
+		st.Admission.Admitted, st.Admission.Rejected, st.Admission.Waits, s.gate.count())
 	if late != nil {
 		return fmt.Errorf("server: drain deadline passed, in-flight requests were cancelled: %w", late)
 	}
@@ -341,6 +384,10 @@ func (s *Server) handleConn(c net.Conn) {
 // execute runs one request and builds its response.
 func (s *Server) execute(cs *connState, req *wire.Request) *wire.Response {
 	s.requests.Add(1)
+	if int(req.Op) < len(s.ops) && s.ops[req.Op] != nil {
+		t0 := time.Now()
+		defer func() { s.ops[req.Op].Observe(time.Since(t0)) }()
+	}
 	resp := &wire.Response{Seq: req.Seq}
 	// A connection with an open batch is in-flight work: its requests may
 	// still enter during a drain so the batch can reach its COMMIT.
@@ -707,6 +754,14 @@ func (g *gate) enter(held bool) bool {
 	}
 	g.n++
 	return true
+}
+
+// count reports the gate's live reference count (in-flight requests plus
+// open batches), for the in-flight gauge and the shutdown log line.
+func (g *gate) count() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
 }
 
 // hold takes an extra reference; the caller must already be inside the

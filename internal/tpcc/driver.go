@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/reprolab/face/internal/engine"
+	"github.com/reprolab/face/internal/obs"
 )
 
 // Kind identifies a TPC-C transaction type.
@@ -98,11 +99,32 @@ type Driver struct {
 
 	mu     sync.Mutex
 	counts Counts
+
+	// lat records the wall-clock latency of each committed transaction
+	// by kind.  Multi-terminal slots are timed from slot start to commit,
+	// so deadlock-retry and backoff time is included — the latency a
+	// terminal actually experienced.
+	lat [numKinds]*obs.Histogram
 }
 
 // NewDriver creates a driver with its own deterministic random stream.
 func NewDriver(eng *engine.DB, db *Database, seed int64) *Driver {
-	return &Driver{eng: eng, db: db, rng: rand.New(rand.NewSource(seed)), seed: seed}
+	dr := &Driver{eng: eng, db: db, rng: rand.New(rand.NewSource(seed)), seed: seed}
+	for k := range dr.lat {
+		dr.lat[k] = obs.NewHistogram()
+	}
+	return dr
+}
+
+// KindLatencies returns the committed-transaction wall-clock latency
+// histogram per kind, keyed by Kind.String().  Snapshots taken before and
+// after a measurement window subtract (HistSnapshot.Sub) to isolate it.
+func (dr *Driver) KindLatencies() map[string]obs.HistSnapshot {
+	m := make(map[string]obs.HistSnapshot, numKinds)
+	for k := Kind(0); k < numKinds; k++ {
+		m[k.String()] = dr.lat[k].Snapshot()
+	}
+	return m
 }
 
 // Counts returns the transactions executed so far.
@@ -169,6 +191,7 @@ func (dr *Driver) RunOne() (Kind, error) {
 
 // Run executes one transaction of the given kind.
 func (dr *Driver) Run(kind Kind) error {
+	start := time.Now()
 	w := randInt(dr.rng, 1, dr.db.cfg.Warehouses)
 	tx, err := dr.eng.Begin()
 	if err != nil {
@@ -191,6 +214,7 @@ func (dr *Driver) Run(kind Kind) error {
 	if err := tx.Commit(); err != nil {
 		return err
 	}
+	dr.lat[kind].Observe(time.Since(start))
 	dr.mu.Lock()
 	dr.counts.Committed[kind]++
 	dr.mu.Unlock()
@@ -300,6 +324,7 @@ func (dr *Driver) RunTerminals(ctx context.Context, terminals, total int) error 
 // scheduled transaction at most once no matter how often it was retried.
 func (dr *Driver) runSlot(ctx context.Context, kind Kind, seed int64) error {
 	readonly := kind == KindOrderStatus || kind == KindStockLevel
+	start := time.Now()
 	for attempt := 0; ; attempt++ {
 		rng := rand.New(rand.NewSource(seed))
 		w := randInt(rng, 1, dr.db.cfg.Warehouses)
@@ -312,6 +337,7 @@ func (dr *Driver) runSlot(ctx context.Context, kind Kind, seed int64) error {
 		}
 		switch {
 		case err == nil:
+			dr.lat[kind].Observe(time.Since(start))
 			dr.mu.Lock()
 			dr.counts.Committed[kind]++
 			dr.mu.Unlock()

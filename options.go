@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/reprolab/face/internal/engine"
+	"github.com/reprolab/face/internal/obs"
 )
 
 // DefaultBufferPages is the DRAM buffer pool capacity Open uses when
@@ -330,6 +331,53 @@ func WithCheckpointInterval(d time.Duration) Option {
 func WithRecovery() Option {
 	return func(c *engine.Config) error {
 		c.Recover = true
+		return nil
+	}
+}
+
+// WithObservability enables or disables the observability layer (enabled
+// by default): commit-path phase histograms, per-layer counters and the
+// registry served by DB.Metrics.  Disabling it reduces every recording
+// site to a nil check and makes DB.Metrics return nil; the measured cost
+// of leaving it on is small (see the facebench "obs" ablation).
+func WithObservability(enabled bool) Option {
+	return func(c *engine.Config) error {
+		c.DisableObs = !enabled
+		return nil
+	}
+}
+
+// WithSlowTxThreshold enables the slow-transaction log: every committed
+// write transaction whose wall-clock latency reaches d emits a one-line
+// per-phase breakdown (admission, lock, buffer, WAL append, durable wait,
+// closure) through the sink set by WithSlowTxLog (default log.Printf).
+// Zero (the default) disables the log; phase tracing itself stays on.
+func WithSlowTxThreshold(d time.Duration) Option {
+	return func(c *engine.Config) error {
+		if d < 0 {
+			return fmt.Errorf("face: WithSlowTxThreshold(%v): must not be negative", d)
+		}
+		c.SlowTxThreshold = d
+		return nil
+	}
+}
+
+// WithSlowTxLog sets the sink that receives slow-transaction log lines
+// (default log.Printf).  A nil logf restores the default.
+func WithSlowTxLog(logf func(format string, args ...any)) Option {
+	return func(c *engine.Config) error {
+		c.Logf = logf
+		return nil
+	}
+}
+
+// WithMetricsRegistry shares a caller-supplied metrics registry with the
+// engine, so an embedder (like faced) can serve engine and application
+// metrics from one endpoint.  Nil lets the engine allocate its own,
+// available from DB.Metrics.
+func WithMetricsRegistry(reg *obs.Registry) Option {
+	return func(c *engine.Config) error {
+		c.Obs = reg
 		return nil
 	}
 }
