@@ -36,6 +36,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"expvar"
 	"flag"
 	"fmt"
@@ -154,7 +155,7 @@ func run(args []string, stderr io.Writer) int {
 		}
 		metricsSrv = &http.Server{Handler: metricsMux(reg)}
 		go func() {
-			if err := metricsSrv.Serve(mln); err != nil && err != http.ErrServerClosed {
+			if err := metricsSrv.Serve(mln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				logger.Printf("metrics serve: %v", err)
 			}
 		}()

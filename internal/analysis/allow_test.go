@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// TestAllowDirectives covers the suppression machinery itself: a
+// justified directive swallows the diagnostic on its line (and the line
+// below), an unjustified one suppresses nothing and is reported in its
+// own right, and a directive naming a different analyzer leaves the
+// finding alone.
+func TestAllowDirectives(t *testing.T) {
+	const src = `package p
+
+var x = 1
+
+func unjustified() int {
+	//lint:allow facevet/fake
+	return x
+}
+
+func justified() int {
+	//lint:allow facevet/fake covered on purpose
+	return x
+}
+
+func sameLine() int {
+	return x //lint:allow facevet/fake inline form
+}
+
+func wrongAnalyzer() int {
+	//lint:allow facevet/other this names a different check
+	return x
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := NewInfo()
+	pkg, err := (&types.Config{}).Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unit := &Unit{Fset: fset, Files: []*ast.File{f}, Pkg: pkg, TypesInfo: info}
+
+	fake := &Analyzer{
+		Name: "fake",
+		Doc:  "flags every return statement",
+		Run: func(p *Pass) error {
+			for _, file := range p.Files {
+				ast.Inspect(file, func(n ast.Node) bool {
+					if r, ok := n.(*ast.ReturnStmt); ok {
+						p.Report(r.Pos(), "return flagged")
+					}
+					return true
+				})
+			}
+			return nil
+		},
+	}
+
+	diags, err := Check(unit, []*Analyzer{fake})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	byLine := make(map[int][]string)
+	for _, d := range diags {
+		line := fset.Position(d.Pos).Line
+		byLine[line] = append(byLine[line], d.Analyzer)
+	}
+
+	// Line 6: the unjustified directive is itself reported.
+	if got := byLine[6]; len(got) != 1 || got[0] != "allow" {
+		t.Errorf("line 6: want [allow] diagnostic for the unjustified directive, got %v", got)
+	}
+	// Line 7: the unjustified directive suppresses nothing.
+	if got := byLine[7]; len(got) != 1 || got[0] != "fake" {
+		t.Errorf("line 7: want the fake finding to survive an unjustified directive, got %v", got)
+	}
+	// Line 12: the justified directive suppresses the finding below it.
+	if got := byLine[12]; len(got) != 0 {
+		t.Errorf("line 12: want suppression under a justified directive, got %v", got)
+	}
+	// Line 16: the same-line form suppresses too.
+	if got := byLine[16]; len(got) != 0 {
+		t.Errorf("line 16: want suppression from a same-line directive, got %v", got)
+	}
+	// Line 21: a directive for another analyzer does not apply.
+	if got := byLine[21]; len(got) != 1 || got[0] != "fake" {
+		t.Errorf("line 21: want the fake finding to survive a directive naming another analyzer, got %v", got)
+	}
+	if len(diags) != 3 {
+		t.Errorf("want 3 surviving diagnostics, got %d: %v", len(diags), diags)
+	}
+}

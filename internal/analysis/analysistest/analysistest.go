@@ -1,0 +1,223 @@
+// Package analysistest runs an analyzer over golden packages under a
+// testdata directory and checks its diagnostics against // want
+// comments, in the style of golang.org/x/tools/go/analysis/analysistest.
+//
+// Layout is GOPATH-shaped: testdata/src/<importpath>/*.go.  Imports
+// resolve recursively inside the same src root, so each analyzer's
+// testdata carries small fake versions of the packages its rules key on
+// (sync, sync/atomic, time, errors, internal/device, internal/obs) and
+// the tests run hermetically — no go list, no export data, no network.
+// The fakes only need the right package path and the right names; the
+// analyzers match on those, never on behavior.
+//
+// An expectation is a comment of the form
+//
+//	// want "regexp" `another`
+//
+// on the line the diagnostic is reported at.  Every diagnostic must be
+// matched by an expectation on its line and every expectation must match
+// a diagnostic; leftovers in either direction fail the test.
+package analysistest
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/reprolab/face/internal/analysis"
+)
+
+// Run loads each package path from srcRoot (a testdata/src directory),
+// runs the analyzer through analysis.Check — allow directives included —
+// and diffs the diagnostics against the // want comments.
+func Run(t *testing.T, srcRoot string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	l := newLoader(srcRoot)
+	for _, path := range paths {
+		unit, err := l.load(path)
+		if err != nil {
+			t.Fatalf("loading %s: %v", path, err)
+		}
+		diags, err := analysis.Check(unit, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("checking %s: %v", path, err)
+		}
+		diff(t, l.fset, unit.Files, diags)
+	}
+}
+
+// loader typechecks GOPATH-shaped packages from a src root, resolving
+// imports recursively from the same root.
+type loader struct {
+	srcRoot string
+	fset    *token.FileSet
+	units   map[string]*analysis.Unit
+}
+
+func newLoader(srcRoot string) *loader {
+	return &loader{
+		srcRoot: srcRoot,
+		fset:    token.NewFileSet(),
+		units:   make(map[string]*analysis.Unit),
+	}
+}
+
+// Import implements types.Importer over the src root.
+func (l *loader) Import(path string) (*types.Package, error) {
+	unit, err := l.load(path)
+	if err != nil {
+		return nil, err
+	}
+	return unit.Pkg, nil
+}
+
+func (l *loader) load(path string) (*analysis.Unit, error) {
+	if u, ok := l.units[path]; ok {
+		return u, nil
+	}
+	dir := filepath.Join(l.srcRoot, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := analysis.NewInfo()
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	u := &analysis.Unit{Fset: l.fset, Files: files, Pkg: pkg, TypesInfo: info}
+	l.units[path] = u
+	return u, nil
+}
+
+// expectation is one parsed // want regexp, anchored to a file line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	met  bool
+}
+
+// diff matches diagnostics against want expectations and reports every
+// mismatch in both directions.
+func diff(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := collectWants(t, fset, files)
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for i := range wants {
+			w := &wants[i]
+			if w.met || w.file != pos.Filename || w.line != pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic [%s]: %s", pos.Filename, pos.Line, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// collectWants parses the // want comments out of the files.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []expectation {
+	t.Helper()
+	var wants []expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue
+				}
+				text, ok = strings.CutPrefix(strings.TrimSpace(text), "want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, raw := range splitQuoted(t, pos, text) {
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, raw, err)
+					}
+					wants = append(wants, expectation{
+						file: pos.Filename,
+						line: pos.Line,
+						re:   re,
+						raw:  raw,
+					})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitQuoted extracts the sequence of "double-quoted" or `backquoted`
+// regexps from a want comment's payload.
+func splitQuoted(t *testing.T, pos token.Position, text string) []string {
+	t.Helper()
+	var out []string
+	rest := strings.TrimSpace(text)
+	for rest != "" {
+		var end int
+		switch rest[0] {
+		case '"':
+			end = strings.Index(rest[1:], `"`)
+		case '`':
+			end = strings.Index(rest[1:], "`")
+		default:
+			t.Fatalf("%s:%d: want expectation %q must be quoted", pos.Filename, pos.Line, rest)
+		}
+		if end < 0 {
+			t.Fatalf("%s:%d: unterminated want expectation %q", pos.Filename, pos.Line, rest)
+		}
+		quoted := rest[:end+2]
+		if rest[0] == '"' {
+			unq, err := strconv.Unquote(quoted)
+			if err != nil {
+				t.Fatalf("%s:%d: bad want string %q: %v", pos.Filename, pos.Line, quoted, err)
+			}
+			out = append(out, unq)
+		} else {
+			out = append(out, quoted[1:len(quoted)-1])
+		}
+		rest = strings.TrimSpace(rest[end+2:])
+	}
+	return out
+}

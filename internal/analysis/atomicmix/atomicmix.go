@@ -1,0 +1,183 @@
+// Package atomicmix defines an analyzer that reports variables accessed
+// both through sync/atomic and through plain loads and stores.
+//
+// A word that is ever touched by atomic.LoadUint64/StoreUint64/Add...
+// must be touched that way everywhere: one plain read racing an atomic
+// store is undefined under the memory model even though it often works
+// on amd64, and it is exactly the kind of latent bug a WAL sequence
+// counter or cache clock hand develops when a new code path forgets the
+// discipline.  The engine's own counters use the typed atomics
+// (atomic.Uint64 and friends), which make the mix impossible by
+// construction; this analyzer covers the function-style API so the
+// pattern stays impossible when someone reaches for atomic.AddUint64 on
+// a plain field instead.
+//
+// The analysis is package-local and object-based: any variable whose
+// address is passed to a sync/atomic function is marked, and every other
+// appearance of that variable — plain read, plain write, or an escaping
+// &v not fed to sync/atomic — is reported.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/reprolab/face/internal/analysis"
+)
+
+// Analyzer flags mixed atomic and non-atomic access to the same variable.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicmix",
+	Doc:  "a variable accessed via sync/atomic anywhere must be accessed via sync/atomic everywhere",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	// First walk: collect the variables used atomically, keyed by their
+	// types.Object so s.f and other.f (same field) unify and distinct
+	// locals named alike do not.
+	atomicVars := make(map[*types.Var]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if v := addrOperand(pass, arg); v != nil {
+					atomicVars[v] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicVars) == 0 {
+		return nil
+	}
+
+	// Second walk: report every other appearance of a marked variable.
+	// The parent stack distinguishes `&v` handed to sync/atomic (fine)
+	// from plain uses, and skips the field names of composite literals
+	// (Foo{seq: 0} mentions the object without reading it).
+	for _, f := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+			if !ok || !atomicVars[v] {
+				return true
+			}
+			if use := plainUse(pass, stack); use != "" {
+				pass.Reportf(id.Pos(), "%s of %s, which is accessed with sync/atomic elsewhere; use the atomic API (or the typed atomic.Uint64 family) for every access", use, v.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isAtomicCall reports whether call invokes a sync/atomic function
+// (the function-style API; typed-atomic methods take no address and are
+// safe by construction).
+func isAtomicCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	for _, prefix := range [...]string{"Load", "Store", "Add", "Swap", "CompareAndSwap", "And", "Or"} {
+		if strings.HasPrefix(fn.Name(), prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// addrOperand returns the variable v when arg is &v or &x.f, else nil.
+func addrOperand(pass *analysis.Pass, arg ast.Expr) *types.Var {
+	unary, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+	if !ok || unary.Op.String() != "&" {
+		return nil
+	}
+	var id *ast.Ident
+	switch e := ast.Unparen(unary.X).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	v, _ := pass.TypesInfo.Uses[id].(*types.Var)
+	return v
+}
+
+// plainUse classifies the identifier at the top of stack.  It returns a
+// description of the non-atomic use ("plain read", "plain write",
+// "address escape") or "" when the use is part of a sync/atomic call.
+func plainUse(pass *analysis.Pass, stack []ast.Node) string {
+	// stack[len-1] is the Ident itself.  Walk outward through the
+	// selector/paren wrappers to the first node that determines the kind
+	// of use.
+	i := len(stack) - 2
+	for i >= 0 {
+		switch stack[i].(type) {
+		case *ast.SelectorExpr, *ast.ParenExpr:
+			i--
+			continue
+		}
+		break
+	}
+	if i < 0 {
+		return "plain read"
+	}
+	switch parent := stack[i].(type) {
+	case *ast.UnaryExpr:
+		if parent.Op.String() == "&" {
+			// &v: fine when the address feeds a sync/atomic call,
+			// otherwise the pointer escapes to unknown plain access.
+			if i-1 >= 0 {
+				if call, ok := stack[i-1].(*ast.CallExpr); ok && isAtomicCall(pass, call) {
+					return ""
+				}
+			}
+			return "address escape"
+		}
+		return "plain read"
+	case *ast.AssignStmt:
+		for _, lhs := range parent.Lhs {
+			if within(lhs, stack[len(stack)-1]) {
+				return "plain write"
+			}
+		}
+		return "plain read"
+	case *ast.IncDecStmt:
+		return "plain write"
+	case *ast.KeyValueExpr:
+		// Foo{seq: 0}: the key names the field, it does not access it;
+		// the composite literal itself is initialization, which is the
+		// one place a plain write is conventional.  Stay quiet.
+		if parent.Key == stack[len(stack)-1] ||
+			(len(stack) >= 2 && parent.Key == stack[len(stack)-2]) {
+			return ""
+		}
+		return "plain read"
+	}
+	return "plain read"
+}
+
+func within(outer, inner ast.Node) bool {
+	return outer.Pos() <= inner.Pos() && inner.End() <= outer.End()
+}

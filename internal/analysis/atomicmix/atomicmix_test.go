@@ -1,0 +1,12 @@
+package atomicmix_test
+
+import (
+	"testing"
+
+	"github.com/reprolab/face/internal/analysis/analysistest"
+	"github.com/reprolab/face/internal/analysis/atomicmix"
+)
+
+func TestAtomicMix(t *testing.T) {
+	analysistest.Run(t, "testdata/src", atomicmix.Analyzer, "a")
+}

@@ -1,0 +1,70 @@
+// Golden cases for the atomicmix analyzer.
+package a
+
+import "sync/atomic"
+
+// WAL mixes three disciplines: seq is used through sync/atomic (so every
+// access must be), next is plain everywhere (fine), tick is a typed
+// atomic (safe by construction).
+type WAL struct {
+	seq  uint64
+	next uint64
+	tick atomic.Uint64
+}
+
+// Reserve is the atomic use that marks seq.
+func (w *WAL) Reserve() uint64 {
+	return atomic.AddUint64(&w.seq, 1)
+}
+
+func (w *WAL) TryReset(old uint64) bool {
+	return atomic.CompareAndSwapUint64(&w.seq, old, 0)
+}
+
+func (w *WAL) Peek() uint64 {
+	return w.seq // want `plain read of seq, which is accessed with sync/atomic elsewhere`
+}
+
+func (w *WAL) Reset() {
+	w.seq = 0 // want `plain write of seq`
+}
+
+func (w *WAL) Bump() {
+	w.seq++ // want `plain write of seq`
+}
+
+func (w *WAL) Escape() *uint64 {
+	return &w.seq // want `address escape of seq`
+}
+
+// The forms below produce no diagnostics.
+
+func (w *WAL) PlainCounter() uint64 {
+	w.next++
+	return w.next
+}
+
+func (w *WAL) Typed() uint64 {
+	return w.tick.Add(1)
+}
+
+// NewWAL: a composite-literal key names the field without accessing it.
+func NewWAL() *WAL {
+	return &WAL{seq: 0}
+}
+
+func (w *WAL) DebugPeek() uint64 {
+	//lint:allow facevet/atomicmix single-threaded test hook, no concurrent writers exist when it runs
+	return w.seq
+}
+
+var global uint64
+
+// LoadGlobal marks the package-level var.
+func LoadGlobal() uint64 {
+	return atomic.LoadUint64(&global)
+}
+
+func ReadGlobalPlain() uint64 {
+	return global // want `plain read of global`
+}

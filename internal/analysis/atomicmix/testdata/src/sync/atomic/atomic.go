@@ -1,0 +1,28 @@
+// Package atomic is a minimal stand-in for sync/atomic; the analyzer
+// keys on the package path and function name prefixes.
+package atomic
+
+// LoadUint64 atomically loads *addr.
+func LoadUint64(addr *uint64) uint64 { return *addr }
+
+// StoreUint64 atomically stores val into *addr.
+func StoreUint64(addr *uint64, val uint64) { *addr = val }
+
+// AddUint64 atomically adds delta to *addr.
+func AddUint64(addr *uint64, delta uint64) uint64 { *addr += delta; return *addr }
+
+// CompareAndSwapUint64 performs a CAS on *addr.
+func CompareAndSwapUint64(addr *uint64, old, new uint64) bool { return false }
+
+// Uint64 is a typed atomic; its methods take no address, so mixing is
+// impossible by construction and the analyzer ignores it.
+type Uint64 struct{ v uint64 }
+
+// Load atomically loads the value.
+func (x *Uint64) Load() uint64 { return x.v }
+
+// Store atomically stores val.
+func (x *Uint64) Store(val uint64) { x.v = val }
+
+// Add atomically adds delta.
+func (x *Uint64) Add(delta uint64) uint64 { x.v += delta; return x.v }

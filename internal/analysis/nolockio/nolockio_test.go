@@ -1,0 +1,12 @@
+package nolockio_test
+
+import (
+	"testing"
+
+	"github.com/reprolab/face/internal/analysis/analysistest"
+	"github.com/reprolab/face/internal/analysis/nolockio"
+)
+
+func TestNoLockIO(t *testing.T) {
+	analysistest.Run(t, "testdata/src", nolockio.Analyzer, "a")
+}

@@ -1,0 +1,99 @@
+// Golden cases for the nolockio analyzer.
+package a
+
+import (
+	"internal/device"
+	"sync"
+)
+
+// Cache pairs a stripe mutex with a backing device; the two-lock
+// protocol requires releasing mu before any device call.
+type Cache struct {
+	mu  sync.Mutex
+	rw  sync.RWMutex
+	dev *device.Device
+}
+
+func (c *Cache) directBad() {
+	c.mu.Lock()
+	c.dev.Sync() // want `device I/O \(Sync\) while c\.mu is locked`
+	c.mu.Unlock()
+}
+
+func (c *Cache) deferBad() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, err := c.dev.WriteAt(nil, 0) // want `device I/O \(WriteAt\) while c\.mu is locked`
+	return err
+}
+
+func (c *Cache) writeLockBad() {
+	c.rw.Lock()
+	c.dev.Sync() // want `device I/O \(Sync\) while c\.rw is locked`
+	c.rw.Unlock()
+}
+
+func (c *Cache) branchBad(dirty bool) {
+	c.mu.Lock()
+	if dirty {
+		c.dev.Sync() // want `device I/O \(Sync\) while c\.mu is locked`
+	}
+	c.mu.Unlock()
+	c.dev.Sync()
+}
+
+// flush performs device I/O directly, so callers holding a lock are
+// flagged transitively.
+func (c *Cache) flush() error {
+	return c.dev.Sync()
+}
+
+func (c *Cache) transitiveBad() {
+	c.mu.Lock()
+	c.flush() // want `a call that performs device I/O \(flush\) while c\.mu is locked`
+	c.mu.Unlock()
+}
+
+// twoHops reaches the device through flush.
+func (c *Cache) twoHops() error {
+	return c.flush()
+}
+
+func (c *Cache) transitiveTwoBad() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.twoHops() // want `a call that reaches device I/O via flush \(twoHops\) while c\.mu is locked`
+}
+
+// The forms below produce no diagnostics.
+
+func (c *Cache) releaseFirst() {
+	c.mu.Lock()
+	c.mu.Unlock()
+	c.dev.Sync()
+}
+
+func (c *Cache) accessorFine() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dev.Stats() // in-memory accessor, not blocking I/O
+}
+
+func (c *Cache) rlockTolerated() {
+	c.rw.RLock()
+	c.dev.Sync() // shared holders tolerate concurrent I/O by design
+	c.rw.RUnlock()
+}
+
+func (c *Cache) closureRunsLater() func() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return func() error { return c.dev.Sync() }
+}
+
+func (c *Cache) allowSite() {
+	c.mu.Lock()
+	//lint:allow facevet/nolockio shutdown fence; no concurrent readers remain when it runs
+	c.dev.Sync()
+	c.mu.Unlock()
+}

@@ -1,0 +1,27 @@
+// Package sync is a minimal stand-in for the standard library package;
+// the analyzer keys on the package path and method names.
+package sync
+
+// A Mutex is an exclusive lock.
+type Mutex struct{}
+
+// Lock acquires the mutex.
+func (m *Mutex) Lock() {}
+
+// Unlock releases the mutex.
+func (m *Mutex) Unlock() {}
+
+// A RWMutex is a reader/writer lock.
+type RWMutex struct{}
+
+// Lock acquires the write lock.
+func (m *RWMutex) Lock() {}
+
+// Unlock releases the write lock.
+func (m *RWMutex) Unlock() {}
+
+// RLock acquires a read lock.
+func (m *RWMutex) RLock() {}
+
+// RUnlock releases a read lock.
+func (m *RWMutex) RUnlock() {}

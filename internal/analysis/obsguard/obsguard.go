@@ -1,0 +1,205 @@
+// Package obsguard defines an analyzer that keeps the engine's hot paths
+// free when observability is disabled.
+//
+// The observability layer's contract (PR 8) is that WithObservability
+// (false) reduces every instrumentation site to a nil check: no
+// time.Now/time.Since, no histogram writes.  That only holds if each
+// timing call sits behind a nil guard — either lexically inside an
+// `if x != nil { ... }` block, or in a function that returns early on
+// `x == nil` before any clock is read.  The analyzer enforces exactly
+// that shape for clock reads (time.Now, time.Since) and histogram
+// recording calls (methods of internal/obs types) in the hot-path
+// packages internal/engine and internal/server.
+//
+// The guard detection is lexical, not dataflow: any enclosing if whose
+// condition contains a `!= nil` comparison counts, as does any earlier
+// top-level `if ... == nil { return ... }` in the same function.  Cold
+// paths that legitimately read the clock unconditionally carry a
+// //lint:allow justification.
+package obsguard
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/reprolab/face/internal/analysis"
+)
+
+// Analyzer flags unguarded clock reads and histogram recording on engine
+// and server hot paths.
+var Analyzer = &analysis.Analyzer{
+	Name: "obsguard",
+	Doc:  "time.Now/time.Since and histogram recording on hot paths must sit behind a nil observability guard so WithObservability(false) stays free",
+	Run:  run,
+}
+
+// hotPackages are the package path suffixes the rule applies to.
+var hotPackages = []string{"internal/engine", "internal/server"}
+
+func run(pass *analysis.Pass) error {
+	path := pass.Pkg.Path()
+	hot := false
+	for _, suffix := range hotPackages {
+		if path == suffix || strings.HasSuffix(path, "/"+suffix) {
+			hot = true
+			break
+		}
+	}
+	if !hot {
+		return nil
+	}
+	for _, f := range pass.Files {
+		// Test files stress and measure; the rule is about production
+		// hot paths.
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		checkFile(pass, f)
+	}
+	return nil
+}
+
+func checkFile(pass *analysis.Pass, f *ast.File) {
+	// stack holds the enclosing nodes of the node being visited.
+	var stack []ast.Node
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if what := timedCall(pass, call); what != "" && !guarded(pass, stack, call) {
+				pass.Reportf(call.Pos(), "%s on a hot path without a nil observability guard; wrap it in an `if x != nil` block or an early `if x == nil { return }`", what)
+			}
+		}
+		stack = append(stack, n)
+		return true
+	}
+	ast.Inspect(f, visit)
+}
+
+// timedCall reports whether call is a clock read or a histogram
+// recording, returning a description for the diagnostic (empty when it
+// is neither).
+func timedCall(pass *analysis.Pass, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return ""
+	}
+	pkg := fn.Pkg().Path()
+	switch {
+	case pkg == "time" && (fn.Name() == "Now" || fn.Name() == "Since"):
+		return "call to time." + fn.Name()
+	case isObsPath(pkg) && fn.Type().(*types.Signature).Recv() != nil:
+		// Recording methods mutate a metric; read-only snapshots are
+		// scrape-path and exempt.
+		switch fn.Name() {
+		case "Observe", "Add", "Set", "Inc":
+			return "histogram/metric recording (" + fn.Pkg().Name() + "." + recvTypeName(fn) + "." + fn.Name() + ")"
+		}
+	}
+	return ""
+}
+
+func isObsPath(path string) bool {
+	return path == "internal/obs" || strings.HasSuffix(path, "/internal/obs")
+}
+
+func recvTypeName(fn *types.Func) string {
+	t := fn.Type().(*types.Signature).Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return t.String()
+}
+
+// guarded reports whether the call at the top of stack sits behind a nil
+// observability guard.
+func guarded(pass *analysis.Pass, stack []ast.Node, call *ast.CallExpr) bool {
+	// An enclosing if whose condition requires something non-nil guards
+	// everything in its body (sched.go: `if db.obs != nil { t0 :=
+	// time.Now(); ... }`), including deferred closures declared there.
+	for i := len(stack) - 1; i >= 0; i-- {
+		ifStmt, ok := stack[i].(*ast.IfStmt)
+		if !ok || !condHasNonNil(ifStmt.Cond) {
+			continue
+		}
+		if i+1 < len(stack) && stack[i+1] == ifStmt.Body {
+			return true
+		}
+		if within(ifStmt.Body, call) {
+			return true
+		}
+	}
+	// Otherwise the enclosing function must return early on a nil check
+	// before the call (tx.go: `if tx.tr == nil { return ... }`).
+	body := enclosingFuncBody(stack)
+	if body == nil {
+		return false
+	}
+	for _, stmt := range body.List {
+		if stmt.End() >= call.Pos() {
+			break
+		}
+		ifStmt, ok := stmt.(*ast.IfStmt)
+		if !ok || !condHasNil(ifStmt.Cond) {
+			continue
+		}
+		if n := len(ifStmt.Body.List); n > 0 {
+			if _, ok := ifStmt.Body.List[n-1].(*ast.ReturnStmt); ok {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func enclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncLit:
+			return fn.Body
+		case *ast.FuncDecl:
+			return fn.Body
+		}
+	}
+	return nil
+}
+
+func within(n ast.Node, inner ast.Node) bool {
+	return n != nil && n.Pos() <= inner.Pos() && inner.End() <= n.End()
+}
+
+// condHasNonNil reports whether the condition contains an `x != nil`
+// comparison; condHasNil the same for `x == nil`.
+func condHasNonNil(cond ast.Expr) bool { return condHasNilCompare(cond, token.NEQ) }
+func condHasNil(cond ast.Expr) bool    { return condHasNilCompare(cond, token.EQL) }
+
+func condHasNilCompare(cond ast.Expr, op token.Token) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if b, ok := n.(*ast.BinaryExpr); ok && b.Op == op {
+			if isNil(b.X) || isNil(b.Y) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func isNil(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}

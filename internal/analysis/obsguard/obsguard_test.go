@@ -1,0 +1,12 @@
+package obsguard_test
+
+import (
+	"testing"
+
+	"github.com/reprolab/face/internal/analysis/analysistest"
+	"github.com/reprolab/face/internal/analysis/obsguard"
+)
+
+func TestObsGuard(t *testing.T) {
+	analysistest.Run(t, "testdata/src", obsguard.Analyzer, "internal/engine", "coldpkg")
+}

@@ -1,0 +1,10 @@
+// Package coldpkg is outside the hot-path package set, so unguarded
+// clock reads are fine here.
+package coldpkg
+
+import "time"
+
+// Timestamp reads the clock unconditionally.
+func Timestamp() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,64 @@
+// Golden cases for the obsguard analyzer: the package path ends in
+// internal/engine, so every clock read and recording call here must sit
+// behind a nil observability guard.
+package engine
+
+import (
+	"internal/obs"
+	"time"
+)
+
+// DB carries optional observability state; nil means disabled.
+type DB struct {
+	hist *obs.Histogram
+	ops  *obs.Counter
+}
+
+func (db *DB) unguarded() {
+	t0 := time.Now() // want `call to time\.Now on a hot path without a nil observability guard`
+	_ = t0
+	db.hist.Observe(1) // want `histogram/metric recording \(obs\.Histogram\.Observe\) on a hot path`
+}
+
+func (db *DB) sinceUnguarded(t0 time.Time) {
+	_ = time.Since(t0) // want `call to time\.Since on a hot path`
+}
+
+func (db *DB) countUnguarded() {
+	db.ops.Add(1) // want `histogram/metric recording \(obs\.Counter\.Add\) on a hot path`
+}
+
+// The guarded forms below produce no diagnostics.
+
+func (db *DB) guardedBlock() {
+	if db.hist != nil {
+		t0 := time.Now()
+		defer func() {
+			db.hist.Observe(int64(time.Since(t0)))
+		}()
+	}
+}
+
+func (db *DB) guardedCompound(enabled bool) {
+	if enabled && db.ops != nil {
+		db.ops.Add(1)
+	}
+}
+
+func (db *DB) earlyReturn() {
+	if db.hist == nil {
+		return
+	}
+	t0 := time.Now()
+	db.hist.Observe(int64(time.Since(t0)))
+}
+
+func (db *DB) scrape() []uint64 {
+	return db.hist.Snapshot() // read-only accessor, exempt
+}
+
+func (db *DB) coldStart() {
+	//lint:allow facevet/obsguard startup path, runs once per process
+	t0 := time.Now()
+	_ = t0
+}

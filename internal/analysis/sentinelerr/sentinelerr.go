@@ -1,0 +1,115 @@
+// Package sentinelerr defines an analyzer that reports sentinel errors
+// matched with == or != instead of errors.Is.
+//
+// A sentinel — a package-level error variable named Err* or err* — is a
+// stable identity, but the value that reaches a caller frequently is not:
+// fmt.Errorf("%w"), errors.Join and retry wrappers all preserve the
+// sentinel for errors.Is while breaking pointer equality.  PR 4's
+// deadlock-vs-rollback accounting bug came from exactly this — a
+// rollback whose abort had a deadlock joined onto it slipped past an
+// `err == ErrRollback` test — so the comparison form is banned outright:
+// identity checks that are genuinely about the unwrapped value (there is
+// one, in the TPC-C driver) carry a //lint:allow justification instead.
+//
+// Both explicit comparisons and switch cases over an error tag are
+// flagged.  Names that do not match the sentinel convention (io.EOF) are
+// left alone.
+package sentinelerr
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/reprolab/face/internal/analysis"
+)
+
+// Analyzer flags ==/!= comparisons against sentinel error variables.
+var Analyzer = &analysis.Analyzer{
+	Name: "sentinelerr",
+	Doc:  "sentinel errors (ErrDeadlock, ErrRollback, ErrClosed, ...) must be matched with errors.Is, never == or !=",
+	Run:  run,
+}
+
+var errorType = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				for _, side := range [2]ast.Expr{n.X, n.Y} {
+					if obj := sentinel(pass, side); obj != nil {
+						pass.Reportf(n.Pos(), "sentinel error %s compared with %s; use errors.Is", objName(obj), n.Op)
+						break // one report per comparison
+					}
+				}
+			case *ast.SwitchStmt:
+				if n.Tag == nil {
+					return true
+				}
+				tv, ok := pass.TypesInfo.Types[n.Tag]
+				if !ok || tv.Type == nil || !types.Implements(tv.Type, errorType) {
+					return true
+				}
+				for _, clause := range n.Body.List {
+					cc, ok := clause.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, e := range cc.List {
+						if obj := sentinel(pass, e); obj != nil {
+							pass.Reportf(e.Pos(), "sentinel error %s matched by switch case (an == comparison); use errors.Is", objName(obj))
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// sentinel reports whether e names a package-level error variable
+// following the Err*/err* sentinel convention, returning its object.
+func sentinel(pass *analysis.Pass, e ast.Expr) *types.Var {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil {
+		return nil
+	}
+	// Package level, not a field or local.
+	if v.IsField() || v.Parent() != v.Pkg().Scope() {
+		return nil
+	}
+	// The sentinel convention: Err or err followed by a capitalized word
+	// (ErrDeadlock, errClosed).  Requiring the fourth character to be
+	// non-lowercase keeps names like "errors" out.
+	name := v.Name()
+	if len(name) < 4 || (name[:3] != "Err" && name[:3] != "err") ||
+		(name[3] >= 'a' && name[3] <= 'z') {
+		return nil
+	}
+	if !types.Implements(v.Type(), errorType) {
+		return nil
+	}
+	return v
+}
+
+func objName(v *types.Var) string {
+	if v.Pkg() != nil {
+		return v.Pkg().Name() + "." + v.Name()
+	}
+	return v.Name()
+}

@@ -1,0 +1,12 @@
+package sentinelerr_test
+
+import (
+	"testing"
+
+	"github.com/reprolab/face/internal/analysis/analysistest"
+	"github.com/reprolab/face/internal/analysis/sentinelerr"
+)
+
+func TestSentinelErr(t *testing.T) {
+	analysistest.Run(t, "testdata/src", sentinelerr.Analyzer, "a", "allowpkg")
+}

@@ -1,0 +1,67 @@
+// Golden cases for the sentinelerr analyzer.
+package a
+
+import (
+	"b"
+	"errors"
+)
+
+// ErrDeadlock and errClosed follow the sentinel naming convention.
+var ErrDeadlock = errors.New("deadlock")
+
+var errClosed = errors.New("closed")
+
+// NotSentinel does not match the Err*/err* convention and is exempt.
+var NotSentinel = errors.New("not a conventional sentinel")
+
+// errs has a lowercase fourth character and is exempt, like "errors".
+var errs = errors.New("plural, not a sentinel")
+
+func compareEq(err error) bool {
+	return err == ErrDeadlock // want `sentinel error a\.ErrDeadlock compared with ==; use errors\.Is`
+}
+
+func compareNeq(err error) bool {
+	return err != errClosed // want `sentinel error a\.errClosed compared with !=; use errors\.Is`
+}
+
+func compareReversed(err error) bool {
+	return ErrDeadlock == err // want `sentinel error a\.ErrDeadlock compared with ==; use errors\.Is`
+}
+
+func compareImported(err error) bool {
+	return err == b.ErrGone // want `sentinel error b\.ErrGone compared with ==; use errors\.Is`
+}
+
+func switchMatch(err error) string {
+	switch err {
+	case ErrDeadlock: // want `sentinel error a\.ErrDeadlock matched by switch case`
+		return "deadlock"
+	case nil:
+		return "ok"
+	}
+	return "other"
+}
+
+// The fixed forms below produce no diagnostics.
+
+func viaErrorsIs(err error) bool {
+	return errors.Is(err, ErrDeadlock)
+}
+
+func nilCheck(err error) bool {
+	return err == nil
+}
+
+func unconventionalName(err error) bool {
+	return err == NotSentinel
+}
+
+func lowercaseFollowOn(err error) bool {
+	return err == errs
+}
+
+func localShadow() bool {
+	ErrDeadlock := "a local, not the sentinel"
+	return ErrDeadlock == "x"
+}

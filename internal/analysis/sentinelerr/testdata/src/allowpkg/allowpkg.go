@@ -1,0 +1,18 @@
+// Golden cases for the //lint:allow suppression path: both identity
+// comparisons below are intentional and carry a justification, so the
+// analyzer stays silent.
+package allowpkg
+
+import "errors"
+
+// ErrStop is returned verbatim by managed closures.
+var ErrStop = errors.New("stop")
+
+func identityOnPurpose(err error) bool {
+	//lint:allow facevet/sentinelerr the closure returns the exact sentinel by contract; a wrapped value means the abort failed
+	return err == ErrStop
+}
+
+func sameLineDirective(err error) bool {
+	return err == ErrStop //lint:allow facevet/sentinelerr identity is the contract here
+}

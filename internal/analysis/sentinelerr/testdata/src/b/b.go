@@ -1,0 +1,7 @@
+// Package b exports a sentinel for the cross-package comparison cases.
+package b
+
+import "errors"
+
+// ErrGone is a sentinel error.
+var ErrGone = errors.New("gone")

@@ -1,0 +1,13 @@
+// Package errors is a minimal stand-in for the standard library package,
+// just enough surface for the golden tests to typecheck hermetically.
+package errors
+
+type errorString struct{ s string }
+
+func (e *errorString) Error() string { return e.s }
+
+// New returns an error with the given text.
+func New(text string) error { return &errorString{text} }
+
+// Is reports whether err matches target.
+func Is(err, target error) bool { return err == target }

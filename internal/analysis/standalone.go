@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// Standalone mode: `facevet ./...` without go vet.
+//
+// The tool shells out to `go list -export -json -deps`, which compiles
+// the requested packages and reports, for every package in the
+// dependency graph, the export-data file the compiler wrote into the
+// build cache.  Packages named by the patterns (DepOnly false) are then
+// typechecked from source against those export files — the same
+// arrangement go vet sets up through vet.cfg, assembled here by hand.
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	ImportMap  map[string]string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// runStandalone analyzes the packages matching the patterns (default
+// ./...) and returns the process exit code.
+func runStandalone(analyzers []*Analyzer, patterns []string) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := goList(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	// Export-data index over the whole dependency graph.
+	exports := make(map[string]string, len(pkgs))
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+
+	exit := 0
+	for _, p := range pkgs {
+		if p.DepOnly {
+			continue
+		}
+		if p.Error != nil {
+			fmt.Fprintf(os.Stderr, "%s: %s\n", p.ImportPath, p.Error.Err)
+			exit = 1
+			continue
+		}
+		fset := token.NewFileSet()
+		var names []string
+		for _, f := range p.GoFiles {
+			names = append(names, filepath.Join(p.Dir, f))
+		}
+		files, err := parseFiles(fset, names)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			exit = 1
+			continue
+		}
+		lookup := func(path string) (io.ReadCloser, error) {
+			if canonical, ok := p.ImportMap[path]; ok {
+				path = canonical
+			}
+			file, ok := exports[path]
+			if !ok {
+				return nil, fmt.Errorf("no export data for %q", path)
+			}
+			return os.Open(file)
+		}
+		diags, err := typecheckAndRun(fset, files, p.ImportPath, "",
+			importer.ForCompiler(fset, "gc", lookup), analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			exit = 1
+			continue
+		}
+		if code := report(fset, diags); code > exit {
+			exit = code
+		}
+	}
+	return exit
+}
+
+// goList runs `go list -export -json -deps` over the patterns and
+// decodes the package stream.
+func goList(patterns []string) ([]*listPackage, error) {
+	args := append([]string{"list", "-export", "-json", "-deps"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	var pkgs []*listPackage
+	dec := json.NewDecoder(out)
+	for {
+		p := new(listPackage)
+		if err := dec.Decode(p); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			cmd.Wait()
+			return nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("go list: %w", err)
+	}
+	return pkgs, nil
+}

@@ -2,6 +2,7 @@ package device
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 	"testing/quick"
 	"time"
@@ -131,10 +132,10 @@ func TestOutOfRangeAndShortBuffer(t *testing.T) {
 	if err := d.WriteAt(-1, buf); err == nil {
 		t.Fatal("expected out-of-range write error")
 	}
-	if err := d.ReadAt(0, make([]byte, 10)); err != ErrShortBuffer {
+	if err := d.ReadAt(0, make([]byte, 10)); !errors.Is(err, ErrShortBuffer) {
 		t.Fatalf("got %v, want ErrShortBuffer", err)
 	}
-	if err := d.WriteAt(0, make([]byte, 10)); err != ErrShortBuffer {
+	if err := d.WriteAt(0, make([]byte, 10)); !errors.Is(err, ErrShortBuffer) {
 		t.Fatalf("got %v, want ErrShortBuffer", err)
 	}
 	if err := d.WriteRun(0, [][]byte{make([]byte, 1)}); err == nil {

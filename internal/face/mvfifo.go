@@ -526,6 +526,7 @@ func (m *MVFIFO) StageBatch(in []StageItem) error {
 		})
 	}
 	m.mu.Unlock()
+	//lint:allow facevet/nolockio wrMu is the single-writer serialization lock and is held across destage by design; the shared-state lock m.mu is released first
 	return m.enqueue(items)
 }
 

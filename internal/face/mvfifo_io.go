@@ -401,6 +401,7 @@ func (m *MVFIFO) Checkpoint() error {
 	m.mu.Lock()
 	seq, front := m.seq, m.front
 	m.mu.Unlock()
+	//lint:allow facevet/nolockio checkpoint fence: wrMu excludes writers so the metadata flush sees a stable queue; m.mu is released first
 	flushes, err := m.metadir.flush(seq, m.clampFront(front))
 	if flushes > 0 {
 		m.mu.Lock()
@@ -421,6 +422,7 @@ func (m *MVFIFO) Recover() error {
 	defer m.wrMu.Unlock()
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	//lint:allow facevet/nolockio recovery runs before the cache is shared (see doc comment); holding both locks for its duration is the point
 	front, persisted, entries, err := m.metadir.load()
 	if err != nil {
 		return err
@@ -493,6 +495,7 @@ func (m *MVFIFO) Recover() error {
 	buf := page.NewBuf()
 	for pos := persisted; pos < limit; pos++ {
 		slot := pos % capacity
+		//lint:allow facevet/nolockio recovery scan: runs before the cache is shared, single-threaded by construction
 		if err := m.cfg.Dev.ReadAt(m.layout.frameBlock(slot), buf); err != nil {
 			return fmt.Errorf("face: recovery scan at frame %d: %w", slot, err)
 		}
@@ -565,6 +568,7 @@ func (m *MVFIFO) FlushAll() error {
 	for _, t := range targets {
 		slot := t.pos % capacity
 		buf := page.NewBuf()
+		//lint:allow facevet/nolockio FlushAll is a shutdown/benchmark fence: wrMu excludes writers for its duration on purpose; m.mu is only taken for stats
 		if err := m.cfg.Dev.ReadAt(m.layout.frameBlock(slot), buf); err != nil {
 			return fmt.Errorf("face: flush read frame %d: %w", slot, err)
 		}

@@ -10,6 +10,44 @@ import (
 	"github.com/reprolab/face/internal/engine"
 )
 
+// TestClassifySlotErr pins the outcome classification runSlot's
+// accounting branches on.  The load-bearing rows are the wrapped forms:
+// the scheduler and engine annotate ErrDeadlock with %w on several
+// paths, so matching by identity instead of errors.Is would silently
+// turn retried deadlock victims into fatal errors — and a rollback whose
+// abort lost a deadlock (errors.Join of both sentinels) must count as an
+// aborted attempt, never as a clean rollback.
+func TestClassifySlotErr(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want slotOutcome
+	}{
+		{"nil commits", nil, slotCommitted},
+		{"bare deadlock", engine.ErrDeadlock, slotDeadlock},
+		{"wrapped deadlock still retries", &wrapErr{msg: "engine: lock 12: victim", err: engine.ErrDeadlock}, slotDeadlock},
+		{"deadlock joined onto rollback is an abort", errors.Join(ErrRollback, engine.ErrDeadlock), slotDeadlock},
+		{"bare rollback is clean", ErrRollback, slotRollback},
+		{"wrapped rollback means the abort failed", &wrapErr{msg: "abort failed", err: ErrRollback}, slotBrokenRollback},
+		{"anything else is fatal", errors.New("unexpected"), slotFatal},
+	}
+	for _, tc := range cases {
+		if got := classifySlotErr(tc.err); got != tc.want {
+			t.Errorf("%s: classifySlotErr(%v) = %d, want %d", tc.name, tc.err, got, tc.want)
+		}
+	}
+}
+
+// wrapErr is a minimal %w-style wrapper.
+type wrapErr struct {
+	msg string
+	err error
+}
+
+func (e *wrapErr) Error() string { return e.msg + ": " + e.err.Error() }
+
+func (e *wrapErr) Unwrap() error { return e.err }
+
 // TestRunTerminalsForcedDeadlockAccounting is the deadlock-retry
 // accounting regression test: every schedule slot must land in the
 // counters exactly once — Committed[kind] or RolledBack — no matter how

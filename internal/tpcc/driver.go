@@ -335,18 +335,14 @@ func (dr *Driver) runSlot(ctx context.Context, kind Kind, seed int64) error {
 		} else {
 			err = dr.eng.Update(ctx, body)
 		}
-		switch {
-		case err == nil:
+		switch classifySlotErr(err) {
+		case slotCommitted:
 			dr.lat[kind].Observe(time.Since(start))
 			dr.mu.Lock()
 			dr.counts.Committed[kind]++
 			dr.mu.Unlock()
 			return nil
-		case errors.Is(err, engine.ErrDeadlock):
-			// Checked before ErrRollback: an error carrying both (a
-			// rollback whose abort lost a deadlock) is an aborted attempt,
-			// not a completed one, and must be retried — counting it as a
-			// rollback would both miscount and silently drop the retry.
+		case slotDeadlock:
 			if attempt >= maxDeadlockRetries {
 				return fmt.Errorf("tpcc: %s deadlocked %d times: %w", kind, attempt, err)
 			}
@@ -364,21 +360,55 @@ func (dr *Driver) runSlot(ctx context.Context, kind Kind, seed int64) error {
 			case <-ctx.Done():
 				return ctx.Err()
 			}
-		case errors.Is(err, ErrRollback):
-			// Expected New-Order rollback, already rolled back by Update.
-			// The scheduler returns the closure's ErrRollback verbatim only
-			// when the rollback itself succeeded; anything joined onto it
-			// means the abort failed, and counting that as a clean rollback
-			// would swallow a broken engine state.
-			if err != ErrRollback {
-				return fmt.Errorf("tpcc: %s rollback did not complete cleanly: %w", kind, err)
-			}
+		case slotRollback:
 			dr.mu.Lock()
 			dr.counts.RolledBack++
 			dr.mu.Unlock()
 			return nil
+		case slotBrokenRollback:
+			return fmt.Errorf("tpcc: %s rollback did not complete cleanly: %w", kind, err)
 		default:
 			return fmt.Errorf("tpcc: %s: %w", kind, err)
 		}
+	}
+}
+
+// slotOutcome is how one transaction attempt affects the accounting.
+type slotOutcome int
+
+const (
+	slotCommitted      slotOutcome = iota // record Committed[kind]
+	slotDeadlock                          // aborted as a victim: retry, tick DeadlockRetries
+	slotRollback                          // clean expected New-Order rollback: record RolledBack
+	slotBrokenRollback                    // ErrRollback with a failed abort joined on: fatal
+	slotFatal                             // anything else ends the run
+)
+
+// classifySlotErr maps the error returned by one View/Update attempt to
+// its accounting outcome.  Sentinels are matched with errors.Is, so a
+// wrapped or joined ErrDeadlock still triggers retry accounting.
+func classifySlotErr(err error) slotOutcome {
+	switch {
+	case err == nil:
+		return slotCommitted
+	case errors.Is(err, engine.ErrDeadlock):
+		// Checked before ErrRollback: an error carrying both (a
+		// rollback whose abort lost a deadlock) is an aborted attempt,
+		// not a completed one, and must be retried — counting it as a
+		// rollback would both miscount and silently drop the retry.
+		return slotDeadlock
+	case errors.Is(err, ErrRollback):
+		// Expected New-Order rollback, already rolled back by Update.
+		// The scheduler returns the closure's ErrRollback verbatim only
+		// when the rollback itself succeeded; anything joined onto it
+		// means the abort failed, and counting that as a clean rollback
+		// would swallow a broken engine state.
+		//lint:allow facevet/sentinelerr identity on purpose: a wrapped ErrRollback means the abort itself failed (see comment above)
+		if err != ErrRollback {
+			return slotBrokenRollback
+		}
+		return slotRollback
+	default:
+		return slotFatal
 	}
 }

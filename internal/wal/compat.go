@@ -95,6 +95,7 @@ func (m *Manager) forceLocked(lsn page.LSN) error {
 			}
 			timer.Stop()
 			m.mu.Lock()
+			//lint:allow facevet/nolockio compat-mode group commit: the elected leader writes the batched tail under the append mutex by documented design
 			err := m.writeTailLocked()
 			m.batch = nil
 			if b.requests > 1 {
