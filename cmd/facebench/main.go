@@ -22,6 +22,8 @@
 //	          pipeline at 1/2/4/8 terminals (force coalescing)
 //	obs       observability layer cost: commit-path phase tracing and
 //	          histograms on vs off (wall-clock overhead, phase p99s)
+//	trace     request-scoped span tracer cost: tracing on vs off vs
+//	          observability off (wall-clock overhead, journal activity)
 //	ablations design-choice ablations (sync policy, async I/O, group size,
 //	          segment size, lock manager)
 //	policies  list the registered cache policies
@@ -45,7 +47,7 @@
 //	facebench -quick -dir $(mktemp -d) shards
 //
 // With -json the results are emitted as one machine-readable JSON document
-// (schema bench.ReportSchema, currently "facebench/v7") instead of text
+// (schema bench.ReportSchema, currently "facebench/v8") instead of text
 // tables, so a perf trajectory can be tracked across commits, e.g.:
 //
 //	facebench -quick -json ablations > BENCH_ablations.json
@@ -85,7 +87,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		nofsync    = fs.Bool("nofsync", false, "disable the fsync durability barrier of the file backend (-dir)")
 	)
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: facebench [flags] <table1|table3|table4|fig4|table5|fig5|table6|fig6|lockmgr|shards|wal|obs|ablations|policies|all>\n")
+		fmt.Fprintf(stderr, "usage: facebench [flags] <table1|table3|table4|fig4|table5|fig5|table6|fig6|lockmgr|shards|wal|obs|trace|ablations|policies|all>\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -173,7 +175,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	experiments := []string{what}
 	if what == "all" {
-		experiments = []string{"table1", "table3", "table4", "fig4", "table5", "fig5", "table6", "fig6", "lockmgr", "shards", "wal", "obs", "ablations"}
+		experiments = []string{"table1", "table3", "table4", "fig4", "table5", "fig5", "table6", "fig6", "lockmgr", "shards", "wal", "obs", "trace", "ablations"}
 	}
 	for _, exp := range experiments {
 		if err := runExperiment(golden, exp, stdout, report); err != nil {
@@ -302,6 +304,19 @@ func runExperiment(g *bench.Golden, what string, out io.Writer, report *bench.Re
 			return err
 		}
 		record("ablation_observability", rows, func() string { return bench.FormatObsAblation(rows) })
+	case "trace":
+		// -terminals M compares {1, M} terminals; without it the ablation
+		// uses its default {1, 4}.  Each count runs with the span tracer
+		// on, the tracer off, and the whole observability layer off.
+		var terminalCounts []int
+		if n := g.Options().Terminals; n > 1 {
+			terminalCounts = []int{1, n}
+		}
+		rows, err := g.AblationTracing(terminalCounts)
+		if err != nil {
+			return err
+		}
+		record("ablation_tracing", rows, func() string { return bench.FormatTraceAblation(rows) })
 	case "ablations":
 		sync, err := g.AblationSyncPolicy(0)
 		if err != nil {

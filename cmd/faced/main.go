@@ -21,12 +21,23 @@
 //	/metrics       Prometheus text exposition: per-op server latency
 //	               histograms, commit-path phase histograms, per-layer
 //	               counters, admission and drain-gate gauges
+//	/debug/traces  the span journal as JSON: pinned anomaly traces (slow
+//	               transactions, deadlock victims with their wait-for
+//	               cycles, admission sheds, WAL sync stalls), a sample of
+//	               normal traces, flight-recorder lifecycle events, and
+//	               the histogram exemplars linking latency buckets back
+//	               to trace IDs
 //	/debug/vars    the same registry as expvar JSON
 //	/debug/pprof/  net/http/pprof profiles of the live process
 //
 // -stats-interval logs a one-line throughput/latency digest periodically,
 // and -slow-tx logs a per-phase breakdown of every write transaction
-// slower than the threshold.
+// slower than the threshold (the same threshold pins those transactions'
+// traces in the journal).
+//
+// SIGQUIT dumps the flight recorder — the journal and lifecycle events as
+// one JSON log line — without stopping the server; a burst of pinned
+// anomalies (deadlocks or sheds) triggers the same dump automatically.
 //
 // SIGINT or SIGTERM drains gracefully: listeners close, in-flight
 // requests and open batches get up to -drain to finish (stragglers are
@@ -36,6 +47,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"expvar"
 	"flag"
@@ -54,6 +66,7 @@ import (
 	"github.com/reprolab/face"
 	"github.com/reprolab/face/internal/obs"
 	"github.com/reprolab/face/internal/server"
+	"github.com/reprolab/face/internal/server/wire"
 )
 
 func main() {
@@ -125,7 +138,7 @@ func run(args []string, stderr io.Writer) int {
 		logger.Printf("opened %s in %v", *dir, time.Since(start).Round(time.Millisecond))
 	}
 
-	cfg := server.Config{Writers: *writers, Queue: *queue, RequestTimeout: *timeout, Obs: reg}
+	cfg := server.Config{Writers: *writers, Queue: *queue, RequestTimeout: *timeout, Obs: reg, Tracer: db.Tracer()}
 	if *verbose {
 		cfg.Logf = logger.Printf
 	}
@@ -153,7 +166,7 @@ func run(args []string, stderr io.Writer) int {
 			db.Close()
 			return 1
 		}
-		metricsSrv = &http.Server{Handler: metricsMux(reg)}
+		metricsSrv = &http.Server{Handler: metricsMux(reg, db.Tracer())}
 		go func() {
 			if err := metricsSrv.Serve(mln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				logger.Printf("metrics serve: %v", err)
@@ -169,6 +182,23 @@ func run(args []string, stderr io.Writer) int {
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
+
+	// Flight recorder: SIGQUIT dumps the journal on demand, and the
+	// tracer's burst detector dumps it on its own when pinned anomalies
+	// (deadlocks, sheds) cluster in a window.
+	quit := make(chan os.Signal, 1)
+	signal.Notify(quit, syscall.SIGQUIT)
+	defer signal.Stop(quit)
+	go func() {
+		for range quit {
+			dumpFlightRecorder(logger, "SIGQUIT", reg, db.Tracer())
+		}
+	}()
+	if tr := db.Tracer(); tr != nil {
+		tr.OnBurst(func(n int64) {
+			dumpFlightRecorder(logger, fmt.Sprintf("anomaly burst: %d pinned traces in window", n), reg, db.Tracer())
+		})
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -202,9 +232,10 @@ func run(args []string, stderr io.Writer) int {
 }
 
 // metricsMux builds the observability endpoint: Prometheus text at
-// /metrics, the same registry as expvar JSON at /debug/vars, and the
-// stdlib pprof handlers at /debug/pprof/.
-func metricsMux(reg *face.MetricsRegistry) *http.ServeMux {
+// /metrics, the span journal at /debug/traces, the same registry as
+// expvar JSON at /debug/vars, and the stdlib pprof handlers at
+// /debug/pprof/.
+func metricsMux(reg *face.MetricsRegistry, tracer *face.Tracer) *http.ServeMux {
 	// Publish once per process: a second run of run() (tests) must not
 	// hit expvar's duplicate-name panic.
 	if expvar.Get("face") == nil {
@@ -215,6 +246,12 @@ func metricsMux(reg *face.MetricsRegistry) *http.ServeMux {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		reg.WritePrometheus(w)
 	})
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(tracesDoc(reg, tracer))
+	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -222,6 +259,41 @@ func metricsMux(reg *face.MetricsRegistry) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// tracesPayload is the /debug/traces document: the journal dump plus the
+// histogram exemplars linking latency buckets back to trace IDs.
+type tracesPayload struct {
+	face.TraceDump
+	Exemplars map[string][]obs.Exemplar `json:"exemplars,omitempty"`
+}
+
+// tracesDoc snapshots the journal and the exemplar-carrying histograms
+// (the engine's total-latency histogram and the per-op server ones).  A
+// nil tracer yields a well-formed empty document.
+func tracesDoc(reg *face.MetricsRegistry, tracer *face.Tracer) tracesPayload {
+	doc := tracesPayload{TraceDump: tracer.Dump(), Exemplars: map[string][]obs.Exemplar{}}
+	names := []string{"face_tx_total_seconds"}
+	for op := byte(wire.OpPing); op <= wire.OpAbort; op++ {
+		names = append(names, `face_server_op_seconds{op="`+strings.ToLower(wire.OpName(op))+`"}`)
+	}
+	for _, name := range names {
+		if ex := reg.Histogram(name).Snapshot().ExemplarList(); len(ex) > 0 {
+			doc.Exemplars[name] = ex
+		}
+	}
+	return doc
+}
+
+// dumpFlightRecorder logs the whole journal as one JSON line — the
+// anomaly post-mortem a crashing or misbehaving deployment leaves behind.
+func dumpFlightRecorder(logger *log.Logger, why string, reg *face.MetricsRegistry, tracer *face.Tracer) {
+	data, err := json.Marshal(tracesDoc(reg, tracer))
+	if err != nil {
+		logger.Printf("flight recorder (%s): marshal: %v", why, err)
+		return
+	}
+	logger.Printf("flight recorder (%s): %s", why, data)
 }
 
 // statsLoop logs a one-line digest every interval: request deltas plus

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/reprolab/face/internal/obs"
+	"github.com/reprolab/face/internal/obs/trace"
 )
 
 // TestMetricsEndpoint checks the observability mux faced mounts on
@@ -20,7 +21,7 @@ func TestMetricsEndpoint(t *testing.T) {
 	reg.Histogram(`face_server_op_seconds{op="get"}`).Observe(3 * time.Millisecond)
 	reg.Counter("face_server_requests_total").Add(1)
 
-	ts := httptest.NewServer(metricsMux(reg))
+	ts := httptest.NewServer(metricsMux(reg, nil))
 	defer ts.Close()
 
 	get := func(path string) (string, *http.Response) {
@@ -66,5 +67,80 @@ func TestMetricsEndpoint(t *testing.T) {
 	body, _ = get("/debug/pprof/")
 	if !strings.Contains(body, "goroutine") {
 		t.Errorf("/debug/pprof/ index missing profiles:\n%s", body)
+	}
+
+	// Without a tracer /debug/traces still serves a well-formed empty
+	// document.
+	body, resp = get("/debug/traces")
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("/debug/traces Content-Type = %q, want application/json", ct)
+	}
+	var empty map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(body), &empty); err != nil {
+		t.Fatalf("/debug/traces is not JSON: %v\n%s", err, body)
+	}
+	for _, key := range []string{"stats", "pinned", "sampled", "events"} {
+		if _, ok := empty[key]; !ok {
+			t.Errorf("/debug/traces missing %q:\n%s", key, body)
+		}
+	}
+}
+
+// TestTracesEndpoint checks /debug/traces with a live tracer: a pinned
+// slow trace shows up with its spans, and the histogram exemplar points
+// at its ID.
+func TestTracesEndpoint(t *testing.T) {
+	reg := obs.NewRegistry()
+	tracer := trace.New(trace.Config{SlowTx: time.Nanosecond})
+
+	tr := tracer.Start(0, "set")
+	tr.Span("wal_append", time.Now(), time.Millisecond, 42, "")
+	tracer.Finish(tr)
+	tracer.Event("open: complete")
+	reg.Histogram(`face_server_op_seconds{op="set"}`).ObserveExemplar(3*time.Millisecond, uint64(tr.ID()))
+
+	ts := httptest.NewServer(metricsMux(reg, tracer))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Pinned []struct {
+			ID    string `json:"id"`
+			Kind  string `json:"kind"`
+			Pins  []struct{ Kind string }
+			Spans []struct {
+				Name string `json:"name"`
+				Page uint64 `json:"page,omitempty"`
+			} `json:"spans"`
+		} `json:"pinned"`
+		Events []struct {
+			Msg string `json:"msg"`
+		} `json:"events"`
+		Exemplars map[string][]struct {
+			TraceID string `json:"trace_id"`
+		} `json:"exemplars"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("/debug/traces: %v\n%s", err, body)
+	}
+	if len(doc.Pinned) != 1 || doc.Pinned[0].Kind != "set" {
+		t.Fatalf("pinned = %+v, want one set trace", doc.Pinned)
+	}
+	if len(doc.Pinned[0].Spans) != 1 || doc.Pinned[0].Spans[0].Name != "wal_append" || doc.Pinned[0].Spans[0].Page != 42 {
+		t.Fatalf("spans = %+v", doc.Pinned[0].Spans)
+	}
+	if len(doc.Events) != 1 || doc.Events[0].Msg != "open: complete" {
+		t.Fatalf("events = %+v", doc.Events)
+	}
+	ex := doc.Exemplars[`face_server_op_seconds{op="set"}`]
+	if len(ex) != 1 || ex[0].TraceID != doc.Pinned[0].ID {
+		t.Fatalf("exemplars = %+v, want the pinned trace's ID %s", ex, doc.Pinned[0].ID)
 	}
 }

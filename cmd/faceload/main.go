@@ -22,9 +22,14 @@
 //
 // With -metrics pointing at faced's -metrics-addr, the generator scrapes
 // the server's /metrics endpoint when the run ends and folds the
-// server-side GET/SET latency quantiles and the admission shed count
-// into the report, making the client-vs-server latency gap (queueing)
-// visible alongside the open-loop client percentiles.
+// server-side GET/SET latency quantiles, the admission shed count, and
+// the pinned anomaly-trace count into the report, making the
+// client-vs-server latency gap (queueing) visible alongside the
+// open-loop client percentiles.
+//
+// By default every request carries a client-minted trace ID (-trace),
+// so anomaly traces pinned in the server's span journal — retrievable
+// from faced's /debug/traces endpoint — correlate with this run.
 package main
 
 import (
@@ -79,12 +84,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		jsonOut  = fs.Bool("json", false, "emit a facebench JSON report instead of text")
 		label    = fs.String("label", "", "label for the result (default: derived from the workload)")
 		metrics  = fs.String("metrics", "", "faced /metrics URL to scrape at run end (folds server-side p99 + shed into the report)")
+		traced   = fs.Bool("trace", true, "attach a trace ID to every request so server-side anomaly traces correlate with this run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
-	c, err := client.Dial(*addr, client.Options{Conns: *conns, RequestTimeout: *timeout})
+	c, err := client.Dial(*addr, client.Options{Conns: *conns, RequestTimeout: *timeout, Trace: *traced})
 	if err != nil {
 		fmt.Fprintf(stderr, "faceload: %v\n", err)
 		return 1

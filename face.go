@@ -95,8 +95,10 @@ import (
 	"github.com/reprolab/face/internal/device"
 	"github.com/reprolab/face/internal/engine"
 	intface "github.com/reprolab/face/internal/face"
+	"github.com/reprolab/face/internal/lock"
 	"github.com/reprolab/face/internal/metrics"
 	"github.com/reprolab/face/internal/obs"
+	"github.com/reprolab/face/internal/obs/trace"
 	"github.com/reprolab/face/internal/page"
 )
 
@@ -169,6 +171,27 @@ type (
 	TxPhases = obs.TxPhases
 	// TxPhaseSummaries is the condensed, JSON-friendly form of TxPhases.
 	TxPhaseSummaries = obs.TxPhaseSummaries
+
+	// Tracer owns the request-scoped span journal and flight recorder
+	// behind DB.Tracer (nil with WithTracing(false) or
+	// WithObservability(false)); its Dump method is what faced serves at
+	// /debug/traces.
+	Tracer = trace.Tracer
+	// Trace is one request-scoped span trace; servers start one per
+	// request and the engine attaches its commit-path phases as spans.
+	Trace = trace.Trace
+	// TraceID identifies a trace; it is the value histogram exemplars
+	// carry and the wire protocol propagates.
+	TraceID = trace.ID
+	// TraceDump is the JSON-friendly journal snapshot returned by
+	// Tracer.Dump: retention stats, pinned and sampled traces, and the
+	// flight recorder's lifecycle events.
+	TraceDump = trace.Dump
+	// DeadlockError is the structured form of ErrDeadlock under
+	// WithLockManager: the victim, the wait-for cycle it would have
+	// closed, and the pages it held.  Match with errors.As; errors.Is
+	// against ErrDeadlock keeps working.
+	DeadlockError = lock.DeadlockError
 
 	// BenchOptions scales the paper-reproduction experiments.
 	BenchOptions = bench.Options

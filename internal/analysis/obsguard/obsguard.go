@@ -7,9 +7,13 @@
 // timing call sits behind a nil guard — either lexically inside an
 // `if x != nil { ... }` block, or in a function that returns early on
 // `x == nil` before any clock is read.  The analyzer enforces exactly
-// that shape for clock reads (time.Now, time.Since) and histogram
-// recording calls (methods of internal/obs types) in the hot-path
-// packages internal/engine and internal/server.
+// that shape for clock reads (time.Now, time.Since), histogram
+// recording calls (methods of internal/obs types), and span-tracer
+// recording calls (methods of internal/obs/trace types: Start, Finish,
+// Span, Pin, Event) in the hot-path packages internal/engine and
+// internal/server.  Trace methods are nil-receiver no-ops, but an
+// unguarded call site still evaluates its arguments — typically a
+// time.Since — so the guard requirement applies to them all the same.
 //
 // The guard detection is lexical, not dataflow: any enclosing if whose
 // condition contains a `!= nil` comparison counts, as does any earlier
@@ -101,8 +105,17 @@ func timedCall(pass *analysis.Pass, call *ast.CallExpr) string {
 		// Recording methods mutate a metric; read-only snapshots are
 		// scrape-path and exempt.
 		switch fn.Name() {
-		case "Observe", "Add", "Set", "Inc":
+		case "Observe", "ObserveExemplar", "Add", "Set", "Inc":
 			return "histogram/metric recording (" + fn.Pkg().Name() + "." + recvTypeName(fn) + "." + fn.Name() + ")"
+		}
+	case isTracePath(pkg) && fn.Type().(*types.Signature).Recv() != nil:
+		// Span-tracer recording methods are nil-receiver no-ops, but an
+		// unguarded call site still evaluates its arguments (typically a
+		// time.Since); read-only journal accessors are scrape-path and
+		// exempt.
+		switch fn.Name() {
+		case "Start", "Finish", "Span", "Pin", "Event":
+			return "span tracer recording (" + fn.Pkg().Name() + "." + recvTypeName(fn) + "." + fn.Name() + ")"
 		}
 	}
 	return ""
@@ -110,6 +123,10 @@ func timedCall(pass *analysis.Pass, call *ast.CallExpr) string {
 
 func isObsPath(path string) bool {
 	return path == "internal/obs" || strings.HasSuffix(path, "/internal/obs")
+}
+
+func isTracePath(path string) bool {
+	return path == "internal/obs/trace" || strings.HasSuffix(path, "/internal/obs/trace")
 }
 
 func recvTypeName(fn *types.Func) string {

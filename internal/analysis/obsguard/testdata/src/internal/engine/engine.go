@@ -5,13 +5,16 @@ package engine
 
 import (
 	"internal/obs"
+	"internal/obs/trace"
 	"time"
 )
 
 // DB carries optional observability state; nil means disabled.
 type DB struct {
-	hist *obs.Histogram
-	ops  *obs.Counter
+	hist   *obs.Histogram
+	ops    *obs.Counter
+	tracer *trace.Tracer
+	tr     *trace.Trace
 }
 
 func (db *DB) unguarded() {
@@ -26,6 +29,18 @@ func (db *DB) sinceUnguarded(t0 time.Time) {
 
 func (db *DB) countUnguarded() {
 	db.ops.Add(1) // want `histogram/metric recording \(obs\.Counter\.Add\) on a hot path`
+}
+
+func (db *DB) exemplarUnguarded() {
+	db.hist.ObserveExemplar(1, 7) // want `histogram/metric recording \(obs\.Histogram\.ObserveExemplar\) on a hot path`
+}
+
+func (db *DB) traceUnguarded() {
+	db.tr = db.tracer.Start(1, "set")      // want `span tracer recording \(trace\.Tracer\.Start\) on a hot path`
+	db.tr.Span("wal_append", 0, 1, 42, "") // want `span tracer recording \(trace\.Trace\.Span\) on a hot path`
+	db.tr.Pin("slow_tx", "")               // want `span tracer recording \(trace\.Trace\.Pin\) on a hot path`
+	db.tracer.Finish(db.tr)                // want `span tracer recording \(trace\.Tracer\.Finish\) on a hot path`
+	db.tracer.Event("open: complete")      // want `span tracer recording \(trace\.Tracer\.Event\) on a hot path`
 }
 
 // The guarded forms below produce no diagnostics.
@@ -55,6 +70,27 @@ func (db *DB) earlyReturn() {
 
 func (db *DB) scrape() []uint64 {
 	return db.hist.Snapshot() // read-only accessor, exempt
+}
+
+func (db *DB) traceGuardedBlock() {
+	if db.tracer != nil {
+		db.tr = db.tracer.Start(1, "set")
+		t0 := time.Now()
+		db.tr.Span("buffer", 0, int64(time.Since(t0)), 9, "")
+	}
+}
+
+func (db *DB) traceEarlyReturn() {
+	if db.tr == nil {
+		return
+	}
+	db.tr.Pin("deadlock", "cycle")
+	db.tracer.Finish(db.tr)
+}
+
+func (db *DB) traceScrape() (uint64, int64) {
+	// Read-only accessors are scrape-path and exempt.
+	return db.tr.ID(), db.tracer.Stats()
 }
 
 func (db *DB) coldStart() {

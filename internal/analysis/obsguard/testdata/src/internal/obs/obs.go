@@ -8,6 +8,9 @@ type Histogram struct{}
 // Observe records one sample.
 func (h *Histogram) Observe(d int64) {}
 
+// ObserveExemplar records one sample and remembers the trace ID.
+func (h *Histogram) ObserveExemplar(d int64, traceID uint64) {}
+
 // Snapshot is a read-only scrape-path accessor, exempt from the rule.
 func (h *Histogram) Snapshot() []uint64 { return nil }
 

@@ -1,0 +1,30 @@
+// Package trace is a minimal stand-in for the repository's span-tracer
+// package; the analyzer keys on the package path and method names.
+package trace
+
+// A Tracer mints and journals traces.
+type Tracer struct{}
+
+// Start begins a trace (recording).
+func (t *Tracer) Start(id uint64, kind string) *Trace { return nil }
+
+// Finish completes a trace and applies retention (recording).
+func (t *Tracer) Finish(tr *Trace) {}
+
+// Event records a flight-recorder entry (recording).
+func (t *Tracer) Event(msg string) {}
+
+// Stats is a read-only journal accessor, exempt from the rule.
+func (t *Tracer) Stats() int64 { return 0 }
+
+// A Trace accumulates spans for one request.
+type Trace struct{}
+
+// Span records one phase span (recording).
+func (tr *Trace) Span(name string, t0, d int64, page uint64, note string) {}
+
+// Pin marks the trace for retention (recording).
+func (tr *Trace) Pin(kind, detail string) {}
+
+// ID is a read-only accessor, exempt from the rule.
+func (tr *Trace) ID() uint64 { return 0 }

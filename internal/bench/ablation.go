@@ -216,6 +216,56 @@ func (g *Golden) AblationObservability(terminalCounts []int) ([]Result, error) {
 	return out, nil
 }
 
+// AblationTracing prices the request-scoped span tracer on top of the
+// observability layer: identical log-bound configurations run with the
+// full layer (span tracer + phase histograms, the default), with the
+// tracer compiled down to nil checks (DisableTracing), and with the
+// whole observability layer off — three rows that separate what tracing
+// adds over histograms from what observability costs at all.
+//
+// The configuration and warm-up mirror AblationObservability: log-bound
+// (whole database in DRAM, no flash cache) so the per-transaction
+// commit path — where every span is recorded — dominates, and the
+// wall-clock throughput (TpmCWall) is the column the rows are compared
+// on.  The acceptance bar is the tracer costing no more than ~2% over
+// the trace-off row, and exactly nothing when observability is off.
+func (g *Golden) AblationTracing(terminalCounts []int) ([]Result, error) {
+	if len(terminalCounts) == 0 {
+		terminalCounts = []int{1, 4}
+	}
+	bufPages := int(g.dbPages) + 64
+	warmup := g.opts.WarmupTx + 3*g.opts.MeasureTx
+	modes := []struct {
+		disableObs   bool
+		disableTrace bool
+		name         string
+	}{
+		{false, false, "trace on"},
+		{false, true, "trace off"},
+		{true, false, "obs off"},
+	}
+	var out []Result
+	for _, mode := range modes {
+		for _, n := range terminalCounts {
+			res, err := g.Run(RunSpec{
+				Policy:         engine.PolicyNone,
+				BufferPages:    bufPages,
+				PageLocks:      true,
+				Terminals:      n,
+				DisableObs:     mode.disableObs,
+				DisableTracing: mode.disableTrace,
+				WarmupTx:       warmup,
+				Label:          fmt.Sprintf("%s x%d", mode.name, n),
+			})
+			if err != nil {
+				return out, err
+			}
+			out = append(out, res)
+		}
+	}
+	return out, nil
+}
+
 // AblationShards measures the DRAM/flash hot-path sharding: the striped
 // buffer pool and cache directory against the historical single-mutex
 // structures, at increasing terminal counts.

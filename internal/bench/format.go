@@ -421,6 +421,35 @@ func FormatObsAblation(rows []Result) string {
 		"(simulated tpmC is observability-independent by design; compare the wall-clock columns)\n"
 }
 
+// FormatTraceAblation renders the span-tracer-cost ablation: identical
+// configurations with the tracer on, the tracer off (histograms still
+// on), and the whole observability layer off.  The simulated tpmC is
+// tracing-independent by construction, so the rows are compared on the
+// wall-clock throughput; the journal columns show what the enabled rows
+// bought — how many traces were started and how many anomalies the
+// tail-sampling retention pinned.
+func FormatTraceAblation(rows []Result) string {
+	headers := []string{"Config", "terminals", "tpmC", "tpmC (wall)", "wall clock",
+		"tx p50", "tx p99", "traces", "pinned", "sampled"}
+	var out [][]string
+	for _, r := range rows {
+		started, pinned, sampled := "-", "-", "-"
+		if !r.DisableObs && !r.DisableTracing {
+			started = fmt.Sprintf("%d", r.Traces.Started)
+			pinned = fmt.Sprintf("%d", r.Traces.Pinned)
+			sampled = fmt.Sprintf("%d", r.Traces.Sampled)
+		}
+		out = append(out, []string{
+			r.Label, fmt.Sprintf("%d", r.Terminals), fnum(r.TpmC), fnum(r.TpmCWall),
+			fdur(r.WallClock), flat(r.TxLatency.P50), flat(r.TxLatency.P99),
+			started, pinned, sampled,
+		})
+	}
+	return "Ablation: span tracer cost (request-scoped tracing on vs off vs observability off)\n" +
+		formatTable(headers, out) +
+		"(simulated tpmC is tracing-independent by design; compare the wall-clock columns)\n"
+}
+
 // FormatResults renders a flat list of results (used by the ablations).
 // Under wall-clock mode (file backend or -wallclock) the wall-clock
 // throughput leads the row: on real devices the simulated-time tpmC no

@@ -12,6 +12,7 @@ import (
 	"github.com/reprolab/face/internal/face"
 	"github.com/reprolab/face/internal/metrics"
 	"github.com/reprolab/face/internal/obs"
+	"github.com/reprolab/face/internal/obs/trace"
 	"github.com/reprolab/face/internal/tpcc"
 )
 
@@ -145,6 +146,11 @@ type RunSpec struct {
 	// out (engine.Config.DisableObs): no phase histograms, no registry.
 	// The AblationObservability experiment uses it to price the layer.
 	DisableObs bool
+	// DisableTracing opens the engine with the request-scoped span
+	// tracer off (engine.Config.DisableTracing) while keeping the rest
+	// of the observability layer.  The AblationTracing experiment uses
+	// it to price the tracer separately from the histograms.
+	DisableTracing bool
 	// WarmupTx/MeasureTx override the option values when non-zero.
 	WarmupTx  int
 	MeasureTx int
@@ -255,6 +261,13 @@ type Result struct {
 	Phases        obs.TxPhaseSummaries
 	TxLatency     obs.Summary
 	KindLatencies map[string]obs.Summary
+
+	// DisableTracing echoes RunSpec.DisableTracing.  When the tracer
+	// ran, Traces counts its activity over the measurement window:
+	// traces started and completed, anomalies pinned in the span
+	// journal, and normal transactions tail-sampled into it.
+	DisableTracing bool
+	Traces         trace.Stats
 }
 
 // runEnv is a fully constructed experiment instance.
@@ -466,6 +479,7 @@ func (g *Golden) build(spec RunSpec, recoverMode bool, reuse *runEnv) (*runEnv, 
 		PageLocks:       spec.PageLocks,
 		WalSegments:     spec.WalSegments,
 		DisableObs:      spec.DisableObs,
+		DisableTracing:  spec.DisableTracing,
 		Recover:         recoverMode,
 	}
 	if spec.PageLocks && spec.Terminals > 1 {
@@ -531,6 +545,10 @@ func (g *Golden) Run(spec RunSpec) (Result, error) {
 	before := env.eng.Snapshot()
 	beforeCounts := env.driver.Counts()
 	beforeKinds := env.driver.KindLatencies()
+	var traceBefore trace.Stats
+	if tr := env.eng.Tracer(); tr != nil {
+		traceBefore = tr.Stats()
+	}
 	wallStart := time.Now()
 	if err := runPhase(measure); err != nil {
 		env.eng.Crash()
@@ -544,6 +562,10 @@ func (g *Golden) Run(spec RunSpec) (Result, error) {
 	res := g.summarize(env, spec, before, after, beforeCounts, afterCounts)
 	res.WallClock = wall
 	res.DisableObs = spec.DisableObs
+	res.DisableTracing = spec.DisableTracing
+	if tr := env.eng.Tracer(); tr != nil {
+		res.Traces = tr.Stats().Sub(traceBefore)
+	}
 	if !spec.DisableObs {
 		res.Phases = after.Phases.Sub(before.Phases).Summaries()
 	}

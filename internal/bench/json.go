@@ -31,7 +31,12 @@ import (
 // ablation_observability experiment, and the server-side scrape fields
 // on ServeResult (server_get/set p50/p99, server_shed) filled by
 // faceload -metrics.
-const ReportSchema = "facebench/v7"
+// v8 adds the request-scoped tracing layer: the DisableTracing knob and
+// span-journal stats (Traces) on Result, the ablation_tracing
+// experiment, the faceload -trace flag (client-minted trace IDs on the
+// wire), and the pinned anomaly-trace count (server_pinned_traces)
+// scraped into ServeResult from face_trace_pinned_total.
+const ReportSchema = "facebench/v8"
 
 // Report is the machine-readable form of a facebench run: the options the
 // golden image was built with plus one entry per executed experiment.  The

@@ -9,8 +9,9 @@ import (
 // FillServerMetrics folds a Prometheus text-exposition scrape of faced's
 // /metrics endpoint into the result's server-side fields.  It reads the
 // face_server_op_seconds summary quantiles for GET and SET (exported in
-// seconds, stored here as durations) and the face_server_rejected_total
-// shed counter; everything else in the scrape is ignored.  Unparseable
+// seconds, stored here as durations), the face_server_rejected_total
+// shed counter, and the face_trace_pinned_total anomaly-trace counter;
+// everything else in the scrape is ignored.  Unparseable
 // lines are skipped, so a scrape from a newer or older server degrades
 // to missing fields rather than an error.
 func (r *ServeResult) FillServerMetrics(metricsText string) {
@@ -36,6 +37,11 @@ func (r *ServeResult) FillServerMetrics(metricsText string) {
 		case "face_server_rejected_total":
 			if n, err := strconv.ParseInt(val, 10, 64); err == nil {
 				r.ServerShed = n
+				r.ServerScraped = true
+			}
+		case "face_trace_pinned_total":
+			if n, err := strconv.ParseInt(val, 10, 64); err == nil {
+				r.ServerPinnedTraces = n
 				r.ServerScraped = true
 			}
 		}

@@ -19,6 +19,7 @@ func TestMetricsScrape(t *testing.T) {
 		`face_server_op_seconds{op="set",quantile="0.99"} 0.004096`,
 		`face_server_op_seconds_count{op="get"} 100`,
 		`face_server_rejected_total 7`,
+		`face_trace_pinned_total 3`,
 		`face_server_requests_total 123`,
 		`garbage line without value`,
 		`face_server_op_seconds{op="get",quantile="0.999"} not-a-number`,
@@ -45,11 +46,17 @@ func TestMetricsScrape(t *testing.T) {
 	if r.ServerShed != 7 {
 		t.Errorf("ServerShed = %d, want 7", r.ServerShed)
 	}
+	if r.ServerPinnedTraces != 3 {
+		t.Errorf("ServerPinnedTraces = %d, want 3", r.ServerPinnedTraces)
+	}
 
 	var sb strings.Builder
 	FormatServe(&sb, &r)
 	if !strings.Contains(sb.String(), "shed 7") {
 		t.Errorf("FormatServe missing server line:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "pinned traces 3") {
+		t.Errorf("FormatServe missing pinned-trace count:\n%s", sb.String())
 	}
 }
 

@@ -12,7 +12,7 @@ import (
 // payload the facebench schema (since v5) carries for network serving,
 // emitted as
 //
-//	{"schema": "facebench/v7", "experiments": {"serve": {...}}}
+//	{"schema": "facebench/v8", "experiments": {"serve": {...}}}
 //
 // Latencies are measured from each request's scheduled arrival time, not
 // from its send time, so a stalled server shows up as growing latency
@@ -62,6 +62,11 @@ type ServeResult struct {
 	// ServerShed is face_server_rejected_total: write requests refused
 	// with BUSY by admission control over the server's lifetime.
 	ServerShed int64 `json:"server_shed,omitempty"`
+	// ServerPinnedTraces is face_trace_pinned_total: anomaly traces (slow
+	// transactions, deadlock victims, admission sheds, WAL sync stalls)
+	// pinned in the server's span journal, retrievable from faced's
+	// /debug/traces endpoint.
+	ServerPinnedTraces int64 `json:"server_pinned_traces,omitempty"`
 }
 
 // Percentile returns the p-th percentile (0 < p <= 100) of the sorted-
@@ -122,9 +127,9 @@ func FormatServe(w io.Writer, r *ServeResult) {
 		r.P99.Round(time.Microsecond), r.P999.Round(time.Microsecond),
 		r.Max.Round(time.Microsecond))
 	if r.ServerScraped {
-		fmt.Fprintf(w, "  server  get p50 %v  p99 %v | set p50 %v  p99 %v | shed %d  (client-server p99 gap = queueing)\n",
+		fmt.Fprintf(w, "  server  get p50 %v  p99 %v | set p50 %v  p99 %v | shed %d | pinned traces %d  (client-server p99 gap = queueing; pinned traces at /debug/traces)\n",
 			r.ServerGetP50.Round(time.Microsecond), r.ServerGetP99.Round(time.Microsecond),
 			r.ServerSetP50.Round(time.Microsecond), r.ServerSetP99.Round(time.Microsecond),
-			r.ServerShed)
+			r.ServerShed, r.ServerPinnedTraces)
 	}
 }

@@ -207,10 +207,25 @@ type Config struct {
 	// SlowTxThreshold enables the slow-transaction log: every committed
 	// write transaction whose wall-clock latency reaches the threshold
 	// emits a one-line per-phase breakdown through Logf.  Zero disables
-	// the log; tracing itself stays on.
+	// the log; tracing itself stays on.  The span tracer reuses the same
+	// threshold as its slow-trace pin bar.
 	SlowTxThreshold time.Duration
 	// Logf receives slow-transaction log lines (default log.Printf).
 	Logf func(format string, args ...any)
+
+	// DisableTracing turns off the request-scoped span tracer while
+	// keeping the aggregate observability layer: no trace journal is
+	// allocated, Tracer() returns nil, and the per-transaction span
+	// recording reduces to nil checks.  Implied by DisableObs (the
+	// tracer lives inside the observability layer).
+	DisableTracing bool
+	// TraceCapacity overrides the journal ring capacities (pinned and
+	// sampled traces each get one ring of this many slots; 0 = the
+	// trace package default).
+	TraceCapacity int
+	// TraceSampleEvery keeps one in every N unpinned traces in the
+	// sampled ring (0 = default, negative disables sampling).
+	TraceSampleEvery int
 
 	// Recover runs crash recovery during Open.  Set it when reopening a
 	// database after Crash; leave it false for a freshly initialised set

@@ -251,6 +251,7 @@ func Open(cfg Config) (*DB, error) {
 		db.pool.SetPinWait(true)
 	}
 
+	db.obs.event("open: wal ready next=%d durable=%d", db.log.Next(), db.log.Durable())
 	if cfg.Recover {
 		if err := db.recover(); err != nil {
 			abortCache()
@@ -259,6 +260,7 @@ func Open(cfg Config) (*DB, error) {
 	}
 	db.lastCheckpoint = db.Elapsed()
 	db.registerMetrics()
+	db.obs.event("open: complete pages=%d recover=%v", int64(db.nextPage)-1, cfg.Recover)
 	return db, nil
 }
 
@@ -388,6 +390,7 @@ func (db *DB) Close() error {
 	if db.closed {
 		return nil
 	}
+	db.obs.event("close: begin committed=%d aborted=%d", db.committed, db.aborted)
 	if db.crashed {
 		db.closed = true
 		return db.closeFilesLocked()
@@ -474,6 +477,7 @@ func (db *DB) Crash() {
 	defer db.txMu.Unlock()
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	db.obs.event("crash: simulated failure committed=%d aborted=%d", db.committed, db.aborted)
 	db.pool.DropAll()
 	db.pool.Close()
 	db.log.Crash()
@@ -495,6 +499,7 @@ func (db *DB) Crash() {
 // restored first, then the log is replayed.
 func (db *DB) recover() error {
 	rep := &RecoveryReport{}
+	db.obs.event("recover: begin")
 
 	dataBefore := db.dataDev.Stats()
 	flashBefore := device.Stats{}
@@ -514,6 +519,7 @@ func (db *DB) recover() error {
 		flashAfterMeta = db.flashDev.Stats()
 		rep.MetadataRestoreTime = flashAfterMeta.Sub(flashBefore).Busy
 	}
+	db.obs.event("recover: cache metadata restored in %v", rep.MetadataRestoreTime)
 
 	// Phase 2: redo and undo from the last completed checkpoint.
 	r, err := recovery.Run(db.log, dbPager{db})
@@ -524,6 +530,7 @@ func (db *DB) recover() error {
 	if r.MaxPageID >= db.nextPage {
 		db.nextPage = r.MaxPageID + 1
 	}
+	db.obs.event("recover: redo/undo complete records=%d redo=%d undo=%d losers=%d", r.RecordsScanned, r.RedoApplied, r.UndoApplied, r.LoserTxns)
 
 	// Recovery runs single-threaded, so its simulated duration is the sum
 	// of the service demand it placed on every device.
@@ -548,6 +555,7 @@ func (db *DB) recover() error {
 		return err
 	}
 	db.recoveryReport = rep
+	db.obs.event("recover: complete total=%v (metadata=%v redo/undo=%v)", rep.TotalTime, rep.MetadataRestoreTime, rep.RedoUndoTime)
 	return nil
 }
 
@@ -636,6 +644,7 @@ func (db *DB) checkpointLocked() error {
 	}
 	db.checkpoints++
 	db.lastCheckpoint = db.Elapsed()
+	db.obs.event("checkpoint: complete n=%d begin_lsn=%d", db.checkpoints, beginLSN)
 	return nil
 }
 

@@ -1,11 +1,14 @@
 package engine
 
 import (
+	"context"
+	"fmt"
 	"log"
 	"time"
 
 	"github.com/reprolab/face/internal/face"
 	"github.com/reprolab/face/internal/obs"
+	"github.com/reprolab/face/internal/obs/trace"
 	"github.com/reprolab/face/internal/wal"
 )
 
@@ -49,6 +52,43 @@ var phaseNames = [numPhases]string{
 type txTrace struct {
 	start time.Time
 	phase [numPhases]time.Duration
+	// span is the request-scoped trace the phases also record into as
+	// real spans (nil when the request is untraced or tracing is off).
+	span *trace.Trace
+	// own marks a span the engine started itself (no request context
+	// carried one); the scheduler finishes it after commit or abort.
+	own bool
+}
+
+// charge adds d to phase p and, when the transaction rides a
+// request-scoped trace, records the occurrence as a span with its page
+// and note annotations.  The caller computes d under its own nil guard,
+// so this helper reads no clocks.
+func (tr *txTrace) charge(p int, t0 time.Time, d time.Duration, pg uint64, note string) {
+	tr.phase[p] += d
+	if tr.span != nil {
+		tr.span.Span(phaseNames[p], t0, d, pg, note)
+	}
+}
+
+// traceCtxKey carries a *trace.Trace through a request context into
+// Update, where the engine attaches its phase spans to it.
+type traceCtxKey struct{}
+
+// WithTrace returns a context carrying the request-scoped trace; the
+// engine's Update attaches its commit-path spans to it.  A nil trace
+// returns ctx unchanged.
+func WithTrace(ctx context.Context, tr *trace.Trace) context.Context {
+	if tr == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, traceCtxKey{}, tr)
+}
+
+// traceFrom extracts the request trace, if any.
+func traceFrom(ctx context.Context) *trace.Trace {
+	tr, _ := ctx.Value(traceCtxKey{}).(*trace.Trace)
+	return tr
 }
 
 // dbObs holds the engine's registered metrics and the slow-transaction
@@ -63,6 +103,10 @@ type dbObs struct {
 	slowTx        *obs.Counter
 	slowThreshold time.Duration
 	logf          func(string, ...any)
+
+	// tracer owns the span journal and flight recorder (nil with
+	// Config.DisableTracing).
+	tracer *trace.Tracer
 }
 
 // newDBObs builds the engine's metric set in cfg.Obs (or a private
@@ -86,7 +130,35 @@ func newDBObs(cfg *Config) *dbObs {
 	for i := range o.phases {
 		o.phases[i] = reg.Histogram(`face_tx_phase_seconds{phase="` + phaseNames[i] + `"}`)
 	}
+	if !cfg.DisableTracing {
+		o.tracer = trace.New(trace.Config{
+			Capacity:    cfg.TraceCapacity,
+			SampleEvery: cfg.TraceSampleEvery,
+			SlowTx:      cfg.SlowTxThreshold,
+		})
+	}
 	return o
+}
+
+// event records a flight-recorder lifecycle entry (open, recovery
+// phases, checkpoint, close).  Nil-safe, so cold-path call sites need
+// no guards of their own.
+func (o *dbObs) event(format string, args ...any) {
+	if o == nil || o.tracer == nil {
+		return
+	}
+	o.tracer.Event(fmt.Sprintf(format, args...))
+}
+
+// finishOwn seals a span the engine started itself (an Update whose
+// context carried no request trace), handing it to the tracer's
+// tail-retention policy.  Request-owned spans are finished by the
+// server instead.
+func (o *dbObs) finishOwn(tr *txTrace) {
+	if o == nil || o.tracer == nil || tr == nil || !tr.own {
+		return
+	}
+	o.tracer.Finish(tr.span)
 }
 
 // recordCommit folds a committed write transaction's trace into the phase
@@ -96,14 +168,17 @@ func (o *dbObs) recordCommit(id wal.TxID, tr *txTrace) {
 		return
 	}
 	total := time.Since(tr.start)
-	o.txTotal.Observe(total)
+	// A traced commit leaves its trace ID as the exemplar on the latency
+	// bucket it lands in, so the histogram's tail links back to a
+	// concrete trace in the journal.
+	o.txTotal.ObserveExemplar(total, uint64(tr.span.ID()))
 	for i, h := range o.phases {
 		h.Observe(tr.phase[i])
 	}
 	if o.slowThreshold > 0 && total >= o.slowThreshold {
 		o.slowTx.Add(1)
-		o.logf("obs: slow tx id=%d total=%v admission=%v lock=%v buffer=%v wal=%v durable=%v closure=%v",
-			id, total,
+		o.logf("obs: slow tx id=%d trace=%s total=%v admission=%v lock=%v buffer=%v wal=%v durable=%v closure=%v",
+			id, tr.span.ID(), total,
 			tr.phase[phaseAdmission], tr.phase[phaseLockWait], tr.phase[phaseBuffer],
 			tr.phase[phaseWalAppend], tr.phase[phaseDurable], tr.phase[phaseClosure])
 	}
@@ -134,6 +209,12 @@ func (db *DB) registerMetrics() {
 	}
 	reg := db.obs.reg
 	reg.CounterFunc("face_committed_total", db.Committed)
+	if t := db.obs.tracer; t != nil {
+		reg.CounterFunc("face_trace_started_total", func() int64 { return t.Stats().Started })
+		reg.CounterFunc("face_trace_completed_total", func() int64 { return t.Stats().Completed })
+		reg.CounterFunc("face_trace_pinned_total", func() int64 { return t.Stats().Pinned })
+		reg.CounterFunc("face_trace_sampled_total", func() int64 { return t.Stats().Sampled })
+	}
 	reg.CounterFunc("face_aborted_total", func() int64 {
 		db.mu.Lock()
 		defer db.mu.Unlock()
@@ -180,4 +261,14 @@ func (db *DB) Metrics() *obs.Registry {
 		return nil
 	}
 	return db.obs.reg
+}
+
+// Tracer returns the span tracer owning the trace journal and flight
+// recorder (nil when observability or tracing is disabled).  faced
+// hands it to the server layer and serves its Dump at /debug/traces.
+func (db *DB) Tracer() *trace.Tracer {
+	if db.obs == nil {
+		return nil
+	}
+	return db.obs.tracer
 }

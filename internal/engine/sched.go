@@ -70,13 +70,23 @@ func (db *DB) Update(ctx context.Context, fn func(*Tx) error) error {
 	var tr *txTrace
 	if db.obs != nil {
 		tr = &txTrace{start: time.Now()}
+		// A request trace arriving through the context gets the engine's
+		// phase spans attached; without one the engine starts (and later
+		// finishes) a trace of its own, so embedded deployments feed the
+		// journal too.
+		tr.span = traceFrom(ctx)
+		if tr.span == nil {
+			tr.span = db.obs.tracer.Start(0, "update")
+			tr.own = tr.span != nil
+		}
+		defer db.obs.finishOwn(tr)
 	}
 	if db.locks == nil {
 		// Single-writer: waiting for the exclusive scheduler lock is this
 		// regime's admission wait.
 		db.txMu.Lock()
 		if tr != nil {
-			tr.phase[phaseAdmission] = time.Since(tr.start)
+			tr.charge(phaseAdmission, tr.start, time.Since(tr.start), 0, "single-writer")
 		}
 		defer db.txMu.Unlock()
 		return db.runManaged(ctx, false, tr, fn)
@@ -87,7 +97,7 @@ func (db *DB) Update(ctx context.Context, fn func(*Tx) error) error {
 		select {
 		case db.writerSem <- struct{}{}:
 			if tr != nil {
-				tr.phase[phaseAdmission] = time.Since(tr.start)
+				tr.charge(phaseAdmission, tr.start, time.Since(tr.start), 0, "writer-sem")
 			}
 			defer func() { <-db.writerSem }()
 		case <-ctx.Done():
@@ -134,7 +144,7 @@ func (db *DB) runManaged(ctx context.Context, readonly bool, tr *txTrace, fn fun
 		// skew between the measurements never produces a negative phase.
 		inner := tr.phase[phaseLockWait] + tr.phase[phaseBuffer] + tr.phase[phaseWalAppend]
 		if c := time.Since(fnStart) - inner; c > 0 {
-			tr.phase[phaseClosure] = c
+			tr.charge(phaseClosure, fnStart, c, 0, "")
 		}
 	}
 	if err := ctx.Err(); err != nil {

@@ -1,0 +1,311 @@
+package engine
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/reprolab/face/internal/obs/trace"
+	"github.com/reprolab/face/internal/page"
+)
+
+// traceDB opens a database with tracing on and every committed write
+// pinned as slow, so the journal fills deterministically.
+func traceDB(t *testing.T) *DB {
+	t.Helper()
+	r := newRig(t, PolicyNone)
+	r.cfg.SlowTxThreshold = time.Nanosecond
+	r.cfg.Logf = func(string, ...any) {}
+	db := r.open(t, false)
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+// TestTraceEngineSelfStartedSpans: an Update whose context carries no
+// request trace starts (and finishes) its own, so embedded deployments
+// feed the journal; its spans are the commit-path phases.
+func TestTraceEngineSelfStartedSpans(t *testing.T) {
+	db := traceDB(t)
+	ctx := context.Background()
+	if err := db.Update(ctx, func(tx *Tx) error {
+		id, err := tx.Alloc(page.TypeHeap)
+		if err != nil {
+			return err
+		}
+		writeValue(t, tx, id, 1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	dump := db.Tracer().Dump()
+	if len(dump.Pinned) == 0 {
+		t.Fatalf("journal empty after a slow commit: %+v", dump)
+	}
+	tr := dump.Pinned[0]
+	if tr.Kind != "update" {
+		t.Fatalf("kind = %q, want update", tr.Kind)
+	}
+	if len(tr.Pins) == 0 || tr.Pins[0].Kind != trace.PinSlow {
+		t.Fatalf("pins = %+v, want slow_tx", tr.Pins)
+	}
+	names := make(map[string]bool)
+	var allocSpan bool
+	for _, sp := range tr.Spans {
+		names[sp.Name] = true
+		if sp.Note == "alloc" && sp.Page != 0 {
+			allocSpan = true
+		}
+	}
+	for _, want := range []string{"admission", "buffer", "wal_append", "durable_wait"} {
+		if !names[want] {
+			t.Errorf("span %q missing from %+v", want, tr.Spans)
+		}
+	}
+	if !allocSpan {
+		t.Errorf("no buffer span annotated with the allocated page: %+v", tr.Spans)
+	}
+}
+
+// TestTraceEngineAdoptsContextTrace: a request trace arriving through
+// WithTrace collects the engine's phase spans and is NOT finished by the
+// engine — its owner (the server) seals it.
+func TestTraceEngineAdoptsContextTrace(t *testing.T) {
+	db := traceDB(t)
+	tracer := db.Tracer()
+	tr := tracer.Start(trace.ID(0xabc), "commit")
+	ctx := WithTrace(context.Background(), tr)
+	if err := db.Update(ctx, func(tx *Tx) error {
+		id, err := tx.Alloc(page.TypeHeap)
+		if err != nil {
+			return err
+		}
+		writeValue(t, tx, id, 2)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// The engine attached spans but did not finish the trace.
+	if got := tracer.Stats().Completed; got != 0 {
+		t.Fatalf("engine finished a request-owned trace (completed=%d)", got)
+	}
+	found := false
+	for _, sp := range tr.Spans() {
+		if sp.Name == "durable_wait" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("request trace missing engine spans: %+v", tr.Spans())
+	}
+	tracer.Finish(tr)
+	dump := tracer.Dump()
+	if len(dump.Pinned) != 1 || dump.Pinned[0].ID != "0000000000000abc" {
+		t.Fatalf("pinned = %+v, want the request trace under its own ID", dump.Pinned)
+	}
+}
+
+// TestTraceExemplarLinksJournal: the total-latency histogram's bucket
+// exemplar is a trace ID retrievable from the journal.
+func TestTraceExemplarLinksJournal(t *testing.T) {
+	db := traceDB(t)
+	if err := db.Update(context.Background(), func(tx *Tx) error {
+		_, err := tx.Alloc(page.TypeHeap)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	exemplars := db.Metrics().Histogram("face_tx_total_seconds").Snapshot().ExemplarList()
+	if len(exemplars) == 0 {
+		t.Fatal("face_tx_total_seconds has no exemplars")
+	}
+	ids := make(map[string]bool)
+	dump := db.Tracer().Dump()
+	for _, tr := range dump.Pinned {
+		ids[tr.ID] = true
+	}
+	for _, tr := range dump.Sampled {
+		ids[tr.ID] = true
+	}
+	for _, ex := range exemplars {
+		if !ids[ex.TraceID] {
+			t.Errorf("exemplar %s not in the journal %v", ex.TraceID, ids)
+		}
+	}
+}
+
+// TestTraceEngineDeadlockPin forces the AB/BA cycle and checks the
+// victim's self-started trace is pinned with the wait-for cycle.
+func TestTraceEngineDeadlockPin(t *testing.T) {
+	r := newRig(t, PolicyNone)
+	r.cfg.PageLocks = true
+	r.cfg.Logf = func(string, ...any) {}
+	db := r.open(t, false)
+	t.Cleanup(func() { db.Close() })
+
+	var a, b page.ID
+	if err := db.Update(context.Background(), func(tx *Tx) error {
+		var err error
+		if a, err = tx.Alloc(page.TypeHeap); err != nil {
+			return err
+		}
+		b, err = tx.Alloc(page.TypeHeap)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	set := func(tx *Tx, id page.ID, v uint64) error {
+		return tx.Modify(id, func(buf page.Buf) error {
+			binary.LittleEndian.PutUint64(buf.Payload(), v)
+			return nil
+		})
+	}
+	haveA := make(chan struct{})
+	haveB := make(chan struct{})
+	errs := make(chan error, 2)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		errs <- db.Update(context.Background(), func(tx *Tx) error {
+			if err := set(tx, a, 11); err != nil {
+				return err
+			}
+			close(haveA)
+			<-haveB
+			return set(tx, b, 12)
+		})
+	}()
+	go func() {
+		defer wg.Done()
+		errs <- db.Update(context.Background(), func(tx *Tx) error {
+			if err := set(tx, b, 21); err != nil {
+				return err
+			}
+			close(haveB)
+			<-haveA
+			return set(tx, a, 22)
+		})
+	}()
+	wg.Wait()
+	close(errs)
+	deadlocks := 0
+	for err := range errs {
+		if errors.Is(err, ErrDeadlock) {
+			deadlocks++
+		} else if err != nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+	if deadlocks != 1 {
+		t.Fatalf("deadlocks = %d, want 1", deadlocks)
+	}
+	var victim *trace.TraceJSON
+	dump := db.Tracer().Dump()
+	for i := range dump.Pinned {
+		for _, p := range dump.Pinned[i].Pins {
+			if p.Kind == trace.PinDeadlock {
+				victim = &dump.Pinned[i]
+			}
+		}
+	}
+	if victim == nil {
+		t.Fatalf("no deadlock-pinned trace in journal: %+v", dump.Pinned)
+	}
+	detail := victim.Pins[0].Detail
+	if !strings.Contains(detail, "cycle:") || !strings.Contains(detail, "held:") {
+		t.Errorf("deadlock pin detail = %q, want cycle and held pages", detail)
+	}
+}
+
+// TestTraceEngineDisabled: WithObservability(false) or DisableTracing
+// yields a nil tracer, zero exemplars, and working transactions.
+func TestTraceEngineDisabled(t *testing.T) {
+	for _, mode := range []string{"obs-off", "trace-off"} {
+		t.Run(mode, func(t *testing.T) {
+			r := newRig(t, PolicyNone)
+			if mode == "obs-off" {
+				r.cfg.DisableObs = true
+			} else {
+				r.cfg.DisableTracing = true
+			}
+			r.cfg.SlowTxThreshold = time.Nanosecond
+			r.cfg.Logf = func(string, ...any) {}
+			db := r.open(t, false)
+			t.Cleanup(func() { db.Close() })
+			if db.Tracer() != nil {
+				t.Fatal("Tracer() non-nil with tracing disabled")
+			}
+			if err := db.Update(context.Background(), func(tx *Tx) error {
+				_, err := tx.Alloc(page.TypeHeap)
+				return err
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if mode == "trace-off" {
+				// Obs is still on: the histogram records, but carries no
+				// exemplars because no trace IDs exist.
+				snap := db.Metrics().Histogram("face_tx_total_seconds").Snapshot()
+				if snap.Count != 1 {
+					t.Fatalf("count = %d, want 1", snap.Count)
+				}
+				if got := snap.ExemplarList(); len(got) != 0 {
+					t.Fatalf("exemplars = %+v with tracing disabled", got)
+				}
+			}
+		})
+	}
+}
+
+// TestTraceFlightRecorderLifecycle: Open, checkpoint, crash and recovery
+// all leave flight-recorder events; a reopened database shows its
+// recovery timeline.
+func TestTraceFlightRecorderLifecycle(t *testing.T) {
+	r := newRig(t, PolicyNone)
+	r.cfg.Logf = func(string, ...any) {}
+	db := r.open(t, false)
+	var id page.ID
+	if err := db.Update(context.Background(), func(tx *Tx) error {
+		var err error
+		id, err = tx.Alloc(page.TypeHeap)
+		if err != nil {
+			return err
+		}
+		writeValue(t, tx, id, 7)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	events := func(db *DB) string {
+		var sb strings.Builder
+		for _, ev := range db.Tracer().Events() {
+			sb.WriteString(ev.Msg)
+			sb.WriteString("\n")
+		}
+		return sb.String()
+	}
+	got := events(db)
+	for _, want := range []string{"open: wal ready", "open: complete"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("events missing %q:\n%s", want, got)
+		}
+	}
+	db.Crash()
+	db2 := r.open(t, true)
+	t.Cleanup(func() { db2.Close() })
+	got = events(db2)
+	for _, want := range []string{
+		"recover: begin",
+		"recover: redo/undo complete",
+		"checkpoint: complete",
+		"recover: complete",
+		"open: complete",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("recovery events missing %q:\n%s", want, got)
+		}
+	}
+}

@@ -2,10 +2,12 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
 	"github.com/reprolab/face/internal/lock"
+	"github.com/reprolab/face/internal/obs/trace"
 	"github.com/reprolab/face/internal/page"
 	"github.com/reprolab/face/internal/wal"
 )
@@ -116,7 +118,17 @@ func (tx *Tx) lockPage(id page.ID, mode lock.Mode) error {
 	}
 	t0 := time.Now()
 	err := tx.locks.Acquire(tx.ctx, uint64(tx.id), id, mode)
-	tx.tr.phase[phaseLockWait] += time.Since(t0)
+	tx.tr.charge(phaseLockWait, t0, time.Since(t0), uint64(id), mode.String())
+	if err != nil && tx.tr.span != nil {
+		// A deadlock victim's trace is pinned with the wait-for cycle
+		// the lock manager detected, so the journal answers "deadlocked
+		// on what, holding what" directly.
+		var derr *lock.DeadlockError
+		if errors.As(err, &derr) {
+			tx.tr.span.Pin(trace.PinDeadlock,
+				fmt.Sprintf("cycle: %s; held: %v", derr.CycleString(), derr.Held))
+		}
+	}
 	return err
 }
 
@@ -128,7 +140,7 @@ func (tx *Tx) poolGet(id page.ID) (page.Buf, error) {
 	}
 	t0 := time.Now()
 	buf, err := tx.db.pool.Get(id)
-	tx.tr.phase[phaseBuffer] += time.Since(t0)
+	tx.tr.charge(phaseBuffer, t0, time.Since(t0), uint64(id), "")
 	return buf, err
 }
 
@@ -140,7 +152,7 @@ func (tx *Tx) logAppend(rec *wal.Record) (page.LSN, error) {
 	}
 	t0 := time.Now()
 	lsn, err := tx.db.log.Append(rec)
-	tx.tr.phase[phaseWalAppend] += time.Since(t0)
+	tx.tr.charge(phaseWalAppend, t0, time.Since(t0), uint64(rec.PageID), "")
 	return lsn, err
 }
 
@@ -270,7 +282,7 @@ func (tx *Tx) Alloc(t page.Type) (page.ID, error) {
 	}
 	buf, err := db.pool.Put(id, func(buf page.Buf) { buf.Init(id, t) })
 	if tx.tr != nil {
-		tx.tr.phase[phaseBuffer] += time.Since(t0)
+		tx.tr.charge(phaseBuffer, t0, time.Since(t0), uint64(id), "alloc")
 	}
 	if err != nil {
 		return page.InvalidID, err
@@ -328,7 +340,13 @@ func (tx *Tx) commit() error {
 		}
 		err = db.log.Force(lsn + 1)
 		if tx.tr != nil {
-			tx.tr.phase[phaseDurable] += time.Since(t0)
+			d := time.Since(t0)
+			tx.tr.charge(phaseDurable, t0, d, 0, "")
+			if st := db.obs.tracer.SyncStall(); st > 0 && d >= st && tx.tr.span != nil {
+				// The force stalled long past a healthy fsync: pin the
+				// trace as WAL sync-stall evidence.
+				tx.tr.span.Pin(trace.PinStall, "durable wait "+d.String())
+			}
 		}
 		if err != nil {
 			return err

@@ -23,6 +23,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"slices"
 	"sync"
 	"time"
 
@@ -33,7 +34,58 @@ import (
 // ErrDeadlock is returned by Acquire when granting the request could never
 // happen because the requester is part of a wait cycle.  The caller should
 // abort the transaction (releasing its locks breaks the cycle) and retry.
+// The concrete error is a *DeadlockError carrying the detected cycle;
+// match with errors.Is(err, ErrDeadlock) as always, and errors.As to read
+// the forensics.
 var ErrDeadlock = errors.New("lock: deadlock detected")
+
+// WaitEdge is one edge of a wait-for cycle: Tx is blocked waiting on Page.
+type WaitEdge struct {
+	Tx   uint64  `json:"tx"`
+	Page page.ID `json:"page"`
+}
+
+// DeadlockError is the structured form of a refused Acquire: the victim,
+// the request that closed the cycle, the wait-for cycle itself, and the
+// pages the victim held at refusal time.  It unwraps to ErrDeadlock, so
+// existing errors.Is checks keep working.
+type DeadlockError struct {
+	// Tx is the victim (the requester that was refused).
+	Tx uint64
+	// Page and Mode are the request that would have closed the cycle.
+	Page page.ID
+	Mode Mode
+	// Cycle is the wait-for cycle, starting at the victim: each edge's
+	// transaction is blocked on its page, which a holder ahead in the
+	// cycle will not release.
+	Cycle []WaitEdge
+	// Held is the victim's held-page set at refusal time (sorted), the
+	// locks whose release will break the cycle when it aborts.
+	Held []page.ID
+}
+
+// Error keeps the historical message shape and appends the cycle.
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("tx %d waiting for %s on page %d: %v (cycle: %s)",
+		e.Tx, e.Mode, e.Page, ErrDeadlock, e.CycleString())
+}
+
+// Unwrap makes errors.Is(err, ErrDeadlock) hold.
+func (e *DeadlockError) Unwrap() error { return ErrDeadlock }
+
+// CycleString renders the cycle compactly: "tx 5→page 3, tx 7→page 4"
+// means tx 5 waits on page 3 (held along the cycle by tx 7), and so on
+// back around to the first transaction.
+func (e *DeadlockError) CycleString() string {
+	var b []byte
+	for i, edge := range e.Cycle {
+		if i > 0 {
+			b = append(b, ", "...)
+		}
+		b = fmt.Appendf(b, "tx %d→page %d", edge.Tx, edge.Page)
+	}
+	return string(b)
+}
 
 // Mode is a lock mode.
 type Mode uint8
@@ -170,13 +222,18 @@ func (m *Manager) Acquire(ctx context.Context, tx uint64, id page.ID, mode Mode)
 
 	// The request blocks: check that granting it could ever happen.
 	m.waiting[tx] = id
-	if m.wouldDeadlockLocked(tx) {
+	if cycle := m.deadlockCycleLocked(tx); cycle != nil {
 		delete(m.waiting, tx)
 		m.removeWaiterLocked(e, w)
 		m.promoteLocked(id, e)
 		m.stats.Deadlocks++
+		held := make([]page.ID, 0, len(m.held[tx]))
+		for hid := range m.held[tx] {
+			held = append(held, hid)
+		}
+		slices.Sort(held)
 		m.mu.Unlock()
-		return fmt.Errorf("tx %d waiting for %s on page %d: %w", tx, mode, id, ErrDeadlock)
+		return &DeadlockError{Tx: tx, Page: id, Mode: mode, Cycle: cycle, Held: held}
 	}
 	m.stats.Waits++
 	start := time.Now()
@@ -293,13 +350,17 @@ func (m *Manager) removeWaiterLocked(e *entry, w *waiter) {
 	}
 }
 
-// wouldDeadlockLocked reports whether start is part of a cycle in the
-// wait-for graph.  Edges run from each blocked transaction to every
-// transaction that must release or yield first: the incompatible holders
-// of the page it waits on, and incompatible requests queued ahead of it
-// (the grant order is FIFO, so those really do go first).
-func (m *Manager) wouldDeadlockLocked(start uint64) bool {
+// deadlockCycleLocked reports whether start is part of a cycle in the
+// wait-for graph, returning the cycle's edges (starting at start) or nil.
+// Edges run from each blocked transaction to every transaction that must
+// release or yield first: the incompatible holders of the page it waits
+// on, and incompatible requests queued ahead of it (the grant order is
+// FIFO, so those really do go first).  The DFS path at the moment the
+// cycle closes IS the cycle, so capturing it costs nothing on the
+// no-deadlock fast path beyond one append/pop per visited node.
+func (m *Manager) deadlockCycleLocked(start uint64) []WaitEdge {
 	visited := make(map[uint64]bool)
+	var path []WaitEdge
 	var visit func(tx uint64) bool
 	visit = func(tx uint64) bool {
 		id, blocked := m.waiting[tx]
@@ -320,6 +381,7 @@ func (m *Manager) wouldDeadlockLocked(start uint64) bool {
 		if w == nil {
 			return false
 		}
+		path = append(path, WaitEdge{Tx: tx, Page: id})
 		check := func(other uint64) bool {
 			if other == tx {
 				return false
@@ -346,7 +408,11 @@ func (m *Manager) wouldDeadlockLocked(start uint64) bool {
 				return true
 			}
 		}
+		path = path[:len(path)-1]
 		return false
 	}
-	return visit(start)
+	if visit(start) {
+		return path
+	}
+	return nil
 }

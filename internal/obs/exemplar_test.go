@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestExemplarLinksBucketToTrace(t *testing.T) {
+	h := NewHistogram()
+	h.ObserveExemplar(3*time.Millisecond, 0xdead)
+	h.ObserveExemplar(90*time.Millisecond, 0xbeef)
+	s := h.Snapshot()
+	if got := s.ExemplarFor(3 * time.Millisecond); got != 0xdead {
+		t.Fatalf("3ms bucket exemplar = %x, want dead", got)
+	}
+	if got := s.ExemplarFor(90 * time.Millisecond); got != 0xbeef {
+		t.Fatalf("90ms bucket exemplar = %x, want beef", got)
+	}
+	// The last observation into a bucket wins.
+	h.ObserveExemplar(3*time.Millisecond, 0xcafe)
+	if got := h.Snapshot().ExemplarFor(3 * time.Millisecond); got != 0xcafe {
+		t.Fatalf("exemplar not overwritten: %x", got)
+	}
+}
+
+func TestExemplarZeroTraceRecordsNothing(t *testing.T) {
+	h := NewHistogram()
+	h.ObserveExemplar(time.Millisecond, 0)
+	s := h.Snapshot()
+	if s.Count != 1 {
+		t.Fatalf("count = %d, want 1 (observation still lands)", s.Count)
+	}
+	if s.Exemplars != nil {
+		t.Fatal("zero trace ID should not allocate the exemplar array")
+	}
+	if s.ExemplarFor(time.Millisecond) != 0 {
+		t.Fatal("expected no exemplar")
+	}
+	if got := s.ExemplarList(); len(got) != 0 {
+		t.Fatalf("ExemplarList = %+v, want empty", got)
+	}
+}
+
+func TestExemplarPlainObserveUnchanged(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(time.Millisecond)
+	if s := h.Snapshot(); s.Exemplars != nil {
+		t.Fatal("plain Observe must not allocate exemplars")
+	}
+	var nilH *Histogram
+	nilH.ObserveExemplar(time.Millisecond, 1) // must not panic
+}
+
+func TestExemplarList(t *testing.T) {
+	h := NewHistogram()
+	h.ObserveExemplar(time.Microsecond, 0x1)
+	h.ObserveExemplar(time.Second, 0x2)
+	h.Observe(time.Minute) // counted but no exemplar
+	list := h.Snapshot().ExemplarList()
+	if len(list) != 2 {
+		t.Fatalf("got %d exemplars, want 2: %+v", len(list), list)
+	}
+	if list[0].TraceID != "0000000000000001" || list[1].TraceID != "0000000000000002" {
+		t.Fatalf("exemplar IDs = %+v", list)
+	}
+	if list[0].UpperNS >= list[1].UpperNS {
+		t.Fatal("exemplars should come slowest-last")
+	}
+	if list[0].Count != 1 || list[1].Count != 1 {
+		t.Fatalf("bucket counts = %+v", list)
+	}
+}
+
+func TestExemplarWindowAndMerge(t *testing.T) {
+	h := NewHistogram()
+	before := h.Snapshot()
+	h.ObserveExemplar(time.Millisecond, 0x7)
+	window := h.Snapshot().Sub(before)
+	if got := window.ExemplarFor(time.Millisecond); got != 0x7 {
+		t.Fatalf("windowed exemplar = %x, want 7", got)
+	}
+	other := NewHistogram()
+	other.ObserveExemplar(time.Second, 0x8)
+	merged := window.Merge(other.Snapshot())
+	if merged.ExemplarFor(time.Millisecond) != 0x7 || merged.ExemplarFor(time.Second) != 0x8 {
+		t.Fatalf("merged exemplars lost: %+v", merged.ExemplarList())
+	}
+}
+
+func TestExemplarConcurrent(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				h.ObserveExemplar(time.Duration(i)*time.Microsecond, uint64(w*1000+i+1))
+				if i%20 == 0 {
+					h.Snapshot().ExemplarList()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != 1600 {
+		t.Fatalf("count = %d, want 1600", s.Count)
+	}
+	if len(s.ExemplarList()) == 0 {
+		t.Fatal("expected exemplars after concurrent recording")
+	}
+}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"fmt"
 	"math/bits"
 	"sync/atomic"
 	"time"
@@ -52,6 +53,11 @@ type Histogram struct {
 	sum     atomic.Int64
 	max     atomic.Int64
 	buckets [numBuckets]atomic.Int64
+	// exemplars holds, per bucket, the trace ID of the last observation
+	// recorded through ObserveExemplar, so a latency bucket links to a
+	// concrete trace in the journal.  Allocated lazily on the first
+	// exemplar so plain histograms stay at their PR 8 size.
+	exemplars atomic.Pointer[[numBuckets]atomic.Uint64]
 }
 
 // NewHistogram creates an empty histogram.
@@ -63,17 +69,43 @@ func (h *Histogram) Observe(d time.Duration) {
 	if h == nil {
 		return
 	}
-	v := int64(d)
+	h.observe(int64(d))
+}
+
+// ObserveExemplar records one duration and remembers trace as the
+// observed bucket's exemplar, so the bucket a slow request lands in
+// points back at that request's trace in the journal.  A zero trace ID
+// records no exemplar.  No-op on a nil receiver.
+func (h *Histogram) ObserveExemplar(d time.Duration, trace uint64) {
+	if h == nil {
+		return
+	}
+	i := h.observe(int64(d))
+	if trace == 0 {
+		return
+	}
+	ex := h.exemplars.Load()
+	if ex == nil {
+		ex = new([numBuckets]atomic.Uint64)
+		if !h.exemplars.CompareAndSwap(nil, ex) {
+			ex = h.exemplars.Load()
+		}
+	}
+	ex[i].Store(trace)
+}
+
+func (h *Histogram) observe(v int64) int {
 	if v < 0 {
 		v = 0
 	}
-	h.buckets[bucketIndex(v)].Add(1)
+	i := bucketIndex(v)
+	h.buckets[i].Add(1)
 	h.count.Add(1)
 	h.sum.Add(v)
 	for {
 		cur := h.max.Load()
 		if v <= cur || h.max.CompareAndSwap(cur, v) {
-			return
+			return i
 		}
 	}
 }
@@ -97,6 +129,12 @@ func (h *Histogram) Snapshot() HistSnapshot {
 		count += n
 	}
 	s.Count = count
+	if ex := h.exemplars.Load(); ex != nil {
+		s.Exemplars = make([]uint64, numBuckets)
+		for i := range ex {
+			s.Exemplars[i] = ex[i].Load()
+		}
+	}
 	return s
 }
 
@@ -108,6 +146,9 @@ type HistSnapshot struct {
 	Sum     int64
 	Max     int64
 	Buckets []int64
+	// Exemplars is the per-bucket last trace ID (0 = none), present only
+	// when the histogram recorded any through ObserveExemplar.
+	Exemplars []uint64
 }
 
 // Sub returns the histogram of the window between prior and s (counter
@@ -129,6 +170,9 @@ func (s HistSnapshot) Sub(prior HistSnapshot) HistSnapshot {
 			out.Buckets[i] -= prior.Buckets[i]
 		}
 	}
+	// Exemplars are point samples, not counters: the later snapshot's
+	// are the window's.
+	out.Exemplars = s.Exemplars
 	return out
 }
 
@@ -154,6 +198,17 @@ func (s HistSnapshot) Merge(other HistSnapshot) HistSnapshot {
 	copy(out.Buckets, s.Buckets)
 	for i := range other.Buckets {
 		out.Buckets[i] += other.Buckets[i]
+	}
+	// Keep s's exemplars, filling gaps from other: "a" trace per bucket
+	// matters more than which fold contributed it.
+	if len(s.Exemplars) > 0 || len(other.Exemplars) > 0 {
+		out.Exemplars = make([]uint64, n)
+		copy(out.Exemplars, s.Exemplars)
+		for i := range other.Exemplars {
+			if i < n && out.Exemplars[i] == 0 {
+				out.Exemplars[i] = other.Exemplars[i]
+			}
+		}
 	}
 	return out
 }
@@ -195,6 +250,54 @@ func (s HistSnapshot) Summary() Summary {
 		sum.P999 = s.Quantile(0.999)
 	}
 	return sum
+}
+
+// ExemplarFor returns the trace ID remembered by the bucket a duration
+// of d would land in (0 when the snapshot has no exemplars or the
+// bucket recorded none).  This is the /debug/traces lookup: "the p99 is
+// X — which request was that?".
+func (s HistSnapshot) ExemplarFor(d time.Duration) uint64 {
+	if len(s.Exemplars) == 0 {
+		return 0
+	}
+	v := int64(d)
+	if v < 0 {
+		v = 0
+	}
+	i := bucketIndex(v)
+	if i >= len(s.Exemplars) {
+		return 0
+	}
+	return s.Exemplars[i]
+}
+
+// Exemplar pairs one non-empty latency bucket with the last trace that
+// landed in it.
+type Exemplar struct {
+	// UpperNS is the bucket's inclusive upper bound in nanoseconds.
+	UpperNS int64 `json:"upper_ns"`
+	// Count is the bucket's observation count at snapshot time.
+	Count int64 `json:"count"`
+	// TraceID is the last trace recorded into the bucket, rendered the
+	// way trace IDs print everywhere else.
+	TraceID string `json:"trace_id"`
+}
+
+// ExemplarList returns the buckets that both saw traffic and remember a
+// trace, slowest-last — the serialized form /debug/traces serves.
+func (s HistSnapshot) ExemplarList() []Exemplar {
+	var out []Exemplar
+	for i, ex := range s.Exemplars {
+		if ex == 0 || i >= len(s.Buckets) || s.Buckets[i] == 0 {
+			continue
+		}
+		out = append(out, Exemplar{
+			UpperNS: bucketUpper(i),
+			Count:   s.Buckets[i],
+			TraceID: fmt.Sprintf("%016x", ex),
+		})
+	}
+	return out
 }
 
 // Summary is the condensed form of a histogram window: count, mean and

@@ -1,0 +1,153 @@
+package trace
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// ring is a fixed-size overwrite-oldest journal.  Appending claims a
+// slot with one atomic add and publishes with one atomic pointer store;
+// snapshots load each slot atomically.  A reader racing a writer may
+// see the slot's previous occupant — every occupant is an immutable,
+// fully-published value, so snapshots are always coherent, merely not
+// instantaneous.
+type ring[T any] struct {
+	slots []atomic.Pointer[T]
+	next  atomic.Uint64
+}
+
+func (r *ring[T]) init(n int) {
+	r.slots = make([]atomic.Pointer[T], n)
+}
+
+func (r *ring[T]) append(v *T) {
+	if len(r.slots) == 0 {
+		return
+	}
+	i := r.next.Add(1) - 1
+	r.slots[i%uint64(len(r.slots))].Store(v)
+}
+
+// snapshot returns the current occupants oldest-first.
+func (r *ring[T]) snapshot() []*T {
+	if len(r.slots) == 0 {
+		return nil
+	}
+	n := r.next.Load()
+	size := uint64(len(r.slots))
+	start := uint64(0)
+	count := n
+	if n > size {
+		start = n % size
+		count = size
+	}
+	out := make([]*T, 0, count)
+	for k := uint64(0); k < count; k++ {
+		if v := r.slots[(start+k)%size].Load(); v != nil {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Event is one flight-recorder entry: lifecycle and recovery-timeline
+// moments (open, WAL replay phases, checkpoint, close) that give an
+// anomaly dump its "what was the engine doing" context.
+type Event struct {
+	Time time.Time `json:"time"`
+	Msg  string    `json:"msg"`
+}
+
+// Event records a flight-recorder entry.  No-op on a nil receiver.
+func (t *Tracer) Event(msg string) {
+	if t == nil {
+		return
+	}
+	t.flight.append(&Event{Time: time.Now(), Msg: msg})
+}
+
+// Events returns the flight-recorder contents oldest-first.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	ptrs := t.flight.snapshot()
+	out := make([]Event, len(ptrs))
+	for i, p := range ptrs {
+		out[i] = *p
+	}
+	return out
+}
+
+// TraceJSON is the serialized form of one completed trace, as served by
+// /debug/traces and the flight-recorder dump.
+type TraceJSON struct {
+	ID             string        `json:"id"`
+	Kind           string        `json:"kind"`
+	Start          time.Time     `json:"start"`
+	Total          time.Duration `json:"total_ns"`
+	Pins           []PinReason   `json:"pins,omitempty"`
+	Spans          []Span        `json:"spans,omitempty"`
+	TruncatedSpans int           `json:"truncated_spans,omitempty"`
+}
+
+// JSON converts a completed trace for serialization.
+func (t *Trace) JSON() TraceJSON {
+	if t == nil {
+		return TraceJSON{}
+	}
+	return TraceJSON{
+		ID:             t.id.String(),
+		Kind:           t.kind,
+		Start:          t.start,
+		Total:          t.total,
+		Pins:           t.pins,
+		Spans:          t.spans,
+		TruncatedSpans: t.truncated,
+	}
+}
+
+// Dump is the full journal in serializable form: counters, both
+// retention rings, and the flight-recorder timeline.
+type Dump struct {
+	Stats   Stats       `json:"stats"`
+	Pinned  []TraceJSON `json:"pinned"`
+	Sampled []TraceJSON `json:"sampled"`
+	Events  []Event     `json:"events"`
+}
+
+// Pinned returns the pinned ring's traces oldest-first.
+func (t *Tracer) Pinned() []*Trace {
+	if t == nil {
+		return nil
+	}
+	return t.pinned.snapshot()
+}
+
+// Sampled returns the sampled ring's traces oldest-first.
+func (t *Tracer) Sampled() []*Trace {
+	if t == nil {
+		return nil
+	}
+	return t.sampled.snapshot()
+}
+
+// Dump snapshots the whole journal.  Nil tracer → zero Dump, so a
+// disabled endpoint can still serve a well-formed document.
+func (t *Tracer) Dump() Dump {
+	d := Dump{Pinned: []TraceJSON{}, Sampled: []TraceJSON{}, Events: []Event{}}
+	if t == nil {
+		return d
+	}
+	d.Stats = t.Stats()
+	for _, tr := range t.pinned.snapshot() {
+		d.Pinned = append(d.Pinned, tr.JSON())
+	}
+	for _, tr := range t.sampled.snapshot() {
+		d.Sampled = append(d.Sampled, tr.JSON())
+	}
+	if ev := t.Events(); len(ev) > 0 {
+		d.Events = ev
+	}
+	return d
+}

@@ -47,6 +47,12 @@ type Options struct {
 	DialTimeout time.Duration
 	// RequestTimeout, when positive, is sent as the per-request deadline.
 	RequestTimeout time.Duration
+	// Trace stamps every request with a freshly minted trace ID in the
+	// wire frame's trailing extension.  Traced requests join the server's
+	// span journal under the client's ID, so a slow or shed request seen
+	// client-side can be looked up in faced's /debug/traces.  Servers
+	// predating the extension ignore it.
+	Trace bool
 }
 
 // Client is a pooled, multiplexing connection to one server.
@@ -329,12 +335,37 @@ func (c *Conn) readLoop() {
 	}
 }
 
+// traceSeq feeds mintTraceID; the wall clock seeds the sequence so IDs
+// from different client processes don't collide.
+var traceSeq atomic.Uint64
+
+func init() { traceSeq.Store(uint64(time.Now().UnixNano())) }
+
+// mintTraceID returns a new nonzero trace ID: a time-seeded counter
+// pushed through a splitmix64-style finalizer so IDs look random and
+// spread across the ID space.
+func mintTraceID() uint64 {
+	for {
+		z := traceSeq.Add(1) + 0x9e3779b97f4a7c15
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		if z != 0 {
+			return z
+		}
+	}
+}
+
 // roundTrip sends one request and waits for its response, mapping non-OK
 // statuses to errors (except NOT_FOUND, which the typed wrappers
 // interpret).
 func (c *Conn) roundTrip(req *wire.Request) (*wire.Response, error) {
 	if d := c.opts.RequestTimeout; d > 0 {
 		req.DeadlineMS = uint32(d.Milliseconds())
+	}
+	if c.opts.Trace {
+		req.Flags |= wire.FlagTrace
+		req.TraceID = mintTraceID()
 	}
 	ch := make(chan *wire.Response, 1)
 	c.mu.Lock()

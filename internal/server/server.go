@@ -50,7 +50,9 @@ import (
 
 	"github.com/reprolab/face/internal/engine"
 	"github.com/reprolab/face/internal/kv"
+	"github.com/reprolab/face/internal/lock"
 	"github.com/reprolab/face/internal/obs"
+	"github.com/reprolab/face/internal/obs/trace"
 	"github.com/reprolab/face/internal/server/wire"
 )
 
@@ -83,6 +85,13 @@ type Config struct {
 	// and queue-depth gauges and admission counters.  faced passes the
 	// engine's registry here so /metrics serves both layers.
 	Obs *obs.Registry
+	// Tracer, when set, gives every request a span trace: the server
+	// adopts the client's wire trace ID (minting one otherwise), times
+	// the admission wait, hands the trace to the engine through the
+	// request context so the commit-path phases attach as spans, and
+	// seals it with the tail-retention policy — deadlock victims and
+	// admission sheds are pinned.  faced passes engine.DB.Tracer here.
+	Tracer *trace.Tracer
 }
 
 // Stats is a snapshot of the server's request counters.
@@ -323,6 +332,9 @@ type connState struct {
 	inBatch  bool
 	batch    map[string]map[uint64]batchVal
 	batchOps int
+	// tr is the span trace of the request currently executing (nil
+	// without Config.Tracer); dispatch's admission waits record into it.
+	tr *trace.Trace
 }
 
 func (s *Server) handleConn(c net.Conn) {
@@ -384,9 +396,22 @@ func (s *Server) handleConn(c net.Conn) {
 // execute runs one request and builds its response.
 func (s *Server) execute(cs *connState, req *wire.Request) *wire.Response {
 	s.requests.Add(1)
+	// Start the request's trace before anything that can wait, adopting
+	// the client's wire trace ID when the request carried one (minting a
+	// server-side ID otherwise, so old clients still show up in the
+	// journal).  tr stays nil without a tracer; every use below is
+	// nil-safe.
+	cs.tr = nil
+	if t := s.cfg.Tracer; t != nil {
+		cs.tr = t.Start(trace.ID(req.TraceID), strings.ToLower(wire.OpName(req.Op)))
+	}
+	tr := cs.tr
 	if int(req.Op) < len(s.ops) && s.ops[req.Op] != nil {
 		t0 := time.Now()
-		defer func() { s.ops[req.Op].Observe(time.Since(t0)) }()
+		// The trace ID rides the op's latency histogram as the exemplar
+		// of whatever bucket this request lands in (a zero ID records a
+		// plain observation).
+		defer func() { s.ops[req.Op].ObserveExemplar(time.Since(t0), uint64(tr.ID())) }()
 	}
 	resp := &wire.Response{Seq: req.Seq}
 	// A connection with an open batch is in-flight work: its requests may
@@ -395,12 +420,16 @@ func (s *Server) execute(cs *connState, req *wire.Request) *wire.Response {
 		resp.Status = wire.StatusClosed
 		resp.Body = wire.MessageBody("server is draining")
 		s.statuses[resp.Status].Add(1)
+		s.finishTrace(tr, nil)
 		return resp
 	}
 	defer s.gate.leave()
 
 	ctx, cancel := s.requestCtx(req)
 	defer cancel()
+	// The engine attaches its commit-path phase spans (lock waits, WAL
+	// appends, the durable force) to the request trace it finds here.
+	ctx = engine.WithTrace(ctx, tr)
 
 	wasBatch := cs.inBatch
 	body, err := s.dispatch(ctx, cs, req)
@@ -411,9 +440,45 @@ func (s *Server) execute(cs *connState, req *wire.Request) *wire.Response {
 	} else if wasBatch && !cs.inBatch {
 		s.gate.leave()
 	}
+	s.finishTrace(tr, err)
 	resp.Status, resp.Body = s.finish(err, body)
 	s.statuses[resp.Status].Add(1)
 	return resp
+}
+
+// finishTrace seals a request's trace, first pinning the anomalies the
+// journal's tail retention must keep: a deadlock victim carries its
+// wait-for cycle and held pages, an admission shed the BUSY it returned.
+func (s *Server) finishTrace(tr *trace.Trace, err error) {
+	if tr == nil {
+		return
+	}
+	if err != nil {
+		var derr *lock.DeadlockError
+		switch {
+		case errors.As(err, &derr):
+			tr.Pin(trace.PinDeadlock, fmt.Sprintf("cycle: %s; held: %v", derr.CycleString(), derr.Held))
+		case errors.Is(err, ErrBusy):
+			tr.Pin(trace.PinShed, err.Error())
+		}
+	}
+	s.cfg.Tracer.Finish(tr)
+}
+
+// acquire is adm.Acquire with the wait recorded as a server_admission
+// span on the request's trace.
+func (s *Server) acquire(ctx context.Context, tr *trace.Trace) error {
+	if tr == nil {
+		return s.adm.Acquire(ctx)
+	}
+	t0 := time.Now()
+	err := s.adm.Acquire(ctx)
+	note := ""
+	if err != nil {
+		note = "refused"
+	}
+	tr.Span("server_admission", t0, time.Since(t0), 0, note)
+	return err
 }
 
 // requestCtx derives the request's context: the server base context (so
@@ -459,7 +524,7 @@ func (s *Server) dispatch(ctx context.Context, cs *connState, req *wire.Request)
 	case wire.OpPing:
 		return nil, nil
 	case wire.OpCreate:
-		if err := s.adm.Acquire(ctx); err != nil {
+		if err := s.acquire(ctx, cs.tr); err != nil {
 			return nil, err
 		}
 		defer s.adm.Release()
@@ -554,7 +619,7 @@ func (s *Server) doSet(ctx context.Context, cs *connState, req *wire.Request) er
 	if err != nil {
 		return err
 	}
-	if err := s.adm.Acquire(ctx); err != nil {
+	if err := s.acquire(ctx, cs.tr); err != nil {
 		return err
 	}
 	defer s.adm.Release()
@@ -580,7 +645,7 @@ func (s *Server) doDel(ctx context.Context, cs *connState, req *wire.Request) er
 	if err != nil {
 		return err
 	}
-	if err := s.adm.Acquire(ctx); err != nil {
+	if err := s.acquire(ctx, cs.tr); err != nil {
 		return err
 	}
 	defer s.adm.Release()
@@ -689,7 +754,7 @@ func (s *Server) doCommit(ctx context.Context, cs *connState) error {
 		}
 		spaces[i] = ns
 	}
-	if err := s.adm.Acquire(ctx); err != nil {
+	if err := s.acquire(ctx, cs.tr); err != nil {
 		return err
 	}
 	defer s.adm.Release()

@@ -1,0 +1,264 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// allOps is every request opcode the protocol defines.
+var allOps = []byte{OpPing, OpCreate, OpGet, OpSet, OpDel, OpScan, OpBegin, OpCommit, OpAbort}
+
+func sampleRequest(op byte) *Request {
+	req := &Request{Op: op, Seq: 42, DeadlineMS: 250, NS: "bench"}
+	switch op {
+	case OpGet, OpDel:
+		req.Key = 0x1122334455667788
+	case OpSet:
+		req.Key = 7
+		req.Value = []byte("hello, trace")
+	case OpScan:
+		req.Lo, req.Hi, req.Limit = 10, 99, 16
+	}
+	return req
+}
+
+// sameOpFields compares everything except the extension fields.
+func sameOpFields(t *testing.T, got, want *Request) {
+	t.Helper()
+	g, w := *got, *want
+	g.Flags, g.TraceID = 0, 0
+	w.Flags, w.TraceID = 0, 0
+	if g.Value == nil {
+		g.Value = []byte{}
+	}
+	if w.Value == nil {
+		w.Value = []byte{}
+	}
+	if !reflect.DeepEqual(g, w) {
+		t.Fatalf("op fields differ:\n got %+v\nwant %+v", g, w)
+	}
+}
+
+// A traced client talking to the current server: every opcode must
+// round-trip both its op fields and the trace extension.
+func TestWireTraceRoundTripEveryOpcode(t *testing.T) {
+	for _, op := range allOps {
+		req := sampleRequest(op)
+		req.Flags = FlagTrace
+		req.TraceID = 0xfeedface00000000 + uint64(op)
+		var buf bytes.Buffer
+		if err := WriteRequest(&buf, req); err != nil {
+			t.Fatalf("%s: write: %v", OpName(op), err)
+		}
+		got, err := ReadRequest(bufio.NewReader(&buf))
+		if err != nil {
+			t.Fatalf("%s: read: %v", OpName(op), err)
+		}
+		sameOpFields(t, got, req)
+		if got.Flags&FlagTrace == 0 || got.TraceID != req.TraceID {
+			t.Fatalf("%s: trace extension lost: flags=%x id=%x", OpName(op), got.Flags, got.TraceID)
+		}
+	}
+}
+
+// An untraced (pre-extension) client talking to the current server:
+// the decoder must see zero Flags/TraceID and identical op fields.
+func TestWireTraceOldClientNewServer(t *testing.T) {
+	for _, op := range allOps {
+		req := sampleRequest(op)
+		var buf bytes.Buffer
+		if err := WriteRequest(&buf, req); err != nil {
+			t.Fatalf("%s: write: %v", OpName(op), err)
+		}
+		got, err := ReadRequest(bufio.NewReader(&buf))
+		if err != nil {
+			t.Fatalf("%s: read: %v", OpName(op), err)
+		}
+		sameOpFields(t, got, req)
+		if got.Flags != 0 || got.TraceID != 0 {
+			t.Fatalf("%s: phantom extension: flags=%x id=%x", OpName(op), got.Flags, got.TraceID)
+		}
+	}
+}
+
+// A traced client talking to an old server.  The old decoder parsed the
+// op payload and ignored everything after it, so "old server" behavior
+// is exactly: op fields must decode from a traced frame as if the
+// extension were absent.  oldDecodeRequest reimplements that historical
+// decoder verbatim to keep the property pinned.
+func TestWireTraceNewClientOldServer(t *testing.T) {
+	for _, op := range allOps {
+		req := sampleRequest(op)
+		req.Flags = FlagTrace
+		req.TraceID = 0xabad1dea
+		var buf bytes.Buffer
+		if err := WriteRequest(&buf, req); err != nil {
+			t.Fatalf("%s: write: %v", OpName(op), err)
+		}
+		got, err := oldDecodeRequest(bufio.NewReader(&buf))
+		if err != nil {
+			t.Fatalf("%s: old decoder rejected traced frame: %v", OpName(op), err)
+		}
+		sameOpFields(t, got, req)
+	}
+}
+
+// oldDecodeRequest is the pre-extension ReadRequest: it stops after the
+// op payload and never looks at trailing bytes.
+func oldDecodeRequest(r *bufio.Reader) (*Request, error) {
+	body, err := readFrame(r)
+	if err != nil {
+		return nil, err
+	}
+	req := &Request{
+		Op:         body[0],
+		Seq:        binary.LittleEndian.Uint32(body[1:]),
+		DeadlineMS: binary.LittleEndian.Uint32(body[5:]),
+	}
+	nsLen := int(body[9])
+	rest := body[10:]
+	req.NS = string(rest[:nsLen])
+	rest = rest[nsLen:]
+	switch req.Op {
+	case OpGet, OpDel:
+		req.Key = binary.LittleEndian.Uint64(rest)
+	case OpSet:
+		req.Key = binary.LittleEndian.Uint64(rest)
+		vlen := int(binary.LittleEndian.Uint32(rest[8:]))
+		req.Value = rest[12 : 12+vlen]
+	case OpScan:
+		req.Lo = binary.LittleEndian.Uint64(rest)
+		req.Hi = binary.LittleEndian.Uint64(rest[8:])
+		req.Limit = binary.LittleEndian.Uint32(rest[16:])
+	}
+	return req, nil
+}
+
+// An unknown flag bit — whose payload this decoder cannot size — must
+// neither error nor desynchronize the stream: the frame after it must
+// decode intact.
+func TestWireTraceUnknownFlagBitNoDesync(t *testing.T) {
+	for _, op := range allOps {
+		var stream bytes.Buffer
+
+		// Frame 1: valid op payload + flags byte with an unknown bit and
+		// an arbitrary payload the decoder cannot interpret.
+		req := sampleRequest(op)
+		var f1 bytes.Buffer
+		if err := WriteRequest(&f1, req); err != nil {
+			t.Fatal(err)
+		}
+		frame := f1.Bytes()
+		body := append([]byte(nil), frame[4:]...)
+		body = append(body, 0x80)                         // unknown flag bit
+		body = append(body, 0xde, 0xad, 0xbe, 0xef, 0x01) // unparseable payload
+		binary.LittleEndian.PutUint32(frame[:4], uint32(len(body)))
+		stream.Write(frame[:4])
+		stream.Write(body)
+
+		// Frame 2: a traced Set that must survive whatever frame 1 did
+		// to the decoder.
+		follow := sampleRequest(OpSet)
+		follow.Flags = FlagTrace
+		follow.TraceID = 0x1234
+		if err := WriteRequest(&stream, follow); err != nil {
+			t.Fatal(err)
+		}
+
+		r := bufio.NewReader(&stream)
+		got1, err := ReadRequest(r)
+		if err != nil {
+			t.Fatalf("%s: unknown flag bit errored: %v", OpName(op), err)
+		}
+		sameOpFields(t, got1, req)
+		if got1.Flags != 0 || got1.TraceID != 0 {
+			t.Fatalf("%s: unknown bit misread as trace: flags=%x id=%x", OpName(op), got1.Flags, got1.TraceID)
+		}
+		got2, err := ReadRequest(r)
+		if err != nil {
+			t.Fatalf("%s: stream desynced after unknown flag: %v", OpName(op), err)
+		}
+		sameOpFields(t, got2, follow)
+		if got2.TraceID != 0x1234 {
+			t.Fatalf("%s: follow-up trace lost: %x", OpName(op), got2.TraceID)
+		}
+	}
+}
+
+// Fuzz-style: random trailing junk after a valid op payload must never
+// error, never corrupt op fields, and never desync the next frame.
+func TestWireTraceFuzzTrailingJunk(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		op := allOps[rng.Intn(len(allOps))]
+		req := sampleRequest(op)
+
+		var f bytes.Buffer
+		if err := WriteRequest(&f, req); err != nil {
+			t.Fatal(err)
+		}
+		frame := f.Bytes()
+		body := append([]byte(nil), frame[4:]...)
+		junk := make([]byte, rng.Intn(24))
+		rng.Read(junk)
+		body = append(body, junk...)
+
+		var stream bytes.Buffer
+		var hdr [4]byte
+		binary.LittleEndian.PutUint32(hdr[:], uint32(len(body)))
+		stream.Write(hdr[:])
+		stream.Write(body)
+		next := sampleRequest(OpPing)
+		if err := WriteRequest(&stream, next); err != nil {
+			t.Fatal(err)
+		}
+
+		r := bufio.NewReader(&stream)
+		got, err := ReadRequest(r)
+		if err != nil {
+			t.Fatalf("iter %d %s junk %x: %v", i, OpName(op), junk, err)
+		}
+		sameOpFields(t, got, req)
+		if len(junk) > 0 && junk[0]&FlagTrace != 0 && len(junk) >= 9 {
+			if got.TraceID != binary.LittleEndian.Uint64(junk[1:]) {
+				t.Fatalf("iter %d: junk that forms a valid extension must decode as one", i)
+			}
+		}
+		got2, err := ReadRequest(r)
+		if err != nil || got2.Op != OpPing || got2.Seq != next.Seq {
+			t.Fatalf("iter %d: desync after junk tail: %v %+v", i, err, got2)
+		}
+	}
+}
+
+// A truncated trace extension (flag set, fewer than 8 ID bytes) is
+// treated as absent, not as a protocol error.
+func TestWireTraceTruncatedExtensionIgnored(t *testing.T) {
+	req := sampleRequest(OpGet)
+	var f bytes.Buffer
+	if err := WriteRequest(&f, req); err != nil {
+		t.Fatal(err)
+	}
+	frame := f.Bytes()
+	body := append([]byte(nil), frame[4:]...)
+	body = append(body, FlagTrace, 0x01, 0x02) // claims a trace ID, delivers 2 bytes
+
+	var stream bytes.Buffer
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(body)))
+	stream.Write(hdr[:])
+	stream.Write(body)
+
+	got, err := ReadRequest(bufio.NewReader(&stream))
+	if err != nil {
+		t.Fatalf("truncated extension errored: %v", err)
+	}
+	sameOpFields(t, got, req)
+	if got.Flags != 0 || got.TraceID != 0 {
+		t.Fatalf("truncated extension misread: flags=%x id=%x", got.Flags, got.TraceID)
+	}
+}

@@ -21,6 +21,17 @@
 //	Scan:     lo u64, hi u64, limit u32
 //	others:   empty
 //
+// After the op-specific payload a request may carry an optional
+// extension block: one flags byte followed by the payloads of the set
+// flag bits in bit order.  Bit 0 (FlagTrace) carries a u64 trace ID.
+// The block is backward compatible in both directions: decoders have
+// always ignored bytes past the op payload, so an old server simply
+// skips the extension, and an old client simply omits it.  A decoder
+// that meets a flag bit it does not know stops interpreting there (it
+// cannot know the payload's length) — the frame's length prefix means
+// unknown extensions can never desynchronize the stream, only go
+// unread.
+//
 // Response body:
 //
 //	offset  size  field
@@ -129,6 +140,14 @@ func StatusName(s byte) string {
 // ErrFrameTooLarge reports a frame beyond MaxFrame.
 var ErrFrameTooLarge = errors.New("wire: frame exceeds maximum size")
 
+// Request extension flag bits.
+const (
+	// FlagTrace marks a u64 trace ID following the flags byte: the
+	// client minted a request-scoped trace and wants server-side spans
+	// attributed to it.
+	FlagTrace byte = 1 << 0
+)
+
 // Request is one decoded client request.
 type Request struct {
 	Op         byte
@@ -139,6 +158,10 @@ type Request struct {
 	Lo, Hi     uint64 // Scan
 	Limit      uint32 // Scan
 	Value      []byte // Set
+	// Flags and TraceID are the optional trailing extension; both zero
+	// on frames from clients that predate it.
+	Flags   byte
+	TraceID uint64
 }
 
 // Response is one decoded server response.  Body is the status/op-specific
@@ -207,19 +230,29 @@ func WriteRequest(w io.Writer, req *Request) error {
 		body = binary.LittleEndian.AppendUint64(body, req.Hi)
 		body = binary.LittleEndian.AppendUint32(body, req.Limit)
 	}
+	if req.Flags != 0 {
+		body = append(body, req.Flags)
+		if req.Flags&FlagTrace != 0 {
+			body = binary.LittleEndian.AppendUint64(body, req.TraceID)
+		}
+	}
 	return writeFrame(w, body)
 }
 
 func recSize(req *Request) int {
+	n := 0
 	switch req.Op {
 	case OpGet, OpDel:
-		return 8
+		n = 8
 	case OpSet:
-		return 12 + len(req.Value)
+		n = 12 + len(req.Value)
 	case OpScan:
-		return 20
+		n = 20
 	}
-	return 0
+	if req.Flags != 0 {
+		n += 9
+	}
+	return n
 }
 
 // ReadRequest reads and decodes one request frame.
@@ -255,6 +288,7 @@ func ReadRequest(r *bufio.Reader) (*Request, error) {
 			return nil, err
 		}
 		req.Key = binary.LittleEndian.Uint64(rest)
+		rest = rest[8:]
 	case OpSet:
 		if err := need(12); err != nil {
 			return nil, err
@@ -265,6 +299,7 @@ func ReadRequest(r *bufio.Reader) (*Request, error) {
 			return nil, fmt.Errorf("wire: SET value truncated")
 		}
 		req.Value = rest[12 : 12+vlen]
+		rest = rest[12+vlen:]
 	case OpScan:
 		if err := need(20); err != nil {
 			return nil, err
@@ -272,8 +307,30 @@ func ReadRequest(r *bufio.Reader) (*Request, error) {
 		req.Lo = binary.LittleEndian.Uint64(rest)
 		req.Hi = binary.LittleEndian.Uint64(rest[8:])
 		req.Limit = binary.LittleEndian.Uint32(rest[16:])
+		rest = rest[20:]
 	}
+	readExtension(req, rest)
 	return req, nil
+}
+
+// readExtension decodes the optional trailing flags block.  It is
+// deliberately forgiving: a truncated or unrecognized extension is
+// treated as absent rather than as a protocol error, because every
+// frame that reaches here already parsed a complete request — the
+// extension only adds forensics, never semantics.
+func readExtension(req *Request, rest []byte) {
+	if len(rest) == 0 {
+		return
+	}
+	flags := rest[0]
+	rest = rest[1:]
+	if flags&FlagTrace != 0 && len(rest) >= 8 {
+		req.Flags |= FlagTrace
+		req.TraceID = binary.LittleEndian.Uint64(rest)
+	}
+	// Any further flag bits have payloads this decoder cannot size, so
+	// interpretation stops here; the length prefix already consumed the
+	// bytes, so the stream stays framed.
 }
 
 // WriteResponse encodes and writes one response frame.

@@ -347,11 +347,44 @@ func WithObservability(enabled bool) Option {
 	}
 }
 
+// WithTracing enables or disables request-scoped span tracing (enabled by
+// default whenever observability is on; WithObservability(false) implies
+// it off).  With tracing on, every Update carries a span trace — adopted
+// from the request context when a server attached one, self-started
+// otherwise — whose commit-path phases land in the tail-sampled journal
+// behind DB.Tracer, with slow transactions, deadlock victims and WAL sync
+// stalls pinned.  Disabling it makes DB.Tracer return nil and reduces the
+// recording sites to nil checks (see the facebench "trace" ablation).
+func WithTracing(enabled bool) Option {
+	return func(c *engine.Config) error {
+		c.DisableTracing = !enabled
+		return nil
+	}
+}
+
+// WithTraceJournal tunes the trace journal's retention: capacity is the
+// size of each ring (pinned anomalies and sampled normals; default 256)
+// and sampleEvery keeps 1 in that many unpinned traces (default 16;
+// negative disables sampling so only pinned traces are retained).  Zero
+// keeps a field at its default.
+func WithTraceJournal(capacity, sampleEvery int) Option {
+	return func(c *engine.Config) error {
+		if capacity < 0 {
+			return fmt.Errorf("face: WithTraceJournal(%d, %d): capacity must not be negative", capacity, sampleEvery)
+		}
+		c.TraceCapacity = capacity
+		c.TraceSampleEvery = sampleEvery
+		return nil
+	}
+}
+
 // WithSlowTxThreshold enables the slow-transaction log: every committed
 // write transaction whose wall-clock latency reaches d emits a one-line
 // per-phase breakdown (admission, lock, buffer, WAL append, durable wait,
 // closure) through the sink set by WithSlowTxLog (default log.Printf).
-// Zero (the default) disables the log; phase tracing itself stays on.
+// The same threshold pins slow transactions' span traces in the journal
+// (WithTracing), so the log line's trace ID is retrievable later.  Zero
+// (the default) disables both; phase tracing itself stays on.
 func WithSlowTxThreshold(d time.Duration) Option {
 	return func(c *engine.Config) error {
 		if d < 0 {
